@@ -1,0 +1,151 @@
+// Ablation studies for the simulator's own design choices (DESIGN.md §2),
+// each run on a representative workload trio {stream-copy, pagerank, gcc}
+// covering bandwidth-bound / mixed / latency-bound behaviour:
+//
+//  A1  L2 stream prefetcher degree (0 = off, 1, 2, 4)
+//  A2  LLC replacement policy (LRU / SRRIP / Random)
+//  A3  DRAM permutation-based bank interleaving (on / off)
+//  A4  DRAM adaptive open-page idle precharge (on / off)
+//  A5  ROB depth (128 / 256 / 512) — MLP vs COAXIAL's latency premium
+//
+// Reported as baseline and COAXIAL-4x IPC plus the resulting speedup, so
+// each knob's effect on the paper's headline is visible directly.
+#include <functional>
+
+#include "bench/common/harness.hpp"
+
+namespace {
+
+using namespace coaxial;
+
+const std::vector<std::string> kTrio = {"stream-copy", "pagerank", "gcc"};
+
+struct Variant {
+  std::string label;
+  sys::SystemConfig base;
+  sys::SystemConfig coax;
+};
+
+void run_group(const std::string& title, const std::vector<Variant>& variants,
+               report::Table& table) {
+  const auto b = bench::budget();
+  std::vector<sim::RunRequest> requests;
+  for (const auto& v : variants) {
+    for (const auto& wl : kTrio) {
+      requests.push_back(sim::homogeneous(v.base, wl, b.warmup, b.measure));
+      requests.push_back(sim::homogeneous(v.coax, wl, b.warmup, b.measure));
+    }
+  }
+  const auto results = sim::run_many(requests);
+  std::size_t i = 0;
+  for (const auto& v : variants) {
+    for (const auto& wl : kTrio) {
+      const auto& base = results[i++].stats;
+      const auto& coax = results[i++].stats;
+      table.add_row({title, v.label, wl, report::num(base.ipc_per_core),
+                     report::num(coax.ipc_per_core),
+                     report::num(coax.ipc_per_core / base.ipc_per_core)});
+    }
+  }
+}
+
+Variant make_variant(const std::string& label,
+                     const std::function<void(sys::SystemConfig&)>& tweak) {
+  Variant v;
+  v.label = label;
+  v.base = sys::baseline_ddr();
+  v.coax = sys::coaxial_4x();
+  tweak(v.base);
+  tweak(v.coax);
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Ablations", "simulator design-choice sensitivity");
+
+  report::Table table({"study", "variant", "workload", "baseline IPC", "COAXIAL IPC",
+                       "speedup"});
+
+  // A1: prefetcher degree.
+  {
+    std::vector<Variant> vs;
+    for (std::uint32_t degree : {0u, 1u, 2u, 4u}) {
+      vs.push_back(make_variant("degree=" + std::to_string(degree),
+                                [degree](sys::SystemConfig& c) {
+                                  c.uarch.prefetch_degree = degree;
+                                }));
+    }
+    run_group("A1-prefetch", vs, table);
+  }
+
+  // A2: LLC replacement policy.
+  {
+    std::vector<Variant> vs;
+    const std::pair<const char*, cache::ReplacementPolicy> policies[] = {
+        {"lru", cache::ReplacementPolicy::kLru},
+        {"srrip", cache::ReplacementPolicy::kSrrip},
+        {"random", cache::ReplacementPolicy::kRandom}};
+    for (const auto& [name, policy] : policies) {
+      vs.push_back(make_variant(name, [p = policy](sys::SystemConfig& c) {
+        c.uarch.llc_replacement = p;
+      }));
+    }
+    run_group("A2-replacement", vs, table);
+  }
+
+  // A3: permutation bank interleaving.
+  {
+    std::vector<Variant> vs;
+    for (bool on : {true, false}) {
+      vs.push_back(make_variant(on ? "permute" : "no-permute",
+                                [on](sys::SystemConfig& c) {
+                                  c.dram_geometry.permutation_interleave = on;
+                                }));
+    }
+    run_group("A3-interleave", vs, table);
+  }
+
+  // A4: idle precharge.
+  {
+    std::vector<Variant> vs;
+    for (Cycle cycles : {Cycle{150}, Cycle{0}}) {
+      vs.push_back(make_variant(cycles ? "adaptive" : "open-page",
+                                [cycles](sys::SystemConfig& c) {
+                                  c.dram_timing.idle_precharge = cycles;
+                                }));
+    }
+    run_group("A4-idle-pre", vs, table);
+  }
+
+  // A6: DIMMs per channel (1DPC vs 2DPC; SIV-E quotes ~15% bandwidth cost
+  // for the capacity-optimised 2DPC population).
+  {
+    std::vector<Variant> vs;
+    for (std::uint32_t ranks : {1u, 2u}) {
+      vs.push_back(make_variant(ranks == 1 ? "1dpc" : "2dpc",
+                                [ranks](sys::SystemConfig& c) {
+                                  c.dram_geometry.ranks = ranks;
+                                }));
+    }
+    run_group("A6-dpc", vs, table);
+  }
+
+  // A5: ROB depth (memory-level parallelism headroom).
+  {
+    std::vector<Variant> vs;
+    for (std::uint32_t rob : {128u, 256u, 512u}) {
+      vs.push_back(make_variant("rob=" + std::to_string(rob),
+                                [rob](sys::SystemConfig& c) {
+                                  c.uarch.rob_entries = rob;
+                                }));
+    }
+    run_group("A5-rob", vs, table);
+  }
+
+  table.print();
+  bench::finish(table, "ablations.csv");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 1: bandwidth per processor pin for DDR and PCIe (CXL) interface
+// generations, normalised to PCIe 1.0.
+//
+// DDR channels are charged 160 processor pins (data + ECC + command/address
+// for an ECC-enabled channel); PCIe lanes are charged 4 pins (TX+/- and
+// RX+/-). PCIe bandwidth is per direction; DDR bandwidth is combined
+// read+write — the paper notes this makes the comparison conservative.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common/harness.hpp"
+
+namespace {
+
+struct Interface {
+  const char* name;
+  double gbps;        ///< Peak bandwidth of the quoted unit.
+  double pins;        ///< Processor pins for that unit.
+  const char* kind;
+};
+
+}  // namespace
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 1", "bandwidth per processor pin, normalised to PCIe 1.0");
+
+  const std::vector<Interface> interfaces = {
+      // PCIe: per-lane, per-direction bandwidth; 4 pins per lane.
+      {"PCIe 1.0", 0.25, 4, "PCIe"},
+      {"PCIe 2.0", 0.50, 4, "PCIe"},
+      {"PCIe 3.0", 0.985, 4, "PCIe"},
+      {"PCIe 4.0", 1.969, 4, "PCIe"},
+      {"PCIe 5.0", 3.938, 4, "PCIe"},
+      {"PCIe 6.0", 7.563, 4, "PCIe"},
+      // DDR: per-channel combined bandwidth; 160 pins per channel.
+      {"DDR3-1600", 12.8, 160, "DDR"},
+      {"DDR4-2400", 19.2, 160, "DDR"},
+      {"DDR4-3200", 25.6, 160, "DDR"},
+      {"DDR5-4800", 38.4, 160, "DDR"},
+      {"DDR5-6400", 51.2, 160, "DDR"},
+  };
+
+  const double pcie1 = 0.25 / 4.0;
+  report::Table table({"interface", "kind", "GB/s per unit", "pins", "GB/s per pin",
+                       "norm. to PCIe 1.0"});
+  double ddr5_4800 = 0, pcie5 = 0;
+  for (const auto& i : interfaces) {
+    const double per_pin = i.gbps / i.pins;
+    if (std::string(i.name) == "DDR5-4800") ddr5_4800 = per_pin;
+    if (std::string(i.name) == "PCIe 5.0") pcie5 = per_pin;
+    table.add_row({i.name, i.kind, report::num(i.gbps, 2), report::num(i.pins, 0),
+                   report::num(per_pin, 3), report::num(per_pin / pcie1, 2)});
+  }
+  table.print();
+  std::cout << "\nPCIe 5.0 vs DDR5-4800 bandwidth-per-pin advantage: "
+            << report::num(pcie5 / ddr5_4800, 1) << "x   (paper: ~4x)\n";
+  bench::finish(table, "fig01_bandwidth_per_pin.csv");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 2b: L2-miss latency breakdown (on-chip, DRAM service, queuing) and
+// memory bandwidth utilisation for every workload on the DDR baseline.
+#include "bench/common/harness.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 2b", "baseline L2-miss latency breakdown and utilisation");
+
+  const auto names = workload::workload_names();
+  const auto results = bench::run_matrix({sys::baseline_ddr()}, names);
+
+  report::Table table({"workload", "onchip(ns)", "service(ns)", "queuing(ns)",
+                       "total(ns)", "queue share%", "util%"});
+  double queue_share_sum = 0, onchip_share_sum = 0, util_sum = 0;
+  double max_queue_share = 0;
+  std::string max_queue_wl;
+  for (const auto& name : names) {
+    const auto& s = results.at({"DDR-baseline", name});
+    const double queue = s.avg_dram_queue_ns() + s.avg_pending_ns();
+    const double total = s.avg_total_ns();
+    const double share = total > 0 ? queue / total : 0;
+    queue_share_sum += share;
+    onchip_share_sum += total > 0 ? s.avg_onchip_ns() / total : 0;
+    util_sum += s.bandwidth_utilization();
+    if (share > max_queue_share) {
+      max_queue_share = share;
+      max_queue_wl = name;
+    }
+    table.add_row({name, report::num(s.avg_onchip_ns(), 1),
+                   report::num(s.avg_dram_service_ns(), 1), report::num(queue, 1),
+                   report::num(total, 1), report::num(100 * share, 1),
+                   report::num(100 * s.bandwidth_utilization(), 1)});
+  }
+  table.print();
+
+  const double n = static_cast<double>(names.size());
+  std::cout << "\nAvg queuing share of L2-miss latency: "
+            << report::num(100 * queue_share_sum / n, 1)
+            << "%   (paper: 60% on average)\n"
+            << "Max queuing share: " << report::num(100 * max_queue_share, 1) << "% ("
+            << max_queue_wl << ")   (paper: 84%, lbm)\n"
+            << "Avg on-chip share: " << report::num(100 * onchip_share_sum / n, 1)
+            << "%   (paper: ~15%)\n"
+            << "Avg bandwidth utilisation: " << report::num(100 * util_sum / n, 1)
+            << "%\n";
+  bench::finish(table, "fig02b_latency_breakdown.csv");
+  return 0;
+}

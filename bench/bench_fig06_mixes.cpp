@@ -1,0 +1,54 @@
+// Figure 6: COAXIAL-4x speedup on ten 12-workload mixes (each core runs a
+// workload sampled uniformly from the catalog). The per-mix speedup is the
+// geomean of per-core IPC ratios (workload assignment is identical across
+// the two systems).
+#include "bench/common/harness.hpp"
+
+#include "common/stats.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 6", "workload-mix speedups (COAXIAL-4x vs baseline)");
+
+  const auto b = bench::budget();
+  const auto mixes = workload::make_mixes(10, 12, /*seed=*/7);
+
+  std::vector<sim::RunRequest> requests;
+  for (const auto& mix : mixes) {
+    for (const auto& cfg : {sys::baseline_ddr(), sys::coaxial_4x()}) {
+      sim::RunRequest r;
+      r.config = cfg;
+      r.workloads = mix;
+      r.warmup_instr = b.warmup;
+      r.measure_instr = b.measure;
+      requests.push_back(std::move(r));
+    }
+  }
+  const auto results = sim::run_many(requests);
+
+  report::Table table({"mix", "speedup (geomean of per-core IPC ratios)"});
+  std::vector<double> speedups;
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const auto& base = results[2 * m].stats;
+    const auto& coax = results[2 * m + 1].stats;
+    std::vector<double> ratios;
+    for (std::size_t c = 0; c < base.core_ipc.size(); ++c) {
+      ratios.push_back(coax.core_ipc[c] / base.core_ipc[c]);
+    }
+    const double s = geomean(ratios);
+    speedups.push_back(s);
+    table.add_row({"mix-" + std::to_string(m), report::num(s)});
+  }
+  table.print();
+
+  double lo = speedups[0], hi = speedups[0];
+  for (double s : speedups) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  std::cout << "\nmin / max / geomean: " << report::num(lo) << " / " << report::num(hi)
+            << " / " << report::num(geomean(speedups))
+            << "   (paper: 1.5 / 1.9 / 1.7)\n";
+  bench::finish(table, "fig06_mixes.csv");
+  return 0;
+}

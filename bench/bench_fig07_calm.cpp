@@ -1,0 +1,110 @@
+// Figure 7: CALM mechanism sensitivity.
+//
+// (a) Speedup of each CALM mechanism (MAP-I, CALM_50/60/70, oracle) over
+//     serial LLC/memory access, on both the DDR baseline and COAXIAL-4x.
+// (b) Confusion-matrix characterisation (false positives waste bandwidth,
+//     false negatives serialise).
+//
+// Four spotlight workloads get the full mechanism matrix; the all-workload
+// average is computed for serial vs CALM_70 (the paper's default).
+#include "bench/common/harness.hpp"
+
+#include "common/stats.hpp"
+
+namespace {
+
+coaxial::sys::SystemConfig with_policy(coaxial::sys::SystemConfig cfg,
+                                       coaxial::calm::Policy policy, double r,
+                                       const std::string& tag) {
+  cfg.calm.policy = policy;
+  cfg.calm.r_fraction = r;
+  cfg.name += "/" + tag;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 7", "CALM mechanism sensitivity (speedups vs serial access)");
+
+  const std::vector<std::string> spotlight = {"stream-copy", "gcc", "pagerank", "mcf"};
+  struct Mechanism {
+    std::string tag;
+    calm::Policy policy;
+    double r;
+  };
+  const std::vector<Mechanism> mechanisms = {
+      {"serial", calm::Policy::kNone, 0.7},   {"map-i", calm::Policy::kMapI, 0.7},
+      {"calm50", calm::Policy::kRegulated, 0.5}, {"calm60", calm::Policy::kRegulated, 0.6},
+      {"calm70", calm::Policy::kRegulated, 0.7}, {"hybrid", calm::Policy::kHybrid, 0.7},
+      {"ideal", calm::Policy::kOracle, 0.7},
+  };
+
+  std::vector<sys::SystemConfig> configs;
+  for (const auto& base : {sys::baseline_ddr(), sys::coaxial_4x()}) {
+    for (const auto& m : mechanisms) configs.push_back(with_policy(base, m.policy, m.r, m.tag));
+  }
+  const auto results = bench::run_matrix(configs, spotlight);
+
+  // (a) Speedup relative to the *same system* with serial access.
+  report::Table ta({"system", "mechanism", "stream-copy", "gcc", "pagerank", "mcf"});
+  for (const std::string base : {"DDR-baseline", "COAXIAL-4x"}) {
+    for (const auto& m : mechanisms) {
+      if (m.tag == "serial") continue;
+      std::vector<std::string> row = {base, m.tag};
+      for (const auto& wl : spotlight) {
+        const double serial = results.at({base + "/serial", wl}).ipc_per_core;
+        const double mech = results.at({base + "/" + m.tag, wl}).ipc_per_core;
+        row.push_back(report::num(mech / serial, 3));
+      }
+      ta.add_row(row);
+    }
+  }
+  ta.print();
+
+  // (b) CALM decision characterisation on COAXIAL-4x.
+  std::cout << "\nCALM decision characterisation (COAXIAL-4x):\n";
+  report::Table tb({"workload", "mechanism", "probes%", "false-pos%", "false-neg%"});
+  for (const auto& wl : spotlight) {
+    for (const auto& m : mechanisms) {
+      if (m.tag == "serial") continue;
+      const auto& st = results.at({"COAXIAL-4x/" + m.tag, wl}).calm;
+      tb.add_row({wl, m.tag,
+                  report::num(100.0 * st.probes / std::max<std::uint64_t>(1, st.decisions), 1),
+                  report::num(100 * st.false_positive_rate(), 1),
+                  report::num(100 * st.false_negative_rate(), 1)});
+    }
+  }
+  tb.print();
+
+  // All-workload average: serial vs CALM_70 on both systems.
+  const auto names = workload::workload_names();
+  const auto avg_results = bench::run_matrix(
+      {with_policy(sys::baseline_ddr(), calm::Policy::kNone, 0.7, "serial"),
+       with_policy(sys::baseline_ddr(), calm::Policy::kRegulated, 0.7, "calm70"),
+       with_policy(sys::coaxial_4x(), calm::Policy::kNone, 0.7, "serial"),
+       with_policy(sys::coaxial_4x(), calm::Policy::kRegulated, 0.7, "calm70")},
+      names);
+  auto geomean_speedup = [&](const std::string& a, const std::string& b) {
+    std::vector<double> r;
+    for (const auto& wl : names) {
+      r.push_back(avg_results.at({a, wl}).ipc_per_core /
+                  avg_results.at({b, wl}).ipc_per_core);
+    }
+    return geomean(r);
+  };
+  std::cout << "\nAll-workload geomean gains from CALM_70:\n"
+            << "  baseline + CALM_70 vs baseline serial: "
+            << report::num(geomean_speedup("DDR-baseline/calm70", "DDR-baseline/serial"), 3)
+            << "x   (paper: negligible average gain)\n"
+            << "  COAXIAL-4x + CALM_70 vs COAXIAL serial: "
+            << report::num(geomean_speedup("COAXIAL-4x/calm70", "COAXIAL-4x/serial"), 3)
+            << "x   (paper: 1.28x -> 1.39x over baseline, i.e. ~1.09x)\n"
+            << "  COAXIAL-4x+CALM_70 vs baseline serial:  "
+            << report::num(geomean_speedup("COAXIAL-4x/calm70", "DDR-baseline/serial"), 3)
+            << "x\n";
+
+  bench::finish(ta, "fig07_calm.csv");
+  return 0;
+}

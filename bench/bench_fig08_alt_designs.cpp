@@ -1,0 +1,39 @@
+// Figure 8: alternative COAXIAL designs — COAXIAL-2x (iso-LLC), COAXIAL-4x
+// (balanced, default), and COAXIAL-asym (asymmetric RX/TX lanes, 8 DDR
+// channels) — normalised to the DDR baseline.
+#include "bench/common/harness.hpp"
+
+#include "common/stats.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 8", "COAXIAL-2x / -4x / -asym speedups over baseline");
+
+  const auto names = workload::workload_names();
+  const std::vector<sys::SystemConfig> configs = {sys::baseline_ddr(), sys::coaxial_2x(),
+                                                  sys::coaxial_4x(), sys::coaxial_asym()};
+  const auto results = bench::run_matrix(configs, names);
+
+  report::Table table({"workload", "COAXIAL-2x", "COAXIAL-4x", "COAXIAL-asym"});
+  std::vector<double> s2, s4, sa;
+  for (const auto& wl : names) {
+    const double base = results.at({"DDR-baseline", wl}).ipc_per_core;
+    const double v2 = results.at({"COAXIAL-2x", wl}).ipc_per_core / base;
+    const double v4 = results.at({"COAXIAL-4x", wl}).ipc_per_core / base;
+    const double va = results.at({"COAXIAL-asym", wl}).ipc_per_core / base;
+    s2.push_back(v2);
+    s4.push_back(v4);
+    sa.push_back(va);
+    table.add_row({wl, report::num(v2), report::num(v4), report::num(va)});
+  }
+  table.print();
+
+  std::cout << "\nGeomean speedups over baseline:\n"
+            << "  COAXIAL-2x:   " << report::num(geomean(s2)) << "x   (paper: 1.17x)\n"
+            << "  COAXIAL-4x:   " << report::num(geomean(s4)) << "x   (paper: 1.39x)\n"
+            << "  COAXIAL-asym: " << report::num(geomean(sa)) << "x   (paper: 1.52x)\n"
+            << "  asym gain over 4x: "
+            << report::num(geomean(sa) / geomean(s4), 3) << "x   (paper: ~1.13x)\n";
+  bench::finish(table, "fig08_alt_designs.csv");
+  return 0;
+}

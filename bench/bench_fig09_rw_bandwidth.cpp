@@ -1,0 +1,36 @@
+// Figure 9: read vs write bandwidth usage in the baseline system, and the
+// resulting R:W ratios that motivate asymmetric lane provisioning (§IV-D).
+#include "bench/common/harness.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 9", "baseline read/write bandwidth and R:W ratios");
+
+  const auto names = workload::workload_names();
+  const auto results = bench::run_matrix({sys::baseline_ddr()}, names);
+
+  report::Table table({"workload", "read GB/s", "write GB/s", "R:W"});
+  double ratio_sum = 0;
+  double min_ratio = 1e9;
+  std::string min_wl;
+  for (const auto& wl : names) {
+    const auto& s = results.at({"DDR-baseline", wl});
+    const double r = s.read_gbps();
+    const double w = std::max(s.write_gbps(), 1e-9);
+    const double ratio = r / w;
+    ratio_sum += ratio;
+    if (ratio < min_ratio) {
+      min_ratio = ratio;
+      min_wl = wl;
+    }
+    table.add_row({wl, report::num(r, 1), report::num(w, 1), report::num(ratio, 1)});
+  }
+  table.print();
+
+  std::cout << "\nAverage R:W ratio: " << report::num(ratio_sum / names.size(), 1)
+            << ":1   (paper: 3.7:1)\n"
+            << "Most write-intensive: " << min_wl << " at " << report::num(min_ratio, 1)
+            << ":1   (paper: cam4, approaching 1:1)\n";
+  bench::finish(table, "fig09_rw_bandwidth.csv");
+  return 0;
+}

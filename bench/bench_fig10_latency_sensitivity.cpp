@@ -1,0 +1,50 @@
+// Figure 10: sensitivity to the CXL latency premium. The paper evaluates
+// 50 ns (12.5 ns/port) and a pessimistic 70 ns (17.5 ns/port); §VII adds an
+// OMI-like 10 ns (2.5 ns/port) future projection, which we include as the
+// extension study.
+#include "bench/common/harness.hpp"
+
+#include "common/stats.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 10", "COAXIAL-4x speedup vs CXL latency premium");
+
+  auto with_port = [](double port_ns, const std::string& tag) {
+    sys::SystemConfig c = sys::coaxial_4x();
+    c.cxl_port_ns = port_ns;
+    c.name += "/" + tag;
+    return c;
+  };
+
+  const auto names = workload::workload_names();
+  const auto results = bench::run_matrix(
+      {sys::baseline_ddr(), with_port(2.5, "10ns"), with_port(12.5, "50ns"),
+       with_port(17.5, "70ns")},
+      names);
+
+  report::Table table({"workload", "10ns premium", "50ns premium", "70ns premium"});
+  std::vector<double> s10, s50, s70;
+  int losers50 = 0, losers70 = 0;
+  for (const auto& wl : names) {
+    const double base = results.at({"DDR-baseline", wl}).ipc_per_core;
+    const double v10 = results.at({"COAXIAL-4x/10ns", wl}).ipc_per_core / base;
+    const double v50 = results.at({"COAXIAL-4x/50ns", wl}).ipc_per_core / base;
+    const double v70 = results.at({"COAXIAL-4x/70ns", wl}).ipc_per_core / base;
+    s10.push_back(v10);
+    s50.push_back(v50);
+    s70.push_back(v70);
+    if (v50 < 1.0) ++losers50;
+    if (v70 < 1.0) ++losers70;
+    table.add_row({wl, report::num(v10), report::num(v50), report::num(v70)});
+  }
+  table.print();
+
+  std::cout << "\nGeomean speedup at 10/50/70 ns premium: " << report::num(geomean(s10))
+            << " / " << report::num(geomean(s50)) << " / " << report::num(geomean(s70))
+            << "x   (paper: 1.71 / 1.39 / 1.26)\n"
+            << "Workloads losing at 50ns: " << losers50 << "  (paper: 7); at 70ns: "
+            << losers70 << "  (paper: 10)\n";
+  bench::finish(table, "fig10_latency_sensitivity.csv");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 11: COAXIAL-4x speedup as a function of active cores (1/4/8/12),
+// each normalised to the DDR baseline with the same number of active cores.
+// 8 active cores of 12 also proxies an 8:1 core:MC server (§VI-E).
+#include "bench/common/harness.hpp"
+
+#include "common/stats.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Figure 11", "speedup vs active core count");
+
+  auto with_cores = [](sys::SystemConfig c, std::uint32_t active) {
+    c.uarch.active_cores = active;
+    c.name += "/" + std::to_string(active);
+    return c;
+  };
+
+  const std::vector<std::uint32_t> core_counts = {1, 4, 8, 12};
+  std::vector<sys::SystemConfig> configs;
+  for (std::uint32_t n : core_counts) {
+    configs.push_back(with_cores(sys::baseline_ddr(), n));
+    configs.push_back(with_cores(sys::coaxial_4x(), n));
+  }
+  const auto names = workload::workload_names();
+  const auto results = bench::run_matrix(configs, names);
+
+  report::Table table({"workload", "1 core", "4 cores", "8 cores", "12 cores"});
+  std::vector<std::vector<double>> speedups(core_counts.size());
+  for (const auto& wl : names) {
+    std::vector<std::string> row = {wl};
+    for (std::size_t i = 0; i < core_counts.size(); ++i) {
+      const std::string n = std::to_string(core_counts[i]);
+      const double base = results.at({"DDR-baseline/" + n, wl}).ipc_per_core;
+      const double coax = results.at({"COAXIAL-4x/" + n, wl}).ipc_per_core;
+      speedups[i].push_back(coax / base);
+      row.push_back(report::num(coax / base));
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  std::cout << "\nGeomean speedup by active cores:\n";
+  for (std::size_t i = 0; i < core_counts.size(); ++i) {
+    std::cout << "  " << core_counts[i] << " cores: " << report::num(geomean(speedups[i]))
+              << "x\n";
+  }
+  std::cout << "(paper: 0.73x at 1 core; ~1x at 4; 1.17x at 8; 1.39x at 12)\n";
+  bench::finish(table, "fig11_core_utilization.csv");
+  return 0;
+}

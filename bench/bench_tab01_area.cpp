@@ -1,0 +1,36 @@
+// Table I: silicon area of processor components relative to 1 MB of LLC,
+// and the derived Table II relative-area column (validates the area model
+// against the paper's 1.17x / 1.01x figures).
+#include "bench/common/harness.hpp"
+#include "coaxial/area_model.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Table I", "relative component areas and derived die areas");
+
+  report::Table t1({"component", "area (1 MB LLC = 1)"});
+  t1.add_row({"L3 cache (1MB)", report::num(area::kLlcPerMb, 1)});
+  t1.add_row({"Zen 3 core (incl. 512KB L2)", report::num(area::kCore, 1)});
+  t1.add_row({"x8 PCIe (PHY + ctrl)", report::num(area::kPciePhyCtrl, 1)});
+  t1.add_row({"DDR channel (PHY + ctrl)", report::num(area::kDdrPhyCtrl, 1)});
+  t1.print();
+
+  const area::ServerArea baseline{144, 288, 12, 0};
+  const area::ServerArea c5x{144, 288, 0, 60};
+  const area::ServerArea c2x{144, 288, 0, 24};
+  const area::ServerArea c4x{144, 144, 0, 48};
+
+  std::cout << "\nDerived Table II relative die areas:\n";
+  report::Table t2({"design", "rel. area", "paper"});
+  t2.add_row({"DDR-based (baseline)", report::num(area::relative_area(baseline, baseline)),
+              "1.00"});
+  t2.add_row({"COAXIAL-5x (iso-pin)", report::num(area::relative_area(c5x, baseline)),
+              "1.17"});
+  t2.add_row({"COAXIAL-2x (iso-LLC)", report::num(area::relative_area(c2x, baseline)),
+              "~1.01"});
+  t2.add_row({"COAXIAL-4x (balanced)", report::num(area::relative_area(c4x, baseline)),
+              "1.01"});
+  t2.print();
+  bench::finish(t2, "tab01_area.csv");
+  return 0;
+}

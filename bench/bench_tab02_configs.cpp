@@ -1,0 +1,32 @@
+// Table II / III: the evaluated server configurations, their memory
+// interfaces, relative bandwidth, and the simulated 12-core-slice mapping.
+#include "bench/common/harness.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Table II/III", "evaluated system configurations (12-core slice)");
+
+  report::Table table({"design", "topology", "slice memory interfaces", "LLC/core",
+                       "rel. mem BW", "CALM", "CXL port (ns)"});
+  for (const auto& cfg : sys::all_configs()) {
+    std::string ifaces;
+    if (cfg.topology == sys::Topology::kDirectDdr) {
+      ifaces = std::to_string(cfg.ddr_channels) + " DDR5-4800";
+    } else {
+      ifaces = std::to_string(cfg.cxl_channels) + " x8 CXL" +
+               (cfg.asym_lanes ? "-asym" : "") + " -> " +
+               std::to_string(cfg.cxl_channels * cfg.ddr_per_device) + " DDR5-4800";
+    }
+    const double rel_bw = cfg.peak_memory_gbps() / sys::baseline_ddr().peak_memory_gbps();
+    table.add_row({cfg.name, cfg.topology == sys::Topology::kDirectDdr ? "DDR" : "CXL",
+                   ifaces, std::to_string(cfg.uarch.llc_mb_per_core) + " MB",
+                   report::num(rel_bw, 0) + "x",
+                   cfg.calm.policy == calm::Policy::kNone
+                       ? "none"
+                       : "CALM_" + report::num(100 * cfg.calm.r_fraction, 0) + "%",
+                   report::num(cfg.cxl_port_ns, 1)});
+  }
+  table.print();
+  bench::finish(table, "tab02_configs.csv");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table IV: per-workload IPC and LLC MPKI on the DDR-based baseline.
+//
+// This doubles as the calibration report for the synthetic workload
+// generators: "paper" columns are the published values, "sim" columns are
+// what the generators reproduce on our simulator.
+#include "bench/common/harness.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Table IV", "workload IPC and LLC MPKI on the DDR baseline");
+
+  const auto names = workload::workload_names();
+  const auto results = bench::run_matrix({sys::baseline_ddr()}, names);
+
+  report::Table table({"workload", "suite", "IPC sim", "IPC paper", "MPKI sim",
+                       "MPKI paper"});
+  for (const auto& name : names) {
+    const auto& w = workload::find_workload(name);
+    const auto& st = results.at({"DDR-baseline", name});
+    table.add_row({name, w.suite, report::num(st.ipc_per_core), report::num(w.paper_ipc),
+                   report::num(st.llc_mpki(), 1), report::num(w.paper_llc_mpki, 1)});
+  }
+  table.print();
+  bench::finish(table, "tab04_workload_metrics.csv");
+  return 0;
+}

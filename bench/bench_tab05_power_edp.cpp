@@ -1,0 +1,76 @@
+// Table V: full-chip power breakdown, CPI, perf/W, EDP and ED2P for the
+// baseline and COAXIAL, using all-workload average CPI and the DRAM
+// activity measured by the simulations (scaled from the 12-core slice to
+// the 144-core chip).
+#include "bench/common/harness.hpp"
+
+#include "power/power_model.hpp"
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Table V", "power / energy comparison (144-core server)");
+
+  const auto names = workload::workload_names();
+  const auto b = bench::budget();
+
+  struct Agg {
+    double cpi_sum = 0;
+    dram::ControllerStats dram;
+    Cycle cycles_sum = 0;
+    int runs = 0;
+  };
+  std::map<std::string, Agg> agg;
+
+  // Power needs raw DRAM activity; run synchronously and aggregate.
+  std::vector<sys::SystemConfig> cfgs = {sys::baseline_ddr(), sys::coaxial_4x()};
+  for (const auto& cfg : cfgs) {
+    for (const auto& wl : names) {
+      std::vector<workload::WorkloadParams> per_core(cfg.uarch.cores,
+                                                     workload::find_workload(wl));
+      sim::System system(cfg, per_core, 42);
+      system.run(b.warmup, b.measure);
+      Agg& a = agg[cfg.name];
+      a.cpi_sum += 1.0 / system.stats().ipc_per_core;
+      const dram::ControllerStats d = system.dram_activity();
+      a.dram.activates += d.activates;
+      a.dram.reads_done += d.reads_done;
+      a.dram.writes_done += d.writes_done;
+      a.dram.refreshes += d.refreshes;
+      a.cycles_sum += system.now();
+      ++a.runs;
+    }
+  }
+
+  report::Table table({"component", "Baseline", "COAXIAL-4x", "paper base", "paper coax"});
+  power::EnergyMetrics m[2];
+  int i = 0;
+  for (const auto& cfg : cfgs) {
+    const Agg& a = agg[cfg.name];
+    const double cpi = a.cpi_sum / a.runs;
+    const auto breakdown = power::compute_power(cfg, a.dram, a.cycles_sum);
+    m[i++] = power::compute_energy(breakdown, cpi);
+  }
+  auto row = [&](const std::string& name, double v0, double v1, const std::string& p0,
+                 const std::string& p1, int prec = 0) {
+    table.add_row({name, report::num(v0, prec), report::num(v1, prec), p0, p1});
+  };
+  row("Core + L1 + L2 power (W)", m[0].power.core_w, m[1].power.core_w, "393", "393");
+  row("DDR5 MC & PHY power (W)", m[0].power.ddr_mc_w, m[1].power.ddr_mc_w, "13", "52");
+  row("LLC power (W)", m[0].power.llc_w, m[1].power.llc_w, "94", "51");
+  row("CXL interface power (W)", m[0].power.cxl_interface_w, m[1].power.cxl_interface_w,
+      "N/A", "77");
+  row("DDR5 DIMM power (W)", m[0].power.dram_dimm_w, m[1].power.dram_dimm_w, "146", "358");
+  row("Total system power (W)", m[0].power.total_w(), m[1].power.total_w(), "646", "931");
+  row("Average CPI", m[0].cpi, m[1].cpi, "2.05", "1.48", 2);
+  row("Relative perf/W", 1.0, m[1].perf_per_watt / m[0].perf_per_watt, "1", "0.96", 2);
+  row("EDP (lower better)", m[0].edp, m[1].edp, "2715", "2039 (0.75x)");
+  row("ED2P (lower better)", m[0].ed2p, m[1].ed2p, "5566", "3018 (0.53x)");
+  table.print();
+
+  std::cout << "\nEDP ratio (COAXIAL/baseline): " << report::num(m[1].edp / m[0].edp)
+            << "   (paper: 0.75)\n"
+            << "ED2P ratio: " << report::num(m[1].ed2p / m[0].ed2p)
+            << "   (paper: 0.53)\n";
+  bench::finish(table, "tab05_power_edp.csv");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+//
+// Budgets come from COAXIAL_INSTR / COAXIAL_WARMUP (per core, measurement /
+// warmup). Each harness prints the paper element's rows to stdout and drops
+// a CSV in the working directory.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "workload/catalog.hpp"
+
+namespace coaxial::bench {
+
+struct Budget {
+  std::uint64_t warmup;
+  std::uint64_t measure;
+};
+
+inline Budget budget() {
+  return {bench_warmup_budget(), bench_instr_budget()};
+}
+
+/// Key for result lookup: (config name, workload name).
+using ResultKey = std::pair<std::string, std::string>;
+using ResultMap = std::map<ResultKey, sim::RunStats>;
+
+/// Run every workload on every configuration; returns results keyed by
+/// (config, workload). Uses all host threads.
+inline ResultMap run_matrix(const std::vector<sys::SystemConfig>& configs,
+                            const std::vector<std::string>& workloads,
+                            std::uint64_t seed = 42) {
+  const Budget b = budget();
+  std::vector<sim::RunRequest> requests;
+  requests.reserve(configs.size() * workloads.size());
+  for (const auto& cfg : configs) {
+    for (const auto& w : workloads) {
+      requests.push_back(sim::homogeneous(cfg, w, b.warmup, b.measure, seed));
+    }
+  }
+  const auto results = sim::run_many(requests);
+  ResultMap map;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    map[{requests[i].config.name, requests[i].workloads.front()}] = results[i].stats;
+  }
+  return map;
+}
+
+inline void announce(const std::string& element, const std::string& what) {
+  const Budget b = budget();
+  std::cout << "=== " << element << ": " << what << " ===\n"
+            << "(budget: " << b.measure << " instr/core after " << b.warmup
+            << " warmup; scale with COAXIAL_INSTR / COAXIAL_WARMUP)\n\n";
+}
+
+inline void finish(const report::Table& table, const std::string& csv_name) {
+  if (table.write_csv(csv_name)) {
+    std::cout << "\n[csv] " << csv_name << "\n";
+  }
+}
+
+}  // namespace coaxial::bench

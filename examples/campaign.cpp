@@ -1,0 +1,132 @@
+// Campaign runner — the C++ analogue of the paper artifact's SCRIPTS
+// pipeline (runall.py -> collect_stats.py -> plot_all.py):
+//
+//   ./campaign run [quick|main|full] [output_dir]
+//
+//   quick : 4 representative workloads x {baseline, COAXIAL-4x}
+//   main  : all 35 workloads x {baseline, COAXIAL-4x}        (Fig. 5 data)
+//   full  : all 35 workloads x all 5 configurations          (Fig. 5+8 data)
+//
+// Produces per-run text reports under <output_dir>/runs/, a consolidated
+// collected_stats.csv, and speedup SVG charts — everything needed to
+// re-derive the headline figures without re-simulating.
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <iostream>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/svg_plot.hpp"
+#include "workload/catalog.hpp"
+
+using namespace coaxial;
+
+namespace {
+
+std::vector<std::string> workloads_for(const std::string& set) {
+  if (set == "quick") return {"stream-copy", "pagerank", "mcf", "gcc"};
+  return workload::workload_names();
+}
+
+std::vector<sys::SystemConfig> configs_for(const std::string& set) {
+  if (set == "full") return sys::all_configs();
+  return {sys::baseline_ddr(), sys::coaxial_4x()};
+}
+
+void write_run_report(const std::string& path, const std::string& config,
+                      const std::string& wl, const sim::RunStats& st) {
+  std::ofstream f(path);
+  f << "config: " << config << "\nworkload: " << wl << "\n"
+    << "ipc_per_core: " << st.ipc_per_core << "\n"
+    << "llc_mpki: " << st.llc_mpki() << "\n"
+    << "llc_miss_ratio: " << st.llc_miss_ratio() << "\n"
+    << "avg_l2_miss_ns: " << st.avg_total_ns() << "\n"
+    << "onchip_ns: " << st.avg_onchip_ns() << "\n"
+    << "dram_service_ns: " << st.avg_dram_service_ns() << "\n"
+    << "dram_queue_ns: " << st.avg_dram_queue_ns() + st.avg_pending_ns() << "\n"
+    << "cxl_interface_ns: " << st.avg_cxl_interface_ns() << "\n"
+    << "cxl_queue_ns: " << st.avg_cxl_queue_ns() << "\n"
+    << "p50_ns: " << st.lat_p50_ns << "\np90_ns: " << st.lat_p90_ns << "\n"
+    << "p99_ns: " << st.lat_p99_ns << "\n"
+    << "read_gbps: " << st.read_gbps() << "\nwrite_gbps: " << st.write_gbps() << "\n"
+    << "bw_utilization: " << st.bandwidth_utilization() << "\n"
+    << "prefetches: " << st.prefetches << "\n"
+    << "calm_probes: " << st.calm.probes << "\n"
+    << "calm_false_pos: " << st.calm.false_positives << "\n"
+    << "calm_false_neg: " << st.calm.false_negatives << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "run";
+  const std::string set = argc > 2 ? argv[2] : "quick";
+  const std::filesystem::path out_dir = argc > 3 ? argv[3] : "campaign_out";
+  if (mode != "run" || (set != "quick" && set != "main" && set != "full")) {
+    std::cerr << "usage: campaign run [quick|main|full] [output_dir]\n";
+    return 1;
+  }
+
+  const auto workloads = workloads_for(set);
+  const auto configs = configs_for(set);
+  const std::uint64_t warmup = bench_warmup_budget();
+  const std::uint64_t measure = bench_instr_budget();
+
+  std::filesystem::create_directories(out_dir / "runs");
+  std::cout << "campaign '" << set << "': " << configs.size() << " configs x "
+            << workloads.size() << " workloads, " << measure << " instr/core\n";
+
+  std::vector<sim::RunRequest> requests;
+  for (const auto& cfg : configs) {
+    for (const auto& wl : workloads) {
+      requests.push_back(sim::homogeneous(cfg, wl, warmup, measure));
+    }
+  }
+  const auto results = sim::run_many(requests);
+
+  report::Table csv({"config", "workload", "ipc", "llc_mpki", "l2_miss_ns",
+                     "read_gbps", "write_gbps", "util", "p90_ns"});
+  std::size_t i = 0;
+  std::map<std::pair<std::string, std::string>, double> ipc;
+  for (const auto& cfg : configs) {
+    for (const auto& wl : workloads) {
+      const auto& st = results[i++].stats;
+      ipc[{cfg.name, wl}] = st.ipc_per_core;
+      write_run_report((out_dir / "runs" / (cfg.name + "__" + wl + ".txt")).string(),
+                       cfg.name, wl, st);
+      csv.add_row({cfg.name, wl, report::num(st.ipc_per_core, 4),
+                   report::num(st.llc_mpki(), 2), report::num(st.avg_total_ns(), 2),
+                   report::num(st.read_gbps(), 2), report::num(st.write_gbps(), 2),
+                   report::num(st.bandwidth_utilization(), 4),
+                   report::num(st.lat_p90_ns, 1)});
+    }
+  }
+  csv.write_csv((out_dir / "collected_stats.csv").string());
+
+  // Speedup chart(s) vs the baseline config.
+  const std::string base_name = configs.front().name;
+  std::vector<report::Series> series;
+  for (std::size_t c = 1; c < configs.size(); ++c) {
+    report::Series s;
+    s.name = configs[c].name;
+    std::vector<double> speedups;
+    for (const auto& wl : workloads) {
+      s.y.push_back(ipc[{configs[c].name, wl}] / ipc[{base_name, wl}]);
+    }
+    std::cout << configs[c].name << " geomean speedup: " << report::num(geomean(s.y))
+              << "x\n";
+    series.push_back(std::move(s));
+  }
+  report::write_bar_chart_svg((out_dir / "speedup.svg").string(),
+                              "Speedup over " + base_name, workloads, series, 1.0);
+
+  std::cout << "wrote " << (out_dir / "collected_stats.csv").string() << ", "
+            << (out_dir / "speedup.svg").string() << ", and "
+            << results.size() << " run reports under " << (out_dir / "runs").string()
+            << "\n";
+  return 0;
+}

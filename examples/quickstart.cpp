@@ -1,0 +1,56 @@
+// Quickstart: simulate one workload on the DDR baseline and on COAXIAL-4x,
+// print the speedup and the effective memory-latency breakdown.
+//
+//   ./quickstart [workload] [instructions-per-core]
+//
+// Defaults: stream-copy, 200k instructions per core after 60k warmup.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "coaxial/configs.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "workload/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coaxial;
+
+  const std::string workload = argc > 1 ? argv[1] : "stream-copy";
+  const std::uint64_t instr = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
+  const std::uint64_t warmup = instr / 3;
+
+  std::cout << "COAXIAL quickstart: workload '" << workload << "', " << instr
+            << " instructions/core on 12 cores\n\n";
+
+  const auto baseline =
+      sim::run_one(sim::homogeneous(sys::baseline_ddr(), workload, warmup, instr));
+  const auto coaxial =
+      sim::run_one(sim::homogeneous(sys::coaxial_4x(), workload, warmup, instr));
+
+  report::Table table({"metric", "DDR-baseline", "COAXIAL-4x"});
+  auto row = [&](const std::string& name, double a, double b, int prec = 2) {
+    table.add_row({name, report::num(a, prec), report::num(b, prec)});
+  };
+  const auto& b = baseline.stats;
+  const auto& x = coaxial.stats;
+  row("IPC per core", b.ipc_per_core, x.ipc_per_core);
+  row("LLC MPKI", b.llc_mpki(), x.llc_mpki(), 1);
+  row("avg L2-miss latency (ns)", b.avg_total_ns(), x.avg_total_ns(), 1);
+  row("  on-chip (NoC+LLC) (ns)", b.avg_onchip_ns(), x.avg_onchip_ns(), 1);
+  row("  DRAM service (ns)", b.avg_dram_service_ns(), x.avg_dram_service_ns(), 1);
+  row("  DRAM queuing (ns)",
+      b.avg_dram_queue_ns() + b.avg_pending_ns(),
+      x.avg_dram_queue_ns() + x.avg_pending_ns(), 1);
+  row("  CXL interface (ns)", b.avg_cxl_interface_ns(), x.avg_cxl_interface_ns(), 1);
+  row("  CXL queuing (ns)", b.avg_cxl_queue_ns(), x.avg_cxl_queue_ns(), 1);
+  row("memory read BW (GB/s)", b.read_gbps(), x.read_gbps(), 1);
+  row("memory write BW (GB/s)", b.write_gbps(), x.write_gbps(), 1);
+  row("bandwidth utilisation (%)", 100 * b.bandwidth_utilization(),
+      100 * x.bandwidth_utilization(), 1);
+  table.print();
+
+  std::cout << "\nSpeedup (COAXIAL-4x / baseline): "
+            << report::num(x.ipc_per_core / b.ipc_per_core) << "x\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Trace record / replay workflow — the methodology the paper uses with
+// recorded SPEC/LIGRA/PARSEC traces, runnable end-to-end here:
+//
+//   ./trace_replay record <workload> <path> [instructions]   # synthesise a trace
+//   ./trace_replay run <path> [max_ipc] [instr_per_core]     # replay on both systems
+//
+// Users with real traces only need to convert them to the CXTRACE1 format
+// (see src/workload/trace.hpp) to run them through COAXIAL.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "coaxial/configs.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+#include "workload/catalog.hpp"
+#include "workload/trace.hpp"
+
+using namespace coaxial;
+
+namespace {
+
+int record(const std::string& workload, const std::string& path, std::uint64_t count) {
+  const auto& params = workload::find_workload(workload);
+  const std::uint64_t written =
+      workload::record_trace(workload::Generator(params, 0, 42), count, path);
+  if (written == 0) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "recorded " << written << " instructions of '" << workload << "' to "
+            << path << "\n";
+  return 0;
+}
+
+int run(const std::string& path, double max_ipc, std::uint64_t instr) {
+  report::Table table({"system", "IPC/core", "L2-miss lat (ns)", "p90 (ns)",
+                       "BW util %"});
+  double base_ipc = 0;
+  for (const auto& cfg : {sys::baseline_ddr(), sys::coaxial_4x()}) {
+    std::vector<std::unique_ptr<workload::InstrSource>> sources;
+    std::vector<double> ceilings;
+    for (std::uint32_t c = 0; c < cfg.uarch.cores; ++c) {
+      auto replay = std::make_unique<workload::TraceReplayer>(path);
+      if (!replay->ok()) {
+        std::cerr << "cannot read trace " << path << "\n";
+        return 1;
+      }
+      sources.push_back(std::move(replay));
+      ceilings.push_back(max_ipc);
+    }
+    sim::System system(cfg, std::move(sources), ceilings, 42);
+    system.run(instr / 2, instr);  // Longer warmup: no synthetic pre-warm.
+    const auto& st = system.stats();
+    if (base_ipc == 0) base_ipc = st.ipc_per_core;
+    table.add_row({cfg.name, report::num(st.ipc_per_core),
+                   report::num(st.avg_total_ns(), 1), report::num(st.lat_p90_ns, 1),
+                   report::num(100 * st.bandwidth_utilization(), 1)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "record" && argc >= 4) {
+    return record(argv[2], argv[3],
+                  argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500'000);
+  }
+  if (mode == "run" && argc >= 3) {
+    return run(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 2.0,
+               argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 120'000);
+  }
+  std::cerr << "usage:\n  trace_replay record <workload> <path> [instructions]\n"
+               "  trace_replay run <path> [max_ipc] [instr_per_core]\n";
+  return 1;
+}

@@ -1,0 +1,145 @@
+#include "cache/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace coaxial::cache {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(std::size_t size_bytes, std::uint32_t ways, ReplacementPolicy policy)
+    : ways_(ways), policy_(policy) {
+  if (ways == 0 || size_bytes % (static_cast<std::size_t>(ways) * kLineBytes) != 0) {
+    throw std::invalid_argument("cache size must be a multiple of ways * line size");
+  }
+  sets_ = static_cast<std::uint32_t>(size_bytes / (static_cast<std::size_t>(ways) * kLineBytes));
+  if (!is_pow2(sets_)) throw std::invalid_argument("cache set count must be a power of two");
+  set_mask_ = sets_ - 1;
+  array_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+std::size_t Cache::size_bytes() const {
+  return static_cast<std::size_t>(sets_) * ways_ * kLineBytes;
+}
+
+Cache::Way* Cache::find(Addr line) {
+  Way* base = &array_[static_cast<std::size_t>(set_index(line)) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(Addr line) const {
+  return const_cast<Cache*>(this)->find(line);
+}
+
+bool Cache::probe(Addr line) const { return find(line) != nullptr; }
+
+void Cache::touch(Way& way) {
+  switch (policy_) {
+    case ReplacementPolicy::kLru:
+      way.repl.value = ++tick_;
+      break;
+    case ReplacementPolicy::kSrrip:
+      way.repl.value = 0;  // Near-immediate re-reference on hit.
+      break;
+    case ReplacementPolicy::kRandom:
+      break;
+  }
+}
+
+Cache::Way* Cache::select_victim(Way* base) {
+  switch (policy_) {
+    case ReplacementPolicy::kLru: {
+      Way* victim = base;
+      for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (base[w].repl.value < victim->repl.value) victim = &base[w];
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kSrrip:
+      // Find a distant-future line, aging the whole set until one appears.
+      for (;;) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+          if (base[w].repl.value >= kSrripMax) return &base[w];
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w) ++base[w].repl.value;
+      }
+    case ReplacementPolicy::kRandom:
+      return &base[rng_.next_below(ways_)];
+  }
+  return base;
+}
+
+bool Cache::lookup(Addr line) {
+  if (Way* w = find(line)) {
+    touch(*w);
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+bool Cache::write(Addr line) {
+  ++stats_.writes;
+  if (Way* w = find(line)) {
+    touch(*w);
+    w->dirty = true;
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+std::optional<Eviction> Cache::fill(Addr line, bool dirty) {
+  ++stats_.fills;
+  if (Way* existing = find(line)) {
+    // Duplicate fill (e.g. CALM race where LLC and memory both return):
+    // refresh recency, merge dirtiness, no eviction.
+    touch(*existing);
+    existing->dirty = existing->dirty || dirty;
+    return std::nullopt;
+  }
+  Way* base = &array_[static_cast<std::size_t>(set_index(line)) * ways_];
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) victim = select_victim(base);
+  std::optional<Eviction> evicted;
+  if (victim->valid) {
+    evicted = Eviction{victim->tag, victim->dirty};
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->dirty = dirty;
+  victim->repl.value =
+      policy_ == ReplacementPolicy::kSrrip ? kSrripInsert : ++tick_;
+  return evicted;
+}
+
+void Cache::mark_dirty(Addr line) {
+  if (Way* w = find(line)) w->dirty = true;
+}
+
+std::optional<Eviction> Cache::invalidate(Addr line) {
+  if (Way* w = find(line)) {
+    Eviction ev{w->tag, w->dirty};
+    w->valid = false;
+    w->dirty = false;
+    return ev;
+  }
+  return std::nullopt;
+}
+
+}  // namespace coaxial::cache

@@ -1,0 +1,97 @@
+// Set-associative write-back cache tag/state array.
+//
+// This class is purely functional (tags, LRU state, dirty bits); access
+// *timing* — hit latencies, MSHR occupancy, NoC traversal — is composed by
+// the simulation layer, which lets the same class serve as L1D, L2, and an
+// LLC slice. Addresses are cache-line indices (byte address >> 6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace coaxial::cache {
+
+struct Eviction {
+  Addr line = 0;
+  bool dirty = false;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+  std::uint64_t writes = 0;
+
+  double miss_ratio() const {
+    const double total = static_cast<double>(hits + misses);
+    return total == 0 ? 0.0 : static_cast<double>(misses) / total;
+  }
+};
+
+class Cache {
+ public:
+  /// `size_bytes` must be a multiple of `ways * kLineBytes`.
+  Cache(std::size_t size_bytes, std::uint32_t ways,
+        ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  /// Tag probe without state update (used by the CALM oracle predictor).
+  bool probe(Addr line) const;
+
+  /// Lookup for a read; updates recency on hit.
+  bool lookup(Addr line);
+
+  /// Lookup for a write; marks the line dirty on hit, updates recency.
+  bool write(Addr line);
+
+  /// Insert `line` (optionally dirty). Returns the victim if a valid line
+  /// was displaced. The caller decides what a dirty victim means (write
+  /// back to the next level or to memory).
+  std::optional<Eviction> fill(Addr line, bool dirty);
+
+  /// Mark an existing line dirty (e.g. store completing after an RFO fill).
+  /// No-op if the line is absent.
+  void mark_dirty(Addr line);
+
+  /// Remove `line` if present; returns its eviction record.
+  std::optional<Eviction> invalidate(Addr line);
+
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+  std::size_t size_bytes() const;
+  ReplacementPolicy policy() const { return policy_; }
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    ReplState repl;  ///< Policy-specific metadata (see replacement.hpp).
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t set_index(Addr line) const { return static_cast<std::uint32_t>(line) & set_mask_; }
+  Way* find(Addr line);
+  const Way* find(Addr line) const;
+  void touch(Way& way);          ///< Policy hit-promotion.
+  Way* select_victim(Way* base); ///< Policy victim selection within a set.
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint32_t set_mask_;
+  ReplacementPolicy policy_;
+  std::uint64_t tick_ = 0;  ///< Monotonic recency stamp (LRU).
+  Rng rng_{0xcace};         ///< Victim choice for the Random policy.
+  std::vector<Way> array_;
+  CacheStats stats_;
+};
+
+}  // namespace coaxial::cache

@@ -1,0 +1,73 @@
+// Miss Status Holding Registers: track outstanding misses per cache level
+// and merge secondary misses to the same line.
+//
+// The MSHR is the structural limiter of memory-level parallelism at each
+// level — when it fills, further misses stall at that level, which is how
+// the simulator reproduces per-workload MLP limits.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace coaxial::cache {
+
+enum class MshrOutcome : std::uint8_t {
+  kMerged,     ///< A miss to this line is already outstanding; waiter attached.
+  kAllocated,  ///< New entry allocated; the caller must forward the miss.
+  kFull,       ///< No free entry; the access must be retried.
+};
+
+class Mshr {
+ public:
+  explicit Mshr(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Record a miss for `line`, attaching `waiter` (an opaque id the owner
+  /// uses to resume whoever was blocked on this line).
+  MshrOutcome on_miss(Addr line, std::uint64_t waiter) {
+    auto it = entries_.find(line);
+    if (it != entries_.end()) {
+      it->second.push_back(waiter);
+      ++merged_;
+      return MshrOutcome::kMerged;
+    }
+    if (entries_.size() >= capacity_) {
+      ++rejected_;
+      return MshrOutcome::kFull;
+    }
+    entries_.emplace(line, std::vector<std::uint64_t>{waiter});
+    ++allocated_;
+    return MshrOutcome::kAllocated;
+  }
+
+  bool holds(Addr line) const { return entries_.count(line) != 0; }
+
+  /// Fill for `line`: pops the entry and returns all waiters (empty if the
+  /// line was not outstanding, which callers treat as a stray fill).
+  std::vector<std::uint64_t> on_fill(Addr line) {
+    auto it = entries_.find(line);
+    if (it == entries_.end()) return {};
+    std::vector<std::uint64_t> waiters = std::move(it->second);
+    entries_.erase(it);
+    return waiters;
+  }
+
+  std::size_t in_flight() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  std::uint64_t merged() const { return merged_; }
+  std::uint64_t allocations() const { return allocated_; }
+  std::uint64_t rejections() const { return rejected_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<Addr, std::vector<std::uint64_t>> entries_;
+  std::uint64_t merged_ = 0;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace coaxial::cache

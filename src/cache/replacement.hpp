@@ -1,0 +1,30 @@
+// Replacement policies for the set-associative cache.
+//
+// LRU is the paper's configuration; SRRIP (Jaleel et al., ISCA'10) and
+// Random are provided for ablation studies (bench_ablations) — streaming
+// workloads interact very differently with scan-resistant policies, which
+// changes how much LLC capacity matters to COAXIAL-4x's halved LLC.
+#pragma once
+
+#include <cstdint>
+
+namespace coaxial::cache {
+
+enum class ReplacementPolicy : std::uint8_t {
+  kLru,     ///< Least-recently-used (default; matches the paper).
+  kSrrip,   ///< Static re-reference interval prediction, 2-bit RRPV.
+  kRandom,  ///< Uniform random victim.
+};
+
+/// Per-line replacement metadata, interpreted per policy:
+/// LRU: monotonic recency stamp (higher = more recent).
+/// SRRIP: re-reference prediction value in [0, 3] (3 = distant).
+/// Random: unused.
+struct ReplState {
+  std::uint64_t value = 0;
+};
+
+inline constexpr std::uint64_t kSrripMax = 3;       ///< Distant future.
+inline constexpr std::uint64_t kSrripInsert = 2;    ///< Long re-reference.
+
+}  // namespace coaxial::cache

@@ -1,0 +1,35 @@
+// Silicon area model (Table I / §IV-B).
+//
+// Relative component areas derived from Golden Cove (Intel 10 nm) and Zen 3
+// (TSMC 7 nm) die shots, all normalised to 1 MB of LLC. These are paper
+// inputs, not measured outputs; the model reproduces Table II's relative
+// die-area column for each server design.
+#pragma once
+
+#include <cstdint>
+
+namespace coaxial::area {
+
+inline constexpr double kLlcPerMb = 1.0;
+inline constexpr double kCore = 6.5;        ///< Zen 3 core incl. 512 KB L2.
+inline constexpr double kPciePhyCtrl = 5.9; ///< x8 PCIe PHY + controller.
+inline constexpr double kDdrPhyCtrl = 10.8; ///< DDR channel PHY + controller.
+
+struct ServerArea {
+  std::uint32_t cores = 144;
+  std::uint32_t llc_mb = 288;
+  std::uint32_t ddr_channels = 12;
+  std::uint32_t cxl_x8_channels = 0;
+
+  double total() const {
+    return cores * kCore + llc_mb * kLlcPerMb + ddr_channels * kDdrPhyCtrl +
+           cxl_x8_channels * kPciePhyCtrl;
+  }
+};
+
+/// Area of a design relative to the DDR baseline (Table II column).
+inline double relative_area(const ServerArea& design, const ServerArea& baseline) {
+  return design.total() / baseline.total();
+}
+
+}  // namespace coaxial::area

@@ -1,0 +1,86 @@
+#include "coaxial/calm.hpp"
+
+#include <algorithm>
+
+namespace coaxial::calm {
+
+Decider::Decider(const CalmConfig& cfg, double peak_bytes_per_cycle, std::uint32_t num_l2,
+                 std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  share_bytes_per_cycle_ =
+      cfg.r_fraction * peak_bytes_per_cycle / std::max<std::uint32_t>(num_l2, 1);
+  l2_.reserve(num_l2);
+  for (std::uint32_t i = 0; i < num_l2; ++i) l2_.emplace_back(cfg.epoch_cycles);
+  // MAP-I counters start weakly predicting "miss": bandwidth-rich systems
+  // prefer false positives over false negatives (§VI-B).
+  mapi_table_.assign(cfg.mapi_entries, cfg.mapi_threshold);
+}
+
+bool Decider::decide(std::uint32_t l2_id, Addr line, Addr pc, Cycle now,
+                     const cache::Cache& llc) {
+  ++stats_.decisions;
+  switch (cfg_.policy) {
+    case Policy::kNone:
+      return false;
+    case Policy::kOracle:
+      return !llc.probe(line);
+    case Policy::kMapI:
+      return mapi_predicts_miss(pc);
+    case Policy::kHybrid:
+      return mapi_predicts_miss(pc) && regulator_grants(l2_id, now);
+    case Policy::kRegulated:
+      return regulator_grants(l2_id, now);
+  }
+  return false;
+}
+
+bool Decider::mapi_predicts_miss(Addr pc) const {
+  const std::size_t idx = (pc >> 3) & (mapi_table_.size() - 1);
+  return mapi_table_[idx] >= cfg_.mapi_threshold;
+}
+
+bool Decider::regulator_grants(std::uint32_t l2_id, Cycle now) {
+  L2State& st = l2_[l2_id];
+  const double bw_filtered = st.filtered.rate(now);
+  const double bw_unfiltered = st.unfiltered.rate(now);
+  if (bw_filtered >= share_bytes_per_cycle_) return false;  // Already saturated.
+  if (bw_unfiltered <= 0.0) return true;  // No estimate yet: probe freely.
+  const double p = std::min(1.0, (share_bytes_per_cycle_ - bw_filtered) / bw_unfiltered);
+  return rng_.chance(p);
+}
+
+void Decider::on_llc_result(std::uint32_t l2_id, Addr pc, bool llc_hit, bool did_probe,
+                            Cycle now) {
+  if (did_probe) {
+    ++stats_.probes;
+    if (llc_hit) {
+      ++stats_.false_positives;
+    } else {
+      ++stats_.true_positives;
+    }
+  } else {
+    if (llc_hit) {
+      ++stats_.true_negatives;
+    } else {
+      ++stats_.false_negatives;
+    }
+  }
+
+  if (cfg_.policy == Policy::kMapI || cfg_.policy == Policy::kHybrid) {
+    const std::size_t idx = (pc >> 3) & (mapi_table_.size() - 1);
+    std::uint8_t& ctr = mapi_table_[idx];
+    if (llc_hit) {
+      if (ctr > 0) --ctr;
+    } else {
+      if (ctr < 7) ++ctr;
+    }
+  }
+
+  if (l2_id < l2_.size()) {
+    L2State& st = l2_[l2_id];
+    st.unfiltered.record(now, kLineBytes);
+    if (!llc_hit) st.filtered.record(now, kLineBytes);
+  }
+}
+
+}  // namespace coaxial::calm

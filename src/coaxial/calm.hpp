@@ -1,0 +1,105 @@
+// CALM: Concurrent Access of LLC and Memory (§IV-C).
+//
+// On an L2 miss the decider chooses whether to probe memory in parallel
+// with the LLC lookup, removing LLC latency from the critical path of
+// (predicted) LLC misses at the cost of memory bandwidth when the
+// prediction is wrong. Three mechanisms from the paper:
+//
+//  * CALM_R  — bandwidth-regulated: each L2 estimates its LLC-filtered and
+//    unfiltered memory bandwidth demand over epochs; if the filtered demand
+//    is below its share of R% of peak memory bandwidth, the miss performs
+//    CALM with probability min(1, (R - bw_filtered) / bw_unfiltered).
+//  * MAP-I   — PC-indexed 3-bit-counter predictor of LLC misses
+//    (Qureshi & Loh, MICRO'12), requiring the PC at the L2.
+//  * Oracle  — ideal predictor that peeks the LLC tag array.
+//
+// False positive = CALM probe that hits in the LLC (wasted bandwidth).
+// False negative = skipped probe that misses in the LLC (serialised access).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace coaxial::calm {
+
+enum class Policy : std::uint8_t {
+  kNone,       ///< Serial LLC-then-memory access (baseline behaviour).
+  kRegulated,  ///< CALM_R.
+  kMapI,       ///< MAP-I PC-based predictor.
+  kHybrid,     ///< MAP-I prediction gated by CALM_R's bandwidth budget —
+               ///< accuracy of the predictor without its bandwidth risk
+               ///< (extension; the paper evaluates the two separately).
+  kOracle,     ///< Ideal predictor.
+};
+
+struct CalmConfig {
+  Policy policy = Policy::kNone;
+  double r_fraction = 0.70;  ///< R as a fraction of peak memory bandwidth.
+  Cycle epoch_cycles = 8192;
+  std::uint32_t mapi_entries = 1024;  ///< Power of two.
+  std::uint8_t mapi_threshold = 4;    ///< Counter >= threshold => predict miss.
+};
+
+struct CalmStats {
+  std::uint64_t decisions = 0;        ///< L2 misses that consulted CALM.
+  std::uint64_t probes = 0;           ///< CALM memory probes issued.
+  std::uint64_t true_positives = 0;   ///< Probe issued, LLC missed.
+  std::uint64_t false_positives = 0;  ///< Probe issued, LLC hit (wasted BW).
+  std::uint64_t true_negatives = 0;   ///< No probe, LLC hit.
+  std::uint64_t false_negatives = 0;  ///< No probe, LLC missed (serialised).
+
+  double false_positive_rate() const {
+    return decisions == 0 ? 0.0
+                          : static_cast<double>(false_positives) /
+                                static_cast<double>(decisions);
+  }
+  double false_negative_rate() const {
+    return decisions == 0 ? 0.0
+                          : static_cast<double>(false_negatives) /
+                                static_cast<double>(decisions);
+  }
+};
+
+class Decider {
+ public:
+  /// `peak_bytes_per_cycle` is the memory system's aggregate DRAM-side peak;
+  /// each of the `num_l2` controllers regulates against its fair share.
+  Decider(const CalmConfig& cfg, double peak_bytes_per_cycle, std::uint32_t num_l2,
+          std::uint64_t seed = 0xca1f);
+
+  /// Decide at L2-miss time whether to probe memory concurrently.
+  /// `llc` is consulted only by the oracle policy.
+  bool decide(std::uint32_t l2_id, Addr line, Addr pc, Cycle now, const cache::Cache& llc);
+
+  /// Report the LLC outcome of a decided miss (updates estimators,
+  /// predictor state, and the confusion-matrix stats).
+  void on_llc_result(std::uint32_t l2_id, Addr pc, bool llc_hit, bool did_probe, Cycle now);
+
+  const CalmStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  Policy policy() const { return cfg_.policy; }
+
+ private:
+  bool mapi_predicts_miss(Addr pc) const;
+  bool regulator_grants(std::uint32_t l2_id, Cycle now);
+
+  struct L2State {
+    EpochRate filtered;    ///< Bytes/cycle of L2 misses that also miss LLC.
+    EpochRate unfiltered;  ///< Bytes/cycle of all L2 misses.
+    L2State(Cycle epoch) : filtered(epoch), unfiltered(epoch) {}
+  };
+
+  CalmConfig cfg_;
+  double share_bytes_per_cycle_;  ///< R * peak / num_l2.
+  std::vector<L2State> l2_;
+  std::vector<std::uint8_t> mapi_table_;
+  Rng rng_;
+  CalmStats stats_;
+};
+
+}  // namespace coaxial::calm

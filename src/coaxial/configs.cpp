@@ -1,0 +1,64 @@
+#include "coaxial/configs.hpp"
+
+#include <vector>
+
+namespace coaxial::sys {
+
+std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory() const {
+  if (topology == Topology::kDirectDdr) {
+    return std::make_unique<mem::DirectDdrMemory>(ddr_channels, dram_timing, dram_geometry);
+  }
+  const link::LaneConfig lanes =
+      asym_lanes ? link::LaneConfig::x8_asym(cxl_port_ns) : link::LaneConfig::x8(cxl_port_ns);
+  return std::make_unique<mem::CxlMemory>(cxl_channels, ddr_per_device, lanes, dram_timing,
+                                          dram_geometry);
+}
+
+double SystemConfig::peak_memory_gbps() const {
+  const std::uint32_t ddr =
+      topology == Topology::kDirectDdr ? ddr_channels : cxl_channels * ddr_per_device;
+  return ddr * dram::kChannelPeakGBps;
+}
+
+namespace {
+SystemConfig coaxial_base(const char* name, std::uint32_t cxl_channels,
+                          std::uint32_t llc_mb_per_core) {
+  SystemConfig c;
+  c.name = name;
+  c.topology = Topology::kCxl;
+  c.cxl_channels = cxl_channels;
+  c.uarch.llc_mb_per_core = llc_mb_per_core;
+  c.calm.policy = calm::Policy::kRegulated;
+  c.calm.r_fraction = 0.70;
+  return c;
+}
+}  // namespace
+
+SystemConfig baseline_ddr() {
+  SystemConfig c;
+  c.name = "DDR-baseline";
+  c.topology = Topology::kDirectDdr;
+  c.ddr_channels = 1;
+  c.uarch.llc_mb_per_core = 2;
+  c.calm.policy = calm::Policy::kNone;
+  return c;
+}
+
+SystemConfig coaxial_2x() { return coaxial_base("COAXIAL-2x", 2, 2); }
+
+SystemConfig coaxial_4x() { return coaxial_base("COAXIAL-4x", 4, 1); }
+
+SystemConfig coaxial_5x() { return coaxial_base("COAXIAL-5x", 5, 2); }
+
+SystemConfig coaxial_asym() {
+  SystemConfig c = coaxial_base("COAXIAL-asym", 4, 1);
+  c.ddr_per_device = 2;
+  c.asym_lanes = true;
+  return c;
+}
+
+std::vector<SystemConfig> all_configs() {
+  return {baseline_ddr(), coaxial_5x(), coaxial_2x(), coaxial_4x(), coaxial_asym()};
+}
+
+}  // namespace coaxial::sys

@@ -1,0 +1,96 @@
+// Named system configurations (Tables II and III).
+//
+// The paper simulates a 12-core slice of the 144-core server: 1 DDR5-4800
+// channel for the baseline, and 2/4/5 CXL channels (or 4 CXL-asym channels
+// with 2 DDR channels each) for the COAXIAL variants. LLC is 2 MB/core for
+// the baseline and COAXIAL-2x/-5x, 1 MB/core for COAXIAL-4x/-asym.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "coaxial/calm.hpp"
+#include "coaxial/memory_system.hpp"
+#include "dram/timing.hpp"
+#include "common/units.hpp"
+#include "link/lane_config.hpp"
+
+namespace coaxial::sys {
+
+enum class Topology : std::uint8_t { kDirectDdr, kCxl };
+
+struct MicroarchConfig {
+  std::uint32_t cores = 12;
+  std::uint32_t active_cores = 12;
+  std::uint32_t rob_entries = 256;
+  std::uint32_t fetch_width = 4;
+  std::uint32_t retire_width = 4;
+  std::uint32_t store_buffer = 16;
+
+  std::uint32_t l1_kb = 32;
+  std::uint32_t l1_ways = 8;
+  Cycle l1_latency = 4;
+  std::uint32_t l1_mshrs = 16;
+
+  std::uint32_t l2_kb = 512;
+  std::uint32_t l2_ways = 8;
+  Cycle l2_latency = 8;
+  std::uint32_t l2_mshrs = 32;
+
+  std::uint32_t llc_mb_per_core = 2;
+  std::uint32_t llc_ways = 16;
+  Cycle llc_latency = 20;
+  std::uint32_t llc_mshrs_per_slice = 64;
+
+  Cycle noc_cycles_per_hop = 3;
+
+  /// L2 stream prefetcher: lines fetched ahead per stream advance
+  /// (0 disables the prefetcher; 2 matches a ChampSim-style default).
+  std::uint32_t prefetch_degree = 2;
+  std::uint32_t prefetch_streams = 16;  ///< Tracked streams per core.
+
+  /// LLC replacement policy (L1/L2 stay LRU; the LLC is where policy
+  /// interacts with COAXIAL's halved capacity — see bench_ablations).
+  cache::ReplacementPolicy llc_replacement = cache::ReplacementPolicy::kLru;
+};
+
+struct SystemConfig {
+  std::string name;
+  MicroarchConfig uarch;
+
+  Topology topology = Topology::kDirectDdr;
+  std::uint32_t ddr_channels = 1;       ///< Direct-DDR topology.
+  std::uint32_t cxl_channels = 4;       ///< CXL topology.
+  std::uint32_t ddr_per_device = 1;     ///< DDR channels per Type-3 device.
+  bool asym_lanes = false;
+  double cxl_port_ns = 12.5;            ///< 12.5 => 50 ns premium; 17.5 => 70 ns.
+
+  calm::CalmConfig calm;
+
+  /// DRAM substrate knobs (timings, geometry, permutation interleave,
+  /// idle-precharge) — defaults match the paper; see bench_ablations.
+  dram::Timing dram_timing;
+  dram::Geometry dram_geometry;
+
+  /// Construct the memory system this configuration describes.
+  std::unique_ptr<mem::MemorySystem> make_memory() const;
+
+  /// Aggregate DRAM-side peak bandwidth (GB/s).
+  double peak_memory_gbps() const;
+};
+
+/// Table II/III configurations, scaled to the simulated 12-core slice.
+/// All COAXIAL variants default to CALM_70% as in the paper (§IV-C).
+SystemConfig baseline_ddr();
+SystemConfig coaxial_2x();
+SystemConfig coaxial_4x();   ///< "COAXIAL" without qualifier.
+SystemConfig coaxial_5x();   ///< Iso-pin variant (17% extra die area).
+SystemConfig coaxial_asym();
+
+/// All five evaluated configurations in Table II order.
+std::vector<SystemConfig> all_configs();
+
+}  // namespace coaxial::sys

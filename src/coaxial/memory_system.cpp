@@ -1,0 +1,251 @@
+#include "coaxial/memory_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coaxial::mem {
+
+namespace {
+/// Device-side ingress buffer bound per sub-channel (CXL controller message
+/// queue, §V "the CXL controller maintains message queues to buffer
+/// requests").
+constexpr std::size_t kDeviceIngressDepth = 64;
+
+void accumulate(dram::ControllerStats& into, const dram::ControllerStats& from) {
+  into.reads_done += from.reads_done;
+  into.writes_done += from.writes_done;
+  into.reads_forwarded += from.reads_forwarded;
+  into.row_hits += from.row_hits;
+  into.row_misses += from.row_misses;
+  into.row_conflicts += from.row_conflicts;
+  into.activates += from.activates;
+  into.precharges += from.precharges;
+  into.refreshes += from.refreshes;
+  into.data_bus_busy_cycles += from.data_bus_busy_cycles;
+  into.read_queue_delay_sum += from.read_queue_delay_sum;
+  into.read_service_sum += from.read_service_sum;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- baseline
+
+DirectDdrMemory::DirectDdrMemory(std::uint32_t channels, const dram::Timing& timing,
+                                 const dram::Geometry& geometry)
+    : channels_(channels) {
+  const std::uint32_t n_sub = channels * 2;
+  ctrls_.reserve(n_sub);
+  for (std::uint32_t i = 0; i < n_sub; ++i) {
+    ctrls_.push_back(std::make_unique<dram::Controller>(timing, geometry));
+  }
+}
+
+bool DirectDdrMemory::can_accept(Addr line, bool is_write, Cycle) const {
+  return ctrls_[line % subchannels()]->can_accept(is_write);
+}
+
+void DirectDdrMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token) {
+  const std::uint32_t sub = static_cast<std::uint32_t>(line % subchannels());
+  const Addr local = line / subchannels();
+  const bool ok = ctrls_[sub]->enqueue(local, is_write, now, token);
+  assert(ok && "caller must check can_accept first");
+  (void)ok;
+}
+
+void DirectDdrMemory::tick(Cycle now) {
+  for (auto& c : ctrls_) {
+    c->tick(now);
+    auto& done = c->completions();
+    for (const auto& comp : done) {
+      out_.push_back({comp.token, comp.done, comp.service, comp.queue_delay, 0, 0});
+    }
+    done.clear();
+  }
+}
+
+MemorySnapshot DirectDdrMemory::snapshot() const {
+  MemorySnapshot s;
+  const dram::ControllerStats agg = aggregate_dram_stats();
+  s.reads = agg.reads_done + agg.reads_forwarded;
+  s.writes = agg.writes_done;
+  s.dram_service_sum = agg.read_service_sum;
+  s.dram_queue_sum = agg.read_queue_delay_sum;
+  s.data_bus_busy = static_cast<double>(agg.data_bus_busy_cycles);
+  s.subchannels = subchannels();
+  s.peak_gbps = peak_gbps();
+  s.row_hit_rate = agg.row_hit_rate();
+  return s;
+}
+
+void DirectDdrMemory::reset_stats() {
+  for (auto& c : ctrls_) c->reset_stats();
+}
+
+dram::ControllerStats DirectDdrMemory::aggregate_dram_stats() const {
+  dram::ControllerStats agg;
+  for (const auto& c : ctrls_) accumulate(agg, c->stats());
+  return agg;
+}
+
+// ----------------------------------------------------------------- COAXIAL
+
+CxlMemory::CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
+                     const link::LaneConfig& lanes, const dram::Timing& timing,
+                     const dram::Geometry& geometry)
+    : cxl_channels_(cxl_channels),
+      ddr_per_device_(ddr_per_device),
+      subchannels_per_device_(ddr_per_device * 2),
+      lane_cfg_(lanes) {
+  fixed_read_overhead_ = 4 * lane_cfg_.port_latency_cycles() +
+                         serialization_cycles(lane_cfg_.tx_goodput_gbps, link::kReadRequestBytes) +
+                         lane_cfg_.rx_line_cycles();
+  links_.reserve(cxl_channels_);
+  pending_responses_.resize(cxl_channels_);
+  for (std::uint32_t i = 0; i < cxl_channels_; ++i) {
+    links_.push_back(std::make_unique<link::CxlLink>(lane_cfg_));
+  }
+  const std::uint32_t n_sub = subchannels();
+  ctrls_.reserve(n_sub);
+  device_ingress_.resize(n_sub);
+  for (std::uint32_t i = 0; i < n_sub; ++i) {
+    ctrls_.push_back(std::make_unique<dram::Controller>(timing, geometry));
+  }
+}
+
+std::uint32_t CxlMemory::alloc_slot(std::uint64_t token) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.emplace_back();
+    slot_token_.emplace_back();
+  }
+  slot_token_[slot] = token;
+  return slot;
+}
+
+bool CxlMemory::can_accept(Addr line, bool is_write, Cycle now) const {
+  const std::uint32_t sub = static_cast<std::uint32_t>(line % subchannels());
+  const std::uint32_t ch = sub / subchannels_per_device_;
+  if (!links_[ch]->can_send_tx(now)) return false;
+  (void)is_write;
+  return device_ingress_[sub].size() < kDeviceIngressDepth;
+}
+
+void CxlMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token) {
+  const std::uint32_t sub = static_cast<std::uint32_t>(line % subchannels());
+  const std::uint32_t ch = sub / subchannels_per_device_;
+  const Addr local = line / subchannels();
+
+  DeviceMsg msg;
+  msg.local_line = local;
+  msg.is_write = is_write;
+  if (is_write) {
+    msg.arrival = links_[ch]->send_tx(link::kWriteMessageBytes, now);
+    msg.token = 0;
+  } else {
+    const std::uint32_t slot = alloc_slot(token);
+    inflight_[slot].start = now;
+    msg.arrival = links_[ch]->send_tx(link::kReadRequestBytes, now);
+    msg.token = slot;
+  }
+  device_ingress_[sub].push_back(msg);
+}
+
+void CxlMemory::tick(Cycle now) {
+  for (std::uint32_t sub = 0; sub < subchannels(); ++sub) {
+    dram::Controller& ctrl = *ctrls_[sub];
+    auto& ingress = device_ingress_[sub];
+    // Admit delivered messages into the DRAM controller in FIFO order.
+    while (!ingress.empty() && ingress.front().arrival <= now &&
+           ctrl.can_accept(ingress.front().is_write)) {
+      const DeviceMsg& msg = ingress.front();
+      if (!msg.is_write) {
+        inflight_[msg.token].device_arrival = msg.arrival;
+        inflight_[msg.token].dram_enqueue = now;
+      }
+      ctrl.enqueue(msg.local_line, msg.is_write, now, msg.token);
+      ingress.pop_front();
+    }
+    ctrl.tick(now);
+
+    const std::uint32_t ch = sub / subchannels_per_device_;
+    auto& done = ctrl.completions();
+    for (const auto& comp : done) {
+      pending_responses_[ch].push_back(
+          {comp.done, comp.token, comp.service, comp.queue_delay});
+    }
+    done.clear();
+  }
+
+  // Ship ready responses back over each channel's RX pipe.
+  for (std::uint32_t ch = 0; ch < cxl_channels_; ++ch) {
+    auto& pending = pending_responses_[ch];
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].ready > now || !links_[ch]->can_send_rx(now)) {
+        ++i;
+        continue;
+      }
+      const std::uint32_t slot = static_cast<std::uint32_t>(pending[i].token);
+      const Cycle arrival = links_[ch]->send_rx(link::kReadResponseBytes, now);
+
+      const InflightRead& info = inflight_[slot];
+      const double total = static_cast<double>(arrival - info.start);
+      const double dram_internal = static_cast<double>(pending[i].ready - info.dram_enqueue);
+      const double fixed = static_cast<double>(fixed_read_overhead_);
+      const double cxl_queue = std::max(0.0, total - dram_internal - fixed);
+      cxl_interface_sum_ += fixed;
+      cxl_queue_sum_ += cxl_queue;
+      dram_internal_sum_ += dram_internal;
+      ++reads_done_;
+
+      MemCompletion mc;
+      mc.token = slot_token_[slot];
+      mc.done = arrival;
+      mc.dram_service = pending[i].dram_service;
+      // Device-side scheduling beyond the unloaded component counts as
+      // DRAM queuing; ingress/link waits count as CXL queuing.
+      mc.dram_queue = pending[i].dram_queue;
+      mc.cxl_interface = fixed_read_overhead_;
+      mc.cxl_queue = static_cast<Cycle>(cxl_queue);
+      out_.push_back(mc);
+      free_slots_.push_back(slot);
+      pending[i] = pending.back();
+      pending.pop_back();
+    }
+  }
+}
+
+MemorySnapshot CxlMemory::snapshot() const {
+  MemorySnapshot s;
+  const dram::ControllerStats agg = aggregate_dram_stats();
+  s.reads = agg.reads_done + agg.reads_forwarded;
+  s.writes = agg.writes_done;
+  s.dram_service_sum = agg.read_service_sum;
+  s.dram_queue_sum = agg.read_queue_delay_sum;
+  s.cxl_interface_sum = cxl_interface_sum_;
+  s.cxl_queue_sum = cxl_queue_sum_;
+  s.data_bus_busy = static_cast<double>(agg.data_bus_busy_cycles);
+  s.subchannels = subchannels();
+  s.peak_gbps = peak_gbps();
+  s.row_hit_rate = agg.row_hit_rate();
+  return s;
+}
+
+void CxlMemory::reset_stats() {
+  for (auto& c : ctrls_) c->reset_stats();
+  for (auto& l : links_) l->reset_stats();
+  cxl_interface_sum_ = 0;
+  cxl_queue_sum_ = 0;
+  dram_internal_sum_ = 0;
+  reads_done_ = 0;
+}
+
+dram::ControllerStats CxlMemory::aggregate_dram_stats() const {
+  dram::ControllerStats agg;
+  for (const auto& c : ctrls_) accumulate(agg, c->stats());
+  return agg;
+}
+
+}  // namespace coaxial::mem

@@ -1,0 +1,193 @@
+// Memory-system topologies: direct DDR attachment (baseline, Fig. 3a) and
+// CXL-attached Type-3 devices (COAXIAL, Fig. 3b).
+//
+// Both expose the same port-based interface to the on-chip hierarchy: lines
+// are striped across all DDR sub-channels at line granularity; each
+// topology reports which NoC port a line routes through so the simulation
+// layer can add mesh latency. Reads complete asynchronously via drained
+// completions (whose `done` cycle may be in the future — the caller
+// schedules accordingly); writes are posted with backpressure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/controller.hpp"
+#include "link/cxl_link.hpp"
+
+namespace coaxial::mem {
+
+struct MemCompletion {
+  std::uint64_t token = 0;
+  Cycle done = 0;  ///< May be later than the current cycle.
+  // Per-read latency decomposition (cycles), so the consumer can account
+  // demand and prefetch traffic separately.
+  Cycle dram_service = 0;
+  Cycle dram_queue = 0;
+  Cycle cxl_interface = 0;  ///< Fixed port + serialisation component.
+  Cycle cxl_queue = 0;      ///< Link/device queuing component.
+};
+
+/// Aggregated snapshot for reporting (averages are over completed reads).
+struct MemorySnapshot {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double dram_service_sum = 0;    ///< Cycles: unloaded DRAM service, reads.
+  double dram_queue_sum = 0;      ///< Cycles: queuing at DRAM controllers, reads.
+  double cxl_interface_sum = 0;   ///< Cycles: fixed CXL port+serialisation, reads.
+  double cxl_queue_sum = 0;       ///< Cycles: CXL link/device queuing, reads.
+  double data_bus_busy = 0;       ///< Sum of DRAM data-bus busy cycles.
+  std::uint64_t subchannels = 0;
+  double peak_gbps = 0;           ///< Aggregate DRAM-side peak bandwidth.
+  double row_hit_rate = 0;
+
+  /// Average DRAM-side bus utilisation in [0,1] over `elapsed` cycles.
+  double utilization(Cycle elapsed) const {
+    if (elapsed == 0 || subchannels == 0) return 0.0;
+    return data_bus_busy / (static_cast<double>(elapsed) * static_cast<double>(subchannels));
+  }
+
+  /// Achieved bandwidth in GB/s over `elapsed` cycles.
+  double achieved_gbps(Cycle elapsed) const {
+    if (elapsed == 0) return 0.0;
+    const double bytes = static_cast<double>(reads + writes) * kLineBytes;
+    return bytes / (static_cast<double>(elapsed) * kNsPerCycle);
+  }
+};
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  /// Backpressure check for the port a line maps to.
+  virtual bool can_accept(Addr line, bool is_write, Cycle now) const = 0;
+
+  /// Issue an access. Reads echo `token` in a completion; writes are posted.
+  virtual void access(Addr line, bool is_write, Cycle now, std::uint64_t token) = 0;
+
+  /// Advance controllers/devices by one cycle.
+  virtual void tick(Cycle now) = 0;
+
+  /// Completions produced since the last drain (caller takes ownership).
+  virtual std::vector<MemCompletion>& completions() = 0;
+
+  /// Number of NoC-visible memory ports and the port a line routes through.
+  virtual std::uint32_t ports() const = 0;
+  virtual std::uint32_t port_of(Addr line) const = 0;
+
+  virtual MemorySnapshot snapshot() const = 0;
+  virtual void reset_stats() = 0;
+
+  /// Aggregate DRAM-side peak bandwidth (GB/s), for utilisation targets.
+  virtual double peak_gbps() const = 0;
+
+  /// DRAM activity counters for the power model (aggregated).
+  virtual dram::ControllerStats aggregate_dram_stats() const = 0;
+};
+
+/// Baseline: `channels` DDR5 channels (2 sub-channels each) on package pins.
+class DirectDdrMemory final : public MemorySystem {
+ public:
+  explicit DirectDdrMemory(std::uint32_t channels, const dram::Timing& timing = {},
+                           const dram::Geometry& geometry = {});
+
+  bool can_accept(Addr line, bool is_write, Cycle now) const override;
+  void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
+  void tick(Cycle now) override;
+  std::vector<MemCompletion>& completions() override { return out_; }
+  std::uint32_t ports() const override { return channels_; }
+  std::uint32_t port_of(Addr line) const override {
+    return static_cast<std::uint32_t>(line % subchannels()) / 2;
+  }
+  MemorySnapshot snapshot() const override;
+  void reset_stats() override;
+  double peak_gbps() const override { return channels_ * dram::kChannelPeakGBps; }
+  dram::ControllerStats aggregate_dram_stats() const override;
+
+  std::uint32_t subchannels() const { return static_cast<std::uint32_t>(ctrls_.size()); }
+  const dram::Controller& controller(std::uint32_t i) const { return *ctrls_[i]; }
+
+ private:
+  std::uint32_t channels_;
+  std::vector<std::unique_ptr<dram::Controller>> ctrls_;
+  std::vector<MemCompletion> out_;
+};
+
+/// COAXIAL: `cxl_channels` x8 CXL links, each to a Type-3 device hosting
+/// `ddr_per_device` DDR5 channels (1 normally, 2 for COAXIAL-asym).
+class CxlMemory final : public MemorySystem {
+ public:
+  CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
+            const link::LaneConfig& lanes, const dram::Timing& timing = {},
+            const dram::Geometry& geometry = {});
+
+  bool can_accept(Addr line, bool is_write, Cycle now) const override;
+  void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
+  void tick(Cycle now) override;
+  std::vector<MemCompletion>& completions() override { return out_; }
+  std::uint32_t ports() const override { return cxl_channels_; }
+  std::uint32_t port_of(Addr line) const override {
+    return static_cast<std::uint32_t>(line % subchannels()) / subchannels_per_device_;
+  }
+  MemorySnapshot snapshot() const override;
+  void reset_stats() override;
+  double peak_gbps() const override {
+    return static_cast<double>(cxl_channels_ * ddr_per_device_) * dram::kChannelPeakGBps;
+  }
+  dram::ControllerStats aggregate_dram_stats() const override;
+
+  std::uint32_t subchannels() const {
+    return cxl_channels_ * subchannels_per_device_;
+  }
+  const link::CxlLink& channel_link(std::uint32_t i) const { return *links_[i]; }
+
+  /// Fixed unloaded read overhead of the CXL path, in cycles (≈52.5 ns x8).
+  Cycle read_interface_cycles() const { return fixed_read_overhead_; }
+
+ private:
+  struct DeviceMsg {
+    Cycle arrival = 0;
+    Addr local_line = 0;
+    std::uint64_t token = 0;
+    bool is_write = false;
+  };
+  struct PendingResponse {
+    Cycle ready = 0;
+    std::uint64_t token = 0;
+    Cycle dram_service = 0;
+    Cycle dram_queue = 0;
+  };
+  struct InflightRead {
+    Cycle start = 0;
+    Cycle device_arrival = 0;
+    Cycle dram_enqueue = 0;
+  };
+
+  std::uint32_t cxl_channels_;
+  std::uint32_t ddr_per_device_;
+  std::uint32_t subchannels_per_device_;
+  link::LaneConfig lane_cfg_;
+  Cycle fixed_read_overhead_ = 0;
+
+  std::vector<std::unique_ptr<link::CxlLink>> links_;              // per CXL channel
+  std::vector<std::unique_ptr<dram::Controller>> ctrls_;           // per sub-channel
+  std::vector<std::deque<DeviceMsg>> device_ingress_;              // per sub-channel
+  std::vector<std::vector<PendingResponse>> pending_responses_;    // per CXL channel
+  std::vector<MemCompletion> out_;
+  std::vector<InflightRead> inflight_;  // slot-addressed by internal id
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint64_t> slot_token_;
+
+  // Read-latency decomposition accumulators (see MemorySnapshot).
+  double cxl_interface_sum_ = 0;
+  double cxl_queue_sum_ = 0;
+  double dram_internal_sum_ = 0;  // redundant check vs controller sums
+  std::uint64_t reads_done_ = 0;
+
+  std::uint32_t alloc_slot(std::uint64_t token);
+};
+
+}  // namespace coaxial::mem

@@ -1,0 +1,65 @@
+// Small, fast, reproducible PRNG (xoshiro256**) for workload generation.
+//
+// We deliberately avoid <random>'s engines in the simulator hot path:
+// xoshiro256** is a few ns per draw and its state is trivially copyable,
+// which keeps workload generators cheap to snapshot and replay.
+#pragma once
+
+#include <cstdint>
+
+namespace coaxial {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from a single seed via splitmix64,
+  /// the initialisation recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& w : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Geometric-ish draw: number of failures before first success with
+  /// probability p (capped to keep pathological p tiny draws bounded).
+  std::uint32_t geometric(double p, std::uint32_t cap = 1024) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return cap;
+    std::uint32_t n = 0;
+    while (n < cap && !chance(p)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace coaxial

@@ -1,0 +1,48 @@
+// Fundamental units and conversions for the COAXIAL simulator.
+//
+// The whole simulator runs in a single clock domain: the CPU clock at
+// 2.4 GHz. DDR5-4800's bus clock is also 2.4 GHz (4800 MT/s, DDR), so DRAM
+// timing parameters expressed in memory-clock cycles map 1:1 onto simulator
+// cycles. Link latencies given in nanoseconds are converted at configuration
+// time via `ns_to_cycles`.
+#pragma once
+
+#include <cstdint>
+
+namespace coaxial {
+
+using Cycle = std::uint64_t;
+using Addr = std::uint64_t;
+
+/// Sentinel for "no cycle" / "not scheduled".
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/// Simulator clock frequency (CPU and DDR5-4800 bus clock).
+inline constexpr double kClockGhz = 2.4;
+
+/// Duration of one simulator cycle in nanoseconds (~0.4167 ns).
+inline constexpr double kNsPerCycle = 1.0 / kClockGhz;
+
+/// Cache line size used throughout the hierarchy and memory system.
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/// Convert a nanosecond quantity to whole cycles, rounding to nearest.
+constexpr Cycle ns_to_cycles(double ns) {
+  return static_cast<Cycle>(ns * kClockGhz + 0.5);
+}
+
+/// Convert cycles back to nanoseconds.
+constexpr double cycles_to_ns(Cycle c) { return static_cast<double>(c) * kNsPerCycle; }
+
+/// Convert a GB/s bandwidth into the number of cycles needed to serialise
+/// `bytes` onto a pipe of that bandwidth (rounded up, at least 1).
+constexpr Cycle serialization_cycles(double gbytes_per_s, std::uint32_t bytes) {
+  const double ns = static_cast<double>(bytes) / gbytes_per_s;  // GB/s == B/ns
+  const Cycle c = static_cast<Cycle>(ns * kClockGhz + 0.999999);
+  return c == 0 ? 1 : c;
+}
+
+/// Bytes-per-cycle for a given GB/s rating (useful for utilisation math).
+constexpr double bytes_per_cycle(double gbytes_per_s) { return gbytes_per_s * kNsPerCycle; }
+
+}  // namespace coaxial

@@ -1,0 +1,152 @@
+#include "core/core.hpp"
+
+#include <algorithm>
+
+namespace coaxial::core {
+
+namespace {
+/// Max stalled issues replayed per cycle: bounds both issue bandwidth to the
+/// L1 and per-cycle simulation work.
+constexpr std::size_t kReplayWidth = 2;
+/// Pending-issue queue bound; beyond this, fetch stalls (scheduler full).
+constexpr std::size_t kPendingBound = 64;
+}  // namespace
+
+Core::Core(std::uint32_t id, const sys::MicroarchConfig& cfg,
+           std::unique_ptr<workload::InstrSource> source, double max_ipc)
+    : id_(id),
+      cfg_(cfg),
+      max_ipc_(max_ipc),
+      source_(std::move(source)),
+      rob_(cfg.rob_entries) {}
+
+Core::Core(std::uint32_t id, const sys::MicroarchConfig& cfg, workload::Generator generator)
+    : id_(id),
+      cfg_(cfg),
+      max_ipc_(generator.params().max_ipc),  // Read before the move below.
+      source_(std::make_unique<workload::GeneratorSource>(std::move(generator))),
+      rob_(cfg.rob_entries) {}
+
+void Core::tick(Cycle now, MemoryPort& port) {
+  retire(now);
+  replay(now, port);
+  fetch(now, port);
+}
+
+void Core::retire(Cycle now) {
+  for (std::uint32_t i = 0; i < cfg_.retire_width; ++i) {
+    if (rob_count_ == 0) return;
+    RobEntry& head = rob_[rob_head_];
+    if (head.done_cycle == kNoCycle || head.done_cycle > now) return;
+    rob_head_ = (rob_head_ + 1) % cfg_.rob_entries;
+    --rob_count_;
+    ++retired_;
+  }
+}
+
+bool Core::dep_satisfied(const PendingIssue& p, Cycle now) const {
+  if (p.dep_slot == kNoSlot) return true;
+  const RobEntry& dep = rob_[p.dep_slot];
+  if (dep.seq != p.dep_seq) return true;  // Producer already retired.
+  return dep.done_cycle != kNoCycle && dep.done_cycle <= now;
+}
+
+void Core::replay(Cycle now, MemoryPort& port) {
+  std::size_t issued = 0;
+  std::size_t inspected = 0;
+  const std::size_t limit = pending_.size();
+  while (issued < kReplayWidth && inspected < limit && !pending_.empty()) {
+    PendingIssue p = pending_.front();
+    ++inspected;
+    if (!dep_satisfied(p, now)) break;  // In-order issue of the stalled stream.
+    if (p.is_store) {
+      if (store_buffer_used_ >= cfg_.store_buffer) break;
+      const IssueResult r =
+          port.issue_store(id_, p.addr, p.pc, make_store_waiter(id_), now);
+      if (r == IssueResult::kRetry) break;
+      if (r == IssueResult::kAccepted) ++store_buffer_used_;
+      pending_.pop_front();
+      ++issued;
+    } else {
+      const IssueResult r = port.issue_load(
+          id_, p.addr, p.pc, make_load_waiter(id_, p.rob_slot), now);
+      if (r == IssueResult::kRetry) break;
+      if (r == IssueResult::kHitL1) {
+        rob_[p.rob_slot].done_cycle = now + cfg_.l1_latency;
+      }
+      pending_.pop_front();
+      ++issued;
+    }
+  }
+}
+
+void Core::fetch(Cycle now, MemoryPort& port) {
+  fetch_credit_ = std::min(fetch_credit_ + max_ipc_,
+                           static_cast<double>(cfg_.fetch_width) * 2.0);
+  std::uint32_t fetched = 0;
+  while (fetched < cfg_.fetch_width && fetch_credit_ >= 1.0 && !rob_full() &&
+         pending_.size() < kPendingBound) {
+    const workload::Instr ins = source_->next();
+    const std::uint32_t slot = rob_tail_;
+    rob_tail_ = (rob_tail_ + 1) % cfg_.rob_entries;
+    ++rob_count_;
+    rob_[slot].seq = next_seq_++;
+    fetch_credit_ -= 1.0;
+    ++fetched;
+
+    switch (ins.kind) {
+      case workload::InstrKind::kAlu:
+        rob_[slot].done_cycle = now + 1;
+        break;
+      case workload::InstrKind::kStore: {
+        // Stores complete architecturally at once; the write (and RFO on
+        // miss) proceeds in the background via the store buffer.
+        rob_[slot].done_cycle = now + 1;
+        PendingIssue p;
+        p.addr = ins.addr;
+        p.pc = ins.pc;
+        p.rob_slot = slot;
+        p.is_store = true;
+        pending_.push_back(p);
+        break;
+      }
+      case workload::InstrKind::kLoad: {
+        rob_[slot].done_cycle = kNoCycle;
+        PendingIssue p;
+        p.addr = ins.addr;
+        p.pc = ins.pc;
+        p.rob_slot = slot;
+        if (ins.depends_on_prev_load && last_load_slot_ != kNoSlot) {
+          p.dep_slot = last_load_slot_;
+          p.dep_seq = last_load_seq_;
+        }
+        last_load_slot_ = slot;
+        last_load_seq_ = rob_[slot].seq;
+        // Try to issue immediately if nothing is queued ahead of it.
+        if (pending_.empty() && dep_satisfied(p, now)) {
+          const IssueResult r =
+              port.issue_load(id_, p.addr, p.pc, make_load_waiter(id_, slot), now);
+          if (r == IssueResult::kHitL1) {
+            rob_[slot].done_cycle = now + cfg_.l1_latency;
+          } else if (r == IssueResult::kRetry) {
+            pending_.push_back(p);
+          }
+        } else {
+          pending_.push_back(p);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Core::on_load_complete(std::uint64_t waiter, Cycle now) {
+  const std::uint32_t slot = waiter_slot(waiter);
+  rob_[slot].done_cycle = now;
+}
+
+void Core::on_store_complete(Cycle /*now*/) {
+  if (store_buffer_used_ > 0) --store_buffer_used_;
+}
+
+}  // namespace coaxial::core

@@ -1,0 +1,75 @@
+// Line-address to DRAM-coordinate mapping for one sub-channel.
+//
+// The memory system stripes cache lines across sub-channels at line
+// granularity *before* this mapper sees the address, so the mapper works on
+// a controller-local line index. Layout (low to high bits):
+//
+//   column | bank-group | bank | row
+//
+// so that sequential controller-local lines fill a row buffer before moving
+// to the next bank, preserving row locality under fine-grained channel
+// interleaving. A XOR fold of low row bits into the bank index spreads
+// row-conflict streams across banks (permutation-based interleaving).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "dram/timing.hpp"
+
+namespace coaxial::dram {
+
+/// Disable via AddressMap's constructor for ablation studies.
+struct Coord {
+  std::uint32_t rank = 0;
+  std::uint32_t bank_group = 0;
+  std::uint32_t bank = 0;  ///< Bank index within the group.
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;
+
+  /// Flat bank id within the rank.
+  std::uint32_t flat_bank(const Geometry& g) const {
+    return bank_group * g.banks_per_group + bank;
+  }
+  /// Flat bank id across all ranks of the sub-channel.
+  std::uint32_t flat_bank_all(const Geometry& g) const {
+    return rank * g.banks() + flat_bank(g);
+  }
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(const Geometry& g, bool permutation_interleave = true)
+      : geom_(g), permute_(permutation_interleave) {}
+
+  Coord map(Addr local_line) const {
+    Coord c;
+    Addr rest = local_line;
+    c.column = static_cast<std::uint32_t>(rest % geom_.columns);
+    rest /= geom_.columns;
+    std::uint32_t flat = static_cast<std::uint32_t>(rest % geom_.banks());
+    rest /= geom_.banks();
+    // Rank sits between bank and row: streams alternate ranks at a
+    // banks*columns granularity, exposing rank-switch costs under load.
+    c.rank = static_cast<std::uint32_t>(rest % geom_.ranks);
+    rest /= geom_.ranks;
+    c.row = static_cast<std::uint32_t>(rest % geom_.rows);
+    if (permute_) {
+      // Permutation-based interleaving: decorrelate bank from row so strided
+      // row-conflict patterns still exploit bank-level parallelism.
+      flat = (flat ^ (c.row & (geom_.banks() - 1))) % geom_.banks();
+    }
+    c.bank_group = flat / geom_.banks_per_group;
+    c.bank = flat % geom_.banks_per_group;
+    return c;
+  }
+
+  const Geometry& geometry() const { return geom_; }
+  bool permutation_interleave() const { return permute_; }
+
+ private:
+  Geometry geom_;
+  bool permute_;
+};
+
+}  // namespace coaxial::dram

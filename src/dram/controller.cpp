@@ -1,0 +1,288 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+namespace coaxial::dram {
+
+namespace {
+/// FR-FCFS fairness guard: only the oldest `kScanWindow` entries of a queue
+/// compete for issue, bounding both starvation and per-tick scan cost.
+constexpr std::size_t kScanWindow = 16;
+}  // namespace
+
+Controller::Controller(const Timing& timing, const Geometry& geometry,
+                       std::size_t read_queue_depth, std::size_t write_queue_depth)
+    : timing_(timing),
+      amap_(geometry, geometry.permutation_interleave),
+      read_depth_(read_queue_depth),
+      write_depth_(write_queue_depth),
+      banks_(geometry.total_banks()),
+      bank_last_use_(geometry.total_banks(), 0),
+      next_act_rank_(geometry.ranks, 0),
+      next_act_group_(static_cast<std::size_t>(geometry.ranks) * geometry.bank_groups, 0),
+      next_cas_rank_(geometry.ranks, 0),
+      next_cas_group_(static_cast<std::size_t>(geometry.ranks) * geometry.bank_groups, 0),
+      next_rd_after_wr_group_(static_cast<std::size_t>(geometry.ranks) * geometry.bank_groups, 0),
+      faw_(geometry.ranks),
+      next_refresh_(timing.refi) {
+  read_q_.reserve(read_depth_);
+  write_q_.reserve(write_depth_);
+  completions_.reserve(16);
+}
+
+bool Controller::can_accept(bool is_write) const {
+  return is_write ? write_q_.size() < write_depth_ : read_q_.size() < read_depth_;
+}
+
+bool Controller::enqueue(Addr local_line, bool is_write, Cycle now, std::uint64_t token) {
+  if (!can_accept(is_write)) return false;
+  if (!is_write) {
+    // Write-to-read forwarding: a read that hits a queued write is served
+    // from the controller's write buffer without touching DRAM.
+    for (const Request& w : write_q_) {
+      if (w.local_line == local_line) {
+        completions_.push_back({token, now + 1, 1, 0});
+        ++stats_.reads_forwarded;
+        read_hist_.add(1);
+        return true;
+      }
+    }
+  }
+  Request req;
+  req.coord = amap_.map(local_line);
+  req.arrival = now;
+  req.token = token;
+  req.local_line = local_line;
+  (is_write ? write_q_ : read_q_).push_back(req);
+  return true;
+}
+
+void Controller::tick(Cycle now) {
+  if (now >= next_refresh_) refresh_pending_ = true;
+  if (refresh_pending_) {
+    if (try_refresh(now)) return;
+    // While waiting to close banks for refresh we still allow CAS commands
+    // below, so in-flight row hits drain naturally; ACTs are suppressed by
+    // try_prep's refresh check.
+  }
+  if (read_q_.empty() && write_q_.empty()) {
+    // Nothing to schedule; opportunistically close idled rows so the next
+    // burst starts from precharged banks (adaptive open-page).
+    if (open_banks_ > 0) idle_precharge(now);
+    return;
+  }
+
+  // Write-drain watermark policy (DRAMsim3-style): drain once the write
+  // queue crosses half full (or reads are absent), down to 1/8. Frequent
+  // read/write turnarounds are a first-order capacity loss on real
+  // controllers; modelling them matters for the loaded-latency curve.
+  if (!draining_writes_) {
+    if (write_q_.size() >= write_depth_ / 2 || (read_q_.empty() && !write_q_.empty())) {
+      draining_writes_ = true;
+    }
+  } else {
+    if (write_q_.size() <= write_depth_ / 8 && !read_q_.empty()) draining_writes_ = false;
+    if (write_q_.empty()) draining_writes_ = false;
+  }
+
+  if (draining_writes_) {
+    if (try_issue(write_q_, /*is_write=*/true, now)) return;
+    if (try_issue(read_q_, /*is_write=*/false, now)) return;
+  } else {
+    if (try_issue(read_q_, /*is_write=*/false, now)) return;
+    if (try_issue(write_q_, /*is_write=*/true, now)) return;
+  }
+  idle_precharge(now);
+}
+
+void Controller::idle_precharge(Cycle now) {
+  // Adaptive open-page: close a bank whose open row has been idle, so
+  // lightly-loaded (and random) traffic pays ACT+CAS rather than
+  // PRE+ACT+CAS (the paper's ~40 ns unloaded latency). Disabled when
+  // timing_.idle_precharge is 0.
+  if (timing_.idle_precharge == 0) return;
+  for (std::uint32_t i = 0; i < banks_.size(); ++i) {
+    Bank& b = banks_[i];
+    if (b.open && now >= b.next_pre && now - bank_last_use_[i] >= timing_.idle_precharge) {
+      b.open = false;
+      --open_banks_;
+      b.next_act = std::max(b.next_act, now + timing_.rp);
+      ++stats_.precharges;
+      return;  // One command per cycle.
+    }
+  }
+}
+
+bool Controller::try_refresh(Cycle now) {
+  // Close all open banks first (respecting per-bank PRE timing), then hold
+  // the whole rank for tRFC.
+  bool any_open = false;
+  for (std::uint32_t i = 0; i < banks_.size(); ++i) {
+    Bank& b = banks_[i];
+    if (!b.open) continue;
+    any_open = true;
+    if (now >= b.next_pre) {
+      b.open = false;
+      --open_banks_;
+      b.next_act = std::max(b.next_act, now + timing_.rp);
+      ++stats_.precharges;
+      return true;  // One command per cycle.
+    }
+  }
+  if (any_open) return false;
+  // All banks closed: wait until every bank may legally accept an ACT, which
+  // guarantees preceding PREs have completed, then refresh.
+  Cycle ready = now;
+  for (const Bank& b : banks_) ready = std::max(ready, b.next_act);
+  if (ready > now) return false;
+  for (Bank& b : banks_) b.next_act = now + timing_.rfc;
+  ++stats_.refreshes;
+  next_refresh_ += timing_.refi;
+  refresh_pending_ = false;
+  return true;
+}
+
+bool Controller::cas_ready(const Request& req, bool is_write, Cycle now) const {
+  const Geometry& g = amap_.geometry();
+  const Bank& b = banks_[req.coord.flat_bank_all(g)];
+  if (!b.row_hit(req.coord.row)) return false;
+  if (now < (is_write ? b.next_wr : b.next_rd)) return false;
+  if (now < next_cas_rank_[req.coord.rank]) return false;
+  const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
+                         req.coord.bank_group;
+  if (now < next_cas_group_[rg]) return false;
+  // Rank-to-rank bus turnaround (tCS): switching ranks mid-stream stalls
+  // the shared data bus briefly — the 2DPC bandwidth cost.
+  if (g.ranks > 1 && req.coord.rank != last_cas_rank_ && now < last_cas_end_ + timing_.cs) {
+    return false;
+  }
+  if (is_write) {
+    if (now < next_wr_bus_) return false;
+  } else {
+    if (now < next_rd_bus_) return false;
+    if (now < next_rd_after_wr_group_[rg]) return false;
+  }
+  return true;
+}
+
+void Controller::issue_cas(Request& req, bool is_write, Cycle now) {
+  const Geometry& g = amap_.geometry();
+  Bank& b = banks_[req.coord.flat_bank_all(g)];
+  bank_last_use_[req.coord.flat_bank_all(g)] = now;
+
+  // Row-locality classification at service time: a request that needed no
+  // preparatory command of its own rode an already-open row.
+  Cycle ideal_service = timing_.cl + timing_.bl;
+  if (req.needed_pre) {
+    ++stats_.row_conflicts;
+    ideal_service += timing_.rp + timing_.rcd;
+  } else if (req.needed_act) {
+    ++stats_.row_misses;
+    ideal_service += timing_.rcd;
+  } else {
+    ++stats_.row_hits;
+  }
+
+  next_cas_rank_[req.coord.rank] = now + timing_.ccd_s;
+  const std::size_t rg0 = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
+                          req.coord.bank_group;
+  next_cas_group_[rg0] = now + timing_.ccd_l;
+  stats_.data_bus_busy_cycles += timing_.bl;
+  last_cas_end_ = now + timing_.bl;
+  last_cas_rank_ = req.coord.rank;
+
+  if (is_write) {
+    const Cycle data_end = now + timing_.cwl + timing_.bl;
+    b.next_pre = std::max(b.next_pre, data_end + timing_.wr);
+    // tWTR starts at the end of write data (within the written rank).
+    for (std::uint32_t grp = 0; grp < g.bank_groups; ++grp) {
+      const Cycle wtr = (grp == req.coord.bank_group) ? timing_.wtr_l : timing_.wtr_s;
+      const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups + grp;
+      next_rd_after_wr_group_[rg] = std::max(next_rd_after_wr_group_[rg], data_end + wtr);
+    }
+    next_rd_bus_ = std::max(next_rd_bus_, data_end + timing_.wtr_s);
+    ++stats_.writes_done;
+  } else {
+    b.next_pre = std::max(b.next_pre, now + timing_.rtp);
+    next_wr_bus_ = std::max(next_wr_bus_, now + timing_.rtw);
+    const Cycle done = now + timing_.cl + timing_.bl;
+    const Cycle total = done - req.arrival;
+    const Cycle ideal = std::min(ideal_service, total);
+    completions_.push_back({req.token, done, ideal, total - ideal});
+    read_hist_.add(total);
+    stats_.read_service_sum += static_cast<double>(ideal);
+    stats_.read_queue_delay_sum += static_cast<double>(total - ideal);
+    ++stats_.reads_done;
+  }
+}
+
+bool Controller::try_prep(Request& req, Cycle now) {
+  if (refresh_pending_) return false;  // Don't open new rows ahead of refresh.
+  const Geometry& g = amap_.geometry();
+  Bank& b = banks_[req.coord.flat_bank_all(g)];
+
+  if (b.open && b.row != req.coord.row) {
+    if (now < b.next_pre) return false;
+    b.open = false;
+    --open_banks_;
+    b.next_act = std::max(b.next_act, now + timing_.rp);
+    ++stats_.precharges;
+    req.needed_pre = true;
+    return true;
+  }
+  if (!b.open) {
+    const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
+                           req.coord.bank_group;
+    if (now < b.next_act || now < next_act_rank_[req.coord.rank] ||
+        now < next_act_group_[rg]) {
+      return false;
+    }
+    // tFAW: at most four ACTs per rank in any window (slot 0 = "never used").
+    FawWindow& faw = faw_[req.coord.rank];
+    if (faw.acts[faw.pos] != 0 && now < faw.acts[faw.pos] + timing_.faw) {
+      return false;
+    }
+    faw.acts[faw.pos] = now;
+    faw.pos = (faw.pos + 1) % 4;
+
+    b.open = true;
+    ++open_banks_;
+    b.row = req.coord.row;
+    b.next_rd = now + timing_.rcd;
+    b.next_wr = now + timing_.rcd;
+    b.next_pre = std::max(b.next_pre, now + timing_.ras);
+    b.next_act = now + timing_.rc();
+    next_act_rank_[req.coord.rank] = now + timing_.rrd_s;
+    next_act_group_[rg] = now + timing_.rrd_l;
+    ++stats_.activates;
+    req.needed_act = true;
+    return true;
+  }
+  return false;  // Bank already open on the right row; CAS timing pending.
+}
+
+bool Controller::try_issue(std::vector<Request>& queue, bool is_write, Cycle now) {
+  if (queue.empty()) return false;
+  const std::size_t window = std::min(queue.size(), kScanWindow);
+
+  // Pass 1 (FR): oldest row-hit whose CAS can issue right now.
+  for (std::size_t i = 0; i < window; ++i) {
+    if (cas_ready(queue[i], is_write, now)) {
+      Request req = queue[i];
+      issue_cas(req, is_write, now);
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+
+  // Pass 2 (FCFS): oldest request that needs a preparatory ACT/PRE.
+  for (std::size_t i = 0; i < window; ++i) {
+    Request& req = queue[i];
+    const Bank& b = banks_[req.coord.flat_bank_all(amap_.geometry())];
+    if (b.row_hit(req.coord.row)) continue;  // Just waiting on CAS timing.
+    if (try_prep(req, now)) return true;
+  }
+  return false;
+}
+
+}  // namespace coaxial::dram

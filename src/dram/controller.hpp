@@ -1,0 +1,143 @@
+// FR-FCFS memory controller for one DDR5 sub-channel.
+//
+// Models: separate read/write queues with write-drain watermarks, row-buffer
+// management (open-page policy), bank/rank timing constraints (tRCD, tRP,
+// tRAS, tCCD_S/L, tRRD_S/L, tFAW, tWR, tRTP, tWTR_S/L, read/write bus
+// turnaround), all-bank refresh every tREFI, and write-to-read forwarding.
+//
+// The controller issues at most one command per cycle (command bus). Reads
+// complete at CAS + CL + BL (data fully transferred); writes are posted and
+// complete on enqueue from the requester's perspective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dram/address_map.hpp"
+#include "dram/bank.hpp"
+#include "dram/timing.hpp"
+
+namespace coaxial::dram {
+
+/// A finished read, reported back to the owner of the controller, with
+/// its latency decomposed into unloaded service vs queuing (forwarded
+/// reads report 1 cycle of service, no queuing).
+struct Completion {
+  std::uint64_t token = 0;
+  Cycle done = 0;
+  Cycle service = 0;      ///< Unloaded (row-state-dependent) component.
+  Cycle queue_delay = 0;  ///< Everything above the unloaded component.
+};
+
+struct ControllerStats {
+  std::uint64_t reads_done = 0;
+  std::uint64_t writes_done = 0;
+  std::uint64_t reads_forwarded = 0;  ///< Served from the write queue.
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;  ///< CAS that needed ACT (bank was closed).
+  std::uint64_t row_conflicts = 0;  ///< CAS that needed PRE + ACT.
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t data_bus_busy_cycles = 0;
+  double read_queue_delay_sum = 0;   ///< Cycles spent queued, reads.
+  double read_service_sum = 0;       ///< Ideal unloaded service component, reads.
+
+  double row_hit_rate() const {
+    const double total = static_cast<double>(row_hits + row_misses + row_conflicts);
+    return total == 0 ? 0.0 : static_cast<double>(row_hits) / total;
+  }
+};
+
+class Controller {
+ public:
+  Controller(const Timing& timing, const Geometry& geometry,
+             std::size_t read_queue_depth = 64, std::size_t write_queue_depth = 64);
+
+  /// True if a read/write can be enqueued this cycle.
+  bool can_accept(bool is_write) const;
+
+  /// Enqueue a request. `token` is echoed in the read completion.
+  /// Returns false (and does nothing) if the relevant queue is full.
+  bool enqueue(Addr local_line, bool is_write, Cycle now, std::uint64_t token);
+
+  /// Advance one cycle: refresh management + at most one command issue.
+  void tick(Cycle now);
+
+  /// Read completions produced since the last drain (in completion order).
+  std::vector<Completion>& completions() { return completions_; }
+
+  const ControllerStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; read_hist_.reset(); }
+
+  /// Read latency distribution (arrival to data), for load-latency curves.
+  const LatencyHistogram& read_latency_hist() const { return read_hist_; }
+
+  std::size_t read_queue_size() const { return read_q_.size(); }
+  std::size_t write_queue_size() const { return write_q_.size(); }
+  bool idle() const { return read_q_.empty() && write_q_.empty(); }
+
+  const Timing& timing() const { return timing_; }
+
+ private:
+  struct Request {
+    Coord coord;
+    Cycle arrival = 0;
+    std::uint64_t token = 0;
+    Addr local_line = 0;
+    bool needed_act = false;  ///< An ACT was issued on this request's behalf.
+    bool needed_pre = false;  ///< A PRE was issued on this request's behalf.
+  };
+
+  // Scheduling helpers. Each returns true if a command was issued.
+  bool try_refresh(Cycle now);
+  bool try_issue(std::vector<Request>& queue, bool is_write, Cycle now);
+  bool cas_ready(const Request& req, bool is_write, Cycle now) const;
+  void issue_cas(Request& req, bool is_write, Cycle now);
+  bool try_prep(Request& req, Cycle now);
+  void idle_precharge(Cycle now);
+
+  Timing timing_;
+  AddressMap amap_;
+  std::size_t read_depth_;
+  std::size_t write_depth_;
+
+  std::vector<Bank> banks_;
+  std::vector<Cycle> bank_last_use_;  ///< For idle-bank precharge.
+  std::vector<Request> read_q_;
+  std::vector<Request> write_q_;
+  std::vector<Completion> completions_;
+
+  // Rank-level constraint state (indexed by rank, or rank*groups+group).
+  std::vector<Cycle> next_act_rank_;          ///< tRRD_S from any ACT, per rank.
+  std::vector<Cycle> next_act_group_;         ///< tRRD_L within a group.
+  std::vector<Cycle> next_cas_rank_;          ///< tCCD_S from any CAS, per rank.
+  std::vector<Cycle> next_cas_group_;         ///< tCCD_L within a group.
+  Cycle next_rd_bus_ = 0;                     ///< Bus turnaround: earliest read CAS.
+  Cycle next_wr_bus_ = 0;                     ///< Bus turnaround: earliest write CAS.
+  std::vector<Cycle> next_rd_after_wr_group_; ///< tWTR_L within a group.
+  struct FawWindow {
+    Cycle acts[4] = {0, 0, 0, 0};
+    std::uint32_t pos = 0;
+  };
+  std::vector<FawWindow> faw_;                ///< tFAW window per rank.
+  // Shared data bus: rank switches pay tCS after the previous burst.
+  Cycle last_cas_end_ = 0;
+  std::uint32_t last_cas_rank_ = 0;
+
+  std::uint32_t open_banks_ = 0;  ///< Fast gate for idle-precharge scans.
+
+  // Refresh state.
+  Cycle next_refresh_ = 0;
+  bool refresh_pending_ = false;
+
+  // Write-drain policy state.
+  bool draining_writes_ = false;
+
+  ControllerStats stats_;
+  LatencyHistogram read_hist_;
+};
+
+}  // namespace coaxial::dram

@@ -1,0 +1,3 @@
+#include "dram/dram_power.hpp"
+
+// dram_power_w is inline (header-only math); this TU anchors the header.

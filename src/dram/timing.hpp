@@ -1,0 +1,74 @@
+// DDR5-4800 timing parameter set.
+//
+// All values are in memory-bus-clock cycles. DDR5-4800 runs its bus at
+// 2400 MHz, which equals the simulator's global 2.4 GHz clock, so these are
+// simulator cycles directly (tCK = 0.4167 ns). Values follow the Micron
+// DDR5-4800B speed grade (CL40-39-39) and JESD79-5B, as used by the paper's
+// DRAMsim3 configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace coaxial::dram {
+
+struct Timing {
+  // Core access timings.
+  Cycle cl = 40;     ///< CAS latency (read command to first data beat).
+  Cycle cwl = 38;    ///< CAS write latency.
+  Cycle rcd = 39;    ///< ACT to internal read/write.
+  Cycle rp = 39;     ///< PRE to ACT on the same bank.
+  Cycle ras = 77;    ///< ACT to PRE (32 ns).
+  Cycle bl = 8;      ///< Burst duration: BL16 on a 32-bit sub-channel, 2 beats/cycle.
+
+  // Bank/rank-level spacing.
+  Cycle ccd_s = 8;   ///< CAS-to-CAS, different bank group.
+  Cycle ccd_l = 12;  ///< CAS-to-CAS, same bank group (5 ns).
+  Cycle rrd_s = 8;   ///< ACT-to-ACT, different bank group.
+  Cycle rrd_l = 12;  ///< ACT-to-ACT, same bank group (5 ns).
+  Cycle faw = 32;    ///< Four-activate window (13.3 ns).
+
+  // Read/write turnaround and recovery.
+  Cycle wr = 72;     ///< Write recovery (30 ns): last write beat to PRE.
+  Cycle rtp = 18;    ///< Read to PRE (7.5 ns).
+  Cycle wtr_s = 6;   ///< Write-to-read, different bank group (2.5 ns).
+  Cycle wtr_l = 24;  ///< Write-to-read, same bank group (10 ns).
+  Cycle rtw = 14;    ///< Read-to-write bus turnaround (CL - CWL + BL + 4).
+
+  // Refresh (16 Gb die, all-bank refresh).
+  Cycle refi = 9360;  ///< Average periodic refresh interval (3.9 us).
+  Cycle rfc = 708;    ///< Refresh cycle time (295 ns).
+
+  /// Adaptive open-page: precharge a bank whose row has idled this long
+  /// (0 disables; pure open-page). See bench_ablations.
+  Cycle idle_precharge = 150;
+
+  /// Rank-to-rank data-bus switch penalty (applies with 2+ ranks, i.e.
+  /// 2DPC configurations — the source of the ~15% bandwidth cost the
+  /// paper cites for capacity-optimised DIMM population, SIV-E).
+  Cycle cs = 4;
+
+  Cycle rc() const { return ras + rp; }
+};
+
+/// Geometry of one DDR5 sub-channel (the independently scheduled unit).
+struct Geometry {
+  std::uint32_t bank_groups = 8;
+  std::uint32_t banks_per_group = 4;
+  std::uint32_t rows = 65536;
+  std::uint32_t columns = 128;  ///< 64 B line-columns per row => 8 KB row buffer.
+  std::uint32_t ranks = 1;      ///< 1 = 1DPC (paper config); 2 = 2DPC.
+  bool permutation_interleave = true;  ///< XOR-fold row bits into the bank index.
+
+  std::uint32_t banks() const { return bank_groups * banks_per_group; }
+  std::uint32_t total_banks() const { return banks() * ranks; }
+};
+
+/// Peak data bandwidth of one 32-bit DDR5-4800 sub-channel in GB/s.
+inline constexpr double kSubChannelPeakGBps = 19.2;
+
+/// Peak data bandwidth of one full DDR5-4800 channel (two sub-channels).
+inline constexpr double kChannelPeakGBps = 38.4;
+
+}  // namespace coaxial::dram

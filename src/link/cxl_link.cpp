@@ -1,0 +1,15 @@
+#include "link/cxl_link.hpp"
+
+// CxlLink is fully inline (analytic store-and-forward model); this
+// translation unit anchors the header for build hygiene and hosts
+// out-of-line helpers.
+
+namespace coaxial::link {
+
+/// Utilisation of one direction over `elapsed` cycles, in [0, 1].
+double direction_utilization(const DirectionStats& st, Cycle elapsed) {
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(st.busy_cycles) / static_cast<double>(elapsed);
+}
+
+}  // namespace coaxial::link

@@ -1,0 +1,88 @@
+// Full-duplex CXL channel model.
+//
+// Each direction is an independent store-and-forward serialising pipe: a
+// message occupies the pipe for its serialisation time (size / goodput) in
+// FIFO order, then spends two fixed port traversals (egress + ingress,
+// 12.5 ns each by default) before arriving at the far side. Because the
+// pipe is FIFO, delivery times can be computed analytically at send time —
+// no per-cycle ticking. Backpressure is modelled by refusing new messages
+// when the accumulated serialisation backlog exceeds a queue bound.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "link/lane_config.hpp"
+
+namespace coaxial::link {
+
+struct DirectionStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t busy_cycles = 0;   ///< Cycles the serialiser was occupied.
+  double queue_delay_sum = 0.0;    ///< Cycles messages waited for the pipe.
+};
+
+class CxlLink {
+ public:
+  explicit CxlLink(const LaneConfig& cfg, Cycle max_backlog_cycles = 512)
+      : cfg_(cfg), max_backlog_(max_backlog_cycles) {}
+
+  /// True if the direction's backlog leaves room for another message.
+  bool can_send_tx(Cycle now) const { return backlog(tx_busy_until_, now) < max_backlog_; }
+  bool can_send_rx(Cycle now) const { return backlog(rx_busy_until_, now) < max_backlog_; }
+
+  /// Send CPU->device. Returns the cycle the message is delivered.
+  Cycle send_tx(std::uint32_t bytes, Cycle now) {
+    return send(tx_busy_until_, tx_stats_, cfg_.tx_goodput_gbps, bytes, now);
+  }
+
+  /// Send device->CPU. Returns the cycle the message is delivered.
+  Cycle send_rx(std::uint32_t bytes, Cycle now) {
+    return send(rx_busy_until_, rx_stats_, cfg_.rx_goodput_gbps, bytes, now);
+  }
+
+  const DirectionStats& tx_stats() const { return tx_stats_; }
+  const DirectionStats& rx_stats() const { return rx_stats_; }
+  const LaneConfig& config() const { return cfg_; }
+
+  /// Fixed (unloaded) one-way latency component for a message of `bytes`:
+  /// serialisation + two port traversals.
+  Cycle unloaded_one_way(std::uint32_t bytes, double goodput) const {
+    return serialization_cycles(goodput, bytes) + 2 * cfg_.port_latency_cycles();
+  }
+
+  void reset_stats() {
+    tx_stats_ = {};
+    rx_stats_ = {};
+  }
+
+ private:
+  static Cycle backlog(Cycle busy_until, Cycle now) {
+    return busy_until > now ? busy_until - now : 0;
+  }
+
+  Cycle send(Cycle& busy_until, DirectionStats& st, double goodput, std::uint32_t bytes,
+             Cycle now) {
+    const Cycle ser = serialization_cycles(goodput, bytes);
+    const Cycle start = busy_until > now ? busy_until : now;
+    busy_until = start + ser;
+    ++st.messages;
+    st.bytes += bytes;
+    st.busy_cycles += ser;
+    st.queue_delay_sum += static_cast<double>(start - now);
+    return busy_until + 2 * cfg_.port_latency_cycles();
+  }
+
+  LaneConfig cfg_;
+  Cycle max_backlog_;
+  Cycle tx_busy_until_ = 0;
+  Cycle rx_busy_until_ = 0;
+  DirectionStats tx_stats_;
+  DirectionStats rx_stats_;
+};
+
+/// Utilisation of one direction over `elapsed` cycles, in [0, 1].
+double direction_utilization(const DirectionStats& st, Cycle elapsed);
+
+}  // namespace coaxial::link

@@ -1,0 +1,94 @@
+// CXL channel lane configurations and the goodput math from §IV-A / §IV-D.
+//
+// An x8 PCIe-5.0 channel uses 32 processor pins (4 per lane) and delivers
+// 32 GB/s of raw bandwidth per direction. After PCIe/CXL header overheads
+// the realised goodput is 26 GB/s in the DRAM-to-CPU (RX) direction and
+// 13 GB/s CPU-to-DRAM (TX) [Sharma, HOTI'22]. The asymmetric variant
+// re-partitions the same 32 pins as 20 RX + 12 TX for 32/10 GB/s goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace coaxial::link {
+
+struct LaneConfig {
+  double rx_goodput_gbps = 26.0;  ///< Device-to-CPU data goodput (read data).
+  double tx_goodput_gbps = 13.0;  ///< CPU-to-device data goodput (writes, requests).
+  double port_latency_ns = 12.5;  ///< Per port traversal (flit pack, encode, ...).
+  std::uint32_t pins = 32;
+  std::uint32_t rx_lanes = 8;
+  std::uint32_t tx_lanes = 8;
+
+  /// Standard x8 CXL channel (PCIe 5.0, 1:1 lanes).
+  static LaneConfig x8(double port_ns = 12.5) {
+    LaneConfig c;
+    c.port_latency_ns = port_ns;
+    return c;
+  }
+
+  /// x4 channel: half the lanes and goodput of x8 (16 pins). Useful for
+  /// exploring finer-grained channel provisioning than the paper's default.
+  static LaneConfig x4(double port_ns = 12.5) {
+    LaneConfig c;
+    c.rx_goodput_gbps = 13.0;
+    c.tx_goodput_gbps = 6.5;
+    c.pins = 16;
+    c.rx_lanes = 4;
+    c.tx_lanes = 4;
+    c.port_latency_ns = port_ns;
+    return c;
+  }
+
+  /// x16 channel: double the lanes and goodput of x8 (64 pins).
+  static LaneConfig x16(double port_ns = 12.5) {
+    LaneConfig c;
+    c.rx_goodput_gbps = 52.0;
+    c.tx_goodput_gbps = 26.0;
+    c.pins = 64;
+    c.rx_lanes = 16;
+    c.tx_lanes = 16;
+    c.port_latency_ns = port_ns;
+    return c;
+  }
+
+  /// Multiplexed (switch-shared) x8 device, as in the paper's 70 ns
+  /// discussion: an extra switch hop adds ~5 ns per traversal.
+  static LaneConfig x8_switched(double extra_hop_ns = 5.0) {
+    return x8(12.5 + extra_hop_ns);
+  }
+
+  /// CXL-asym: 20 RX / 12 TX pins within the same 32-pin budget (§IV-D).
+  static LaneConfig x8_asym(double port_ns = 12.5) {
+    LaneConfig c;
+    c.rx_goodput_gbps = 32.0;
+    c.tx_goodput_gbps = 10.0;
+    c.rx_lanes = 10;
+    c.tx_lanes = 6;
+    c.port_latency_ns = port_ns;
+    return c;
+  }
+
+  Cycle port_latency_cycles() const { return ns_to_cycles(port_latency_ns); }
+
+  /// Cycles to serialise a 64 B line onto the RX pipe (2.5 ns for x8).
+  Cycle rx_line_cycles() const { return serialization_cycles(rx_goodput_gbps, kLineBytes); }
+
+  /// Cycles to serialise a 64 B line onto the TX pipe (5.5 ns for x8).
+  Cycle tx_line_cycles() const { return serialization_cycles(tx_goodput_gbps, kLineBytes); }
+
+  /// Minimum end-to-end latency a read adds: 4 port traversals plus the
+  /// serialisation of the 64 B response on RX (52.5 ns for x8 at 12.5 ns).
+  double read_overhead_ns() const {
+    return 4.0 * port_latency_ns + cycles_to_ns(rx_line_cycles());
+  }
+};
+
+/// Message sizes on the wire. Goodput figures already absorb per-flit
+/// headers, so a read request is modelled as a single small flit.
+inline constexpr std::uint32_t kReadRequestBytes = 16;
+inline constexpr std::uint32_t kWriteMessageBytes = kLineBytes;
+inline constexpr std::uint32_t kReadResponseBytes = kLineBytes;
+
+}  // namespace coaxial::link

@@ -1,0 +1,53 @@
+#include "power/power_model.hpp"
+
+namespace coaxial::power {
+
+PowerBreakdown compute_power(const sys::SystemConfig& cfg,
+                             const dram::ControllerStats& slice_dram_stats,
+                             Cycle elapsed_cycles, const PowerParams& params) {
+  PowerBreakdown b;
+  const double scale = static_cast<double>(params.full_chip_cores) /
+                       static_cast<double>(cfg.uarch.cores);
+
+  b.core_w = params.core_l1_l2_w;
+
+  const std::uint32_t slice_ddr_channels = cfg.topology == sys::Topology::kDirectDdr
+                                               ? cfg.ddr_channels
+                                               : cfg.cxl_channels * cfg.ddr_per_device;
+  const double full_ddr_channels = slice_ddr_channels * scale;
+  b.ddr_mc_w = full_ddr_channels * params.ddr_mc_phy_w;
+
+  const double full_llc_mb =
+      static_cast<double>(cfg.uarch.llc_mb_per_core) * params.full_chip_cores;
+  b.llc_w = params.llc_w_intercept + params.llc_w_slope_per_mb * full_llc_mb;
+
+  if (cfg.topology == sys::Topology::kCxl) {
+    // 8 full-duplex lane pairs per x8 channel (asym repartitions the same
+    // 32 pins, so the lane-pair count — and interface power — is unchanged).
+    const double full_lanes = 8.0 * cfg.cxl_channels * scale;
+    b.cxl_interface_w = full_lanes * params.pcie_w_per_lane;
+  }
+
+  // One DIMM per DDR channel; scale the slice's DRAM activity to the chip.
+  dram::ControllerStats chip = slice_dram_stats;
+  chip.activates = static_cast<std::uint64_t>(chip.activates * scale);
+  chip.reads_done = static_cast<std::uint64_t>(chip.reads_done * scale);
+  chip.writes_done = static_cast<std::uint64_t>(chip.writes_done * scale);
+  chip.refreshes = static_cast<std::uint64_t>(chip.refreshes * scale);
+  b.dram_dimm_w = dram::dram_power_w(chip, static_cast<std::uint32_t>(full_ddr_channels),
+                                     elapsed_cycles, params.dram);
+  return b;
+}
+
+EnergyMetrics compute_energy(const PowerBreakdown& power, double cpi) {
+  EnergyMetrics m;
+  m.power = power;
+  m.cpi = cpi;
+  const double w = power.total_w();
+  m.perf_per_watt = (w > 0 && cpi > 0) ? 1.0 / (w * cpi) : 0.0;
+  m.edp = w * cpi * cpi;
+  m.ed2p = w * cpi * cpi * cpi;
+  return m;
+}
+
+}  // namespace coaxial::power

@@ -1,0 +1,57 @@
+// System power / energy-efficiency model (Table V, §VI-F).
+//
+// Component structure follows the paper for a 144-core Sierra-Forest-class
+// server (500 W TDP): a fixed core+L1+L2 block, LLC power scaling with
+// capacity (Cacti-derived affine fit through the paper's 288 MB -> 94 W and
+// 144 MB -> 51 W points), 1.1 W per DDR5 MC+PHY, 0.2 W per PCIe-5.0 lane
+// for CXL interfaces, and DRAM DIMM power from activity counters. The
+// simulated 12-core slice's activity is scaled to the full chip.
+#pragma once
+
+#include <cstdint>
+
+#include "coaxial/configs.hpp"
+#include "dram/dram_power.hpp"
+
+namespace coaxial::power {
+
+struct PowerParams {
+  double core_l1_l2_w = 393.0;       ///< 144 cores incl. private caches.
+  double ddr_mc_phy_w = 1.083;       ///< Per DDR5 channel (13 W / 12).
+  double llc_w_slope_per_mb = 0.2986;
+  double llc_w_intercept = 8.0;
+  double pcie_w_per_lane = 0.2;
+  dram::PowerParams dram;
+  std::uint32_t full_chip_cores = 144;
+};
+
+struct PowerBreakdown {
+  double core_w = 0;
+  double ddr_mc_w = 0;
+  double llc_w = 0;
+  double cxl_interface_w = 0;
+  double dram_dimm_w = 0;
+
+  double total_w() const {
+    return core_w + ddr_mc_w + llc_w + cxl_interface_w + dram_dimm_w;
+  }
+};
+
+struct EnergyMetrics {
+  PowerBreakdown power;
+  double cpi = 0;
+  double perf_per_watt = 0;  ///< 1 / (power * CPI), unnormalised.
+  double edp = 0;            ///< power * CPI^2 (lower is better).
+  double ed2p = 0;           ///< power * CPI^3 (lower is better).
+};
+
+/// Compute the full-chip power breakdown for a configuration whose 12-core
+/// slice ran with the given aggregated DRAM activity over `elapsed_cycles`.
+PowerBreakdown compute_power(const sys::SystemConfig& cfg,
+                             const dram::ControllerStats& slice_dram_stats,
+                             Cycle elapsed_cycles, const PowerParams& params = {});
+
+/// Energy metrics from a power breakdown and the measured average CPI.
+EnergyMetrics compute_energy(const PowerBreakdown& power, double cpi);
+
+}  // namespace coaxial::power

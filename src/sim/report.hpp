@@ -1,0 +1,77 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Each bench prints the paper element's rows/series to stdout and writes a
+// CSV with the same data next to the binary (path printed), so plots can be
+// regenerated without re-running simulations.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace coaxial::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], cells[i].size());
+      }
+    };
+    widen(headers_);
+    for (const auto& r : rows_) widen(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string{};
+        os << std::left << std::setw(static_cast<int>(width[i]) + 2) << c;
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < width.size(); ++i) rule += std::string(width[i] + 2, '-');
+    os << rule << '\n';
+    for (const auto& r : rows_) emit(r);
+  }
+
+  /// Write as CSV; returns true on success.
+  bool write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) f << ',';
+        f << cells[i];
+      }
+      f << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+    return static_cast<bool>(f);
+  }
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string num(double v, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace coaxial::report

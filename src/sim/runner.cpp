@@ -1,0 +1,56 @@
+#include "sim/runner.hpp"
+
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace coaxial::sim {
+
+RunRequest homogeneous(const sys::SystemConfig& cfg, const std::string& workload,
+                       std::uint64_t warmup, std::uint64_t measure, std::uint64_t seed) {
+  RunRequest r;
+  r.config = cfg;
+  r.workloads = {workload};
+  r.warmup_instr = warmup;
+  r.measure_instr = measure;
+  r.seed = seed;
+  return r;
+}
+
+RunResult run_one(const RunRequest& request) {
+  const std::uint32_t cores = request.config.uarch.cores;
+  std::vector<workload::WorkloadParams> per_core;
+  per_core.reserve(cores);
+  if (request.workloads.empty()) {
+    throw std::invalid_argument("RunRequest needs at least one workload name");
+  }
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    const std::string& name = request.workloads.size() == 1
+                                  ? request.workloads.front()
+                                  : request.workloads[c % request.workloads.size()];
+    per_core.push_back(workload::find_workload(name));
+  }
+
+  System system(request.config, per_core, request.seed);
+  system.run(request.warmup_instr, request.measure_instr);
+
+  RunResult result;
+  result.config_name = request.config.name;
+  result.workload_name =
+      request.workloads.size() == 1 ? request.workloads.front() : "mix";
+  result.stats = system.stats();
+  return result;
+}
+
+std::vector<RunResult> run_many(const std::vector<RunRequest>& requests,
+                                std::size_t threads) {
+  std::vector<RunResult> results(requests.size());
+  ThreadPool pool(threads == 0 ? std::thread::hardware_concurrency() : threads);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool.submit([&, i] { results[i] = run_one(requests[i]); });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace coaxial::sim

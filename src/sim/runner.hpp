@@ -1,0 +1,43 @@
+// Run harness: builds systems for (configuration, workload) pairs, runs the
+// measurement protocol, and fans independent runs out over a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coaxial/configs.hpp"
+#include "sim/system.hpp"
+#include "workload/catalog.hpp"
+
+namespace coaxial::sim {
+
+struct RunRequest {
+  sys::SystemConfig config;
+  std::vector<std::string> workloads;  ///< One per core; a single name is
+                                       ///< replicated across all cores.
+  std::uint64_t warmup_instr = 120'000;
+  std::uint64_t measure_instr = 400'000;
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  std::string config_name;
+  std::string workload_name;  ///< Single name or "mix-<i>".
+  RunStats stats;
+};
+
+/// Run one simulation synchronously.
+RunResult run_one(const RunRequest& request);
+
+/// Run many simulations, using up to `threads` host threads (0 = hardware
+/// concurrency). Results are returned in request order.
+std::vector<RunResult> run_many(const std::vector<RunRequest>& requests,
+                                std::size_t threads = 0);
+
+/// Convenience: request for one workload replicated on all cores.
+RunRequest homogeneous(const sys::SystemConfig& cfg, const std::string& workload,
+                       std::uint64_t warmup, std::uint64_t measure,
+                       std::uint64_t seed = 42);
+
+}  // namespace coaxial::sim

@@ -1,0 +1,176 @@
+#include "sim/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace coaxial::report {
+
+namespace {
+
+constexpr int kWidth = 1200;
+constexpr int kHeight = 420;
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 30;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 110;
+
+const char* kPalette[] = {"#4878a8", "#e07b39", "#5a9e6f", "#b85c8a",
+                          "#8866aa", "#999944"};
+
+double nice_max(double v) {
+  if (v <= 0) return 1.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(v)));
+  for (double m : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 7.5, 10.0}) {
+    if (mag * m >= v) return mag * m;
+  }
+  return 10.0 * mag;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void emit_frame(std::ostream& os, const std::string& title, double y_max,
+                const std::string& y_label) {
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << kWidth << "' height='"
+     << kHeight << "' font-family='sans-serif' font-size='12'>\n"
+     << "<rect width='100%' height='100%' fill='white'/>\n"
+     << "<text x='" << kWidth / 2 << "' y='22' text-anchor='middle' font-size='16'>"
+     << escape(title) << "</text>\n";
+  const int plot_h = kHeight - kMarginTop - kMarginBottom;
+  // Horizontal gridlines and y-axis labels.
+  for (int i = 0; i <= 4; ++i) {
+    const double frac = i / 4.0;
+    const int y = kMarginTop + static_cast<int>(plot_h * (1.0 - frac));
+    os << "<line x1='" << kMarginLeft << "' y1='" << y << "' x2='"
+       << kWidth - kMarginRight << "' y2='" << y
+       << "' stroke='#dddddd' stroke-width='1'/>\n"
+       << "<text x='" << kMarginLeft - 8 << "' y='" << y + 4
+       << "' text-anchor='end'>" << frac * y_max << "</text>\n";
+  }
+  if (!y_label.empty()) {
+    os << "<text x='16' y='" << kMarginTop + plot_h / 2
+       << "' text-anchor='middle' transform='rotate(-90 16 "
+       << kMarginTop + plot_h / 2 << ")'>" << escape(y_label) << "</text>\n";
+  }
+}
+
+void emit_legend(std::ostream& os, const std::vector<Series>& series) {
+  int x = kMarginLeft;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << "<rect x='" << x << "' y='" << kHeight - 18 << "' width='12' height='12' fill='"
+       << kPalette[s % 6] << "'/>\n"
+       << "<text x='" << x + 16 << "' y='" << kHeight - 8 << "'>"
+       << escape(series[s].name) << "</text>\n";
+    x += 22 + static_cast<int>(series[s].name.size()) * 7;
+  }
+}
+
+}  // namespace
+
+bool write_bar_chart_svg(const std::string& path, const std::string& title,
+                         const std::vector<std::string>& categories,
+                         const std::vector<Series>& series, double reference) {
+  if (categories.empty() || series.empty()) return false;
+  std::ofstream f(path);
+  if (!f) return false;
+
+  double max_v = reference;
+  for (const auto& s : series) {
+    for (double v : s.y) max_v = std::max(max_v, v);
+  }
+  const double y_max = nice_max(max_v * 1.05);
+
+  std::ostringstream os;
+  emit_frame(os, title, y_max, "");
+
+  const int plot_w = kWidth - kMarginLeft - kMarginRight;
+  const int plot_h = kHeight - kMarginTop - kMarginBottom;
+  const double group_w = static_cast<double>(plot_w) / categories.size();
+  const double bar_w = std::max(1.0, group_w * 0.8 / series.size());
+
+  for (std::size_t c = 0; c < categories.size(); ++c) {
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      if (c >= series[s].y.size()) continue;
+      const double v = std::max(0.0, series[s].y[c]);
+      const double h = plot_h * std::min(1.0, v / y_max);
+      const double x = kMarginLeft + c * group_w + group_w * 0.1 + s * bar_w;
+      const double y = kMarginTop + plot_h - h;
+      os << "<rect x='" << x << "' y='" << y << "' width='" << bar_w << "' height='"
+         << h << "' fill='" << kPalette[s % 6] << "'/>\n";
+    }
+    const double cx = kMarginLeft + c * group_w + group_w / 2;
+    os << "<text x='" << cx << "' y='" << kMarginTop + plot_h + 10
+       << "' text-anchor='end' transform='rotate(-55 " << cx << " "
+       << kMarginTop + plot_h + 10 << ")'>" << escape(categories[c]) << "</text>\n";
+  }
+  if (reference > 0.0 && reference <= y_max) {
+    const int y = kMarginTop + static_cast<int>(plot_h * (1.0 - reference / y_max));
+    os << "<line x1='" << kMarginLeft << "' y1='" << y << "' x2='"
+       << kWidth - kMarginRight << "' y2='" << y
+       << "' stroke='#cc3333' stroke-dasharray='6,4'/>\n";
+  }
+  emit_legend(os, series);
+  os << "</svg>\n";
+  f << os.str();
+  return static_cast<bool>(f);
+}
+
+bool write_line_chart_svg(const std::string& path, const std::string& title,
+                          const std::vector<double>& x, const std::vector<Series>& series,
+                          const std::string& x_label, const std::string& y_label) {
+  if (x.size() < 2 || series.empty()) return false;
+  std::ofstream f(path);
+  if (!f) return false;
+
+  double max_v = 0;
+  for (const auto& s : series) {
+    for (double v : s.y) max_v = std::max(max_v, v);
+  }
+  const double y_max = nice_max(max_v * 1.05);
+  const double x_min = *std::min_element(x.begin(), x.end());
+  const double x_max = *std::max_element(x.begin(), x.end());
+  const double x_span = std::max(1e-12, x_max - x_min);
+
+  std::ostringstream os;
+  emit_frame(os, title, y_max, y_label);
+  const int plot_w = kWidth - kMarginLeft - kMarginRight;
+  const int plot_h = kHeight - kMarginTop - kMarginBottom;
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << "<polyline fill='none' stroke='" << kPalette[s % 6]
+       << "' stroke-width='2' points='";
+    for (std::size_t i = 0; i < x.size() && i < series[s].y.size(); ++i) {
+      const double px = kMarginLeft + plot_w * (x[i] - x_min) / x_span;
+      const double py =
+          kMarginTop + plot_h * (1.0 - std::min(1.0, series[s].y[i] / y_max));
+      os << px << "," << py << " ";
+    }
+    os << "'/>\n";
+  }
+  for (int i = 0; i <= 4; ++i) {
+    const double frac = i / 4.0;
+    const double px = kMarginLeft + plot_w * frac;
+    os << "<text x='" << px << "' y='" << kMarginTop + plot_h + 18
+       << "' text-anchor='middle'>" << x_min + frac * x_span << "</text>\n";
+  }
+  os << "<text x='" << kMarginLeft + plot_w / 2 << "' y='" << kMarginTop + plot_h + 38
+     << "' text-anchor='middle'>" << escape(x_label) << "</text>\n";
+  emit_legend(os, series);
+  os << "</svg>\n";
+  f << os.str();
+  return static_cast<bool>(f);
+}
+
+}  // namespace coaxial::report

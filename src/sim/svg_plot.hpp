@@ -1,0 +1,28 @@
+// Minimal SVG chart emission — the reproduction's analogue of the
+// artifact's plot_all.py: bench harnesses can drop bar/line charts next to
+// their CSVs so figures regenerate without any external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coaxial::report {
+
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Grouped bar chart (one bar group per category, one bar per series).
+/// `reference` draws a horizontal dashed line (e.g. speedup = 1.0).
+/// Returns true if the file was written.
+bool write_bar_chart_svg(const std::string& path, const std::string& title,
+                         const std::vector<std::string>& categories,
+                         const std::vector<Series>& series, double reference = 0.0);
+
+/// Line chart over a shared x axis.
+bool write_line_chart_svg(const std::string& path, const std::string& title,
+                          const std::vector<double>& x, const std::vector<Series>& series,
+                          const std::string& x_label, const std::string& y_label);
+
+}  // namespace coaxial::report

@@ -1,0 +1,161 @@
+#include "workload/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace coaxial::workload {
+
+namespace {
+
+/// Shape of a workload's memory behaviour; `mem_fraction` is solved from the
+/// Table IV LLC-MPKI target using the first-order model
+///
+///   MPKI ~= 1000 * mem_frac * (seq/8 + (1-seq) * p_cold)
+///
+/// where sequential streams miss once per 64 B line (8-word lines) and cold
+/// random accesses miss the LLC (cold tier >> LLC share). Hot accesses stay
+/// in private caches; mid accesses hit the LLC.
+struct Shape {
+  const char* name;
+  const char* suite;
+  double seq;        ///< Sequential share of memory ops.
+  double p_hot;      ///< Random-access share to the L2-resident tier.
+  double p_mid;      ///< Random-access share to the LLC-resident tier.
+  double store;      ///< Store share of memory ops.
+  double dep;        ///< P(load depends on previous load).
+  double max_ipc;    ///< ILP/front-end ceiling.
+  double ipc;        ///< Paper Table IV baseline IPC.
+  double mpki;       ///< Paper Table IV baseline LLC MPKI.
+  std::uint32_t mid_kb = 1152;
+  std::uint32_t hot_kb = 128;
+  std::uint32_t cold_kb = 32768;
+  double burst = 0.8;  ///< Temporal burstiness (see WorkloadParams).
+  double calib = 1.0;  ///< Post-hoc multiplier on the solved mem_fraction,
+                       ///< absorbing prefetch overfetch and LLC-pressure
+                       ///< effects the first-order solver cannot see.
+};
+
+WorkloadParams make(const Shape& s) {
+  WorkloadParams p;
+  p.name = s.name;
+  p.suite = s.suite;
+  p.seq_prob = s.seq;
+  p.p_hot = s.p_hot;
+  p.p_mid = s.p_mid;
+  p.store_fraction = s.store;
+  p.dep_prob = s.dep;
+  p.max_ipc = s.max_ipc;
+  p.hot_kb = s.hot_kb;
+  p.mid_kb = s.mid_kb;
+  p.cold_kb = s.cold_kb;
+  p.streams = s.seq > 0.8 ? 12 : 6;
+  p.burstiness = s.burst;
+  p.paper_ipc = s.ipc;
+  p.paper_llc_mpki = s.mpki;
+
+  const double p_cold = std::max(0.0, 1.0 - s.p_hot - s.p_mid);
+  // Mid-tier accesses mostly hit the LLC, but random replacement interplay
+  // across 12 sharers leaves a residual ~12% miss rate; fold it into the
+  // cold term so the solved mem_fraction lands the MPKI target.
+  const double cold_eff = p_cold + 0.12 * s.p_mid;
+  const double miss_per_memop = s.seq / 8.0 + (1.0 - s.seq) * cold_eff;
+  const double mf = s.calib * (s.mpki / 1000.0) / std::max(miss_per_memop, 1e-6);
+  p.mem_fraction = std::clamp(mf, 0.02, 0.60);
+  return p;
+}
+
+std::vector<WorkloadParams> build_catalog() {
+  // Shapes chosen per workload class: SPEC HPC codes are stream-dominated;
+  // mcf/omnetpp/xalanc/gcc are pointer/dependency-bound with large LLC-
+  // resident shares; LIGRA kernels mix sequential offset scans with cold
+  // random neighbour gathers; STREAM is pure streaming; masstree chases
+  // pointers; kmeans streams centroids. mid_kb tiers are sized so 12
+  // instances fit the baseline 24 MB LLC only for LLC-friendly workloads.
+  const Shape shapes[] = {
+      // name           suite     seq  p_hot p_mid store dep  ipc_cap  IPC   MPKI
+      {"lbm",           "SPEC",   0.95, 0.60, 0.20, 0.45, 0.00, 2.0,   0.14, 64, 1152, 128, 49152, 0.35, 0.80},
+      {"bwaves",        "SPEC",   0.80, 0.70, 0.25, 0.20, 0.55, 0.36,  0.33, 14, 1152, 128, 32768, 0.85},
+      {"cactusBSSN",    "SPEC",   0.70, 0.75, 0.20, 0.25, 0.50, 0.90,  0.68, 8, 1152, 128, 32768, 0.85},
+      {"fotonik3d",     "SPEC",   0.85, 0.60, 0.30, 0.30, 0.30, 0.45,  0.32, 22, 1152, 128, 32768, 0.8, 0.90},
+      {"cam4",          "SPEC",   0.60, 0.80, 0.15, 0.50, 0.45, 1.10,  0.87, 6},
+      {"wrf",           "SPEC",   0.70, 0.70, 0.20, 0.30, 0.45, 0.80,  0.61, 11, 1152, 128, 32768, 0.8, 0.90},
+      {"mcf",           "SPEC",   0.20, 0.55, 0.30, 0.15, 0.30, 1.30,  0.79, 13, 1152, 128, 32768, 0.8, 0.81},
+      {"roms",          "SPEC",   0.75, 0.75, 0.20, 0.30, 0.45, 0.90,  0.77, 6, 1152, 128, 32768, 0.8, 0.95},
+      {"pop2",          "SPEC",   0.60, 0.80, 0.17, 0.30, 0.20, 1.75,  1.50, 3},
+      {"omnetpp",       "SPEC",   0.10, 0.55, 0.30, 0.25, 0.80, 0.62,  0.50, 10, 1152, 128, 32768, 0.8, 0.88},
+      {"xalancbmk",     "SPEC",   0.15, 0.50, 0.35, 0.20, 0.70, 0.62,  0.50, 12, 1280, 128, 32768, 0.8, 0.86},
+      {"gcc",           "SPEC",   0.15, 0.45, 0.42, 0.25, 0.80, 0.33,  0.27, 19, 1280, 128, 32768, 0.8, 1.00},
+      {"pagerank-delta","LIGRA",  0.30, 0.40, 0.20, 0.20, 0.45, 0.55,  0.30, 27, 1152, 128, 32768, 0.8, 0.82},
+      {"comp-shortcut", "LIGRA",  0.35, 0.30, 0.15, 0.20, 0.10, 2.20,  0.34, 48, 1152, 128, 32768, 0.8, 0.86},
+      {"components",    "LIGRA",  0.35, 0.30, 0.15, 0.20, 0.10, 2.20,  0.36, 48, 1152, 128, 32768, 0.8, 0.86},
+      {"bc",            "LIGRA",  0.30, 0.35, 0.20, 0.20, 0.20, 1.00,  0.33, 34, 1152, 128, 32768, 0.8, 0.93},
+      {"pagerank",      "LIGRA",  0.40, 0.30, 0.20, 0.20, 0.10, 2.20,  0.36, 40, 1152, 128, 32768, 0.8, 0.85},
+      {"radii",         "LIGRA",  0.35, 0.35, 0.20, 0.20, 0.10, 2.20,  0.41, 33, 1152, 128, 32768, 0.8, 0.74},
+      {"cf",            "LIGRA",  0.40, 0.50, 0.30, 0.25, 0.25, 1.40,  0.80, 12},
+      {"bfscc",         "LIGRA",  0.35, 0.45, 0.25, 0.20, 0.20, 1.10,  0.65, 17, 1152, 128, 32768, 0.8, 0.90},
+      {"bellmanford",   "LIGRA",  0.40, 0.50, 0.30, 0.20, 0.35, 1.05,  0.82, 9},
+      {"bfs",           "LIGRA",  0.35, 0.45, 0.25, 0.15, 0.35, 1.10,  0.66, 15, 1152, 128, 32768, 0.8, 0.90},
+      {"bfs-bitvector", "LIGRA",  0.40, 0.50, 0.28, 0.15, 0.10, 2.00,  0.84, 15},
+      {"triangle",      "LIGRA",  0.35, 0.40, 0.25, 0.10, 0.15, 1.20,  0.61, 21, 1152, 128, 32768, 0.8, 0.82},
+      {"stream-copy",   "STREAM", 0.98, 0.50, 0.30, 0.50, 0.00, 2.00,  0.17, 58, 1152, 128, 32768, 0.25, 0.92},
+      {"stream-scale",  "STREAM", 0.98, 0.50, 0.30, 0.50, 0.00, 2.00,  0.21, 48, 1152, 128, 32768, 0.25, 0.95},
+      {"stream-add",    "STREAM", 0.98, 0.50, 0.30, 0.34, 0.00, 2.00,  0.16, 69, 1152, 128, 32768, 0.25, 0.88},
+      {"stream-triad",  "STREAM", 0.98, 0.50, 0.30, 0.34, 0.00, 2.00,  0.18, 59, 1152, 128, 32768, 0.25, 0.93},
+      {"masstree",      "KVS",    0.15, 0.40, 0.25, 0.15, 0.62, 0.50,  0.37, 21, 1152, 128, 32768, 0.8, 0.83},
+      {"kmeans",        "KVS",    0.85, 0.50, 0.20, 0.15, 0.05, 2.40,  0.50, 36, 1152, 128, 32768, 0.8, 0.82},
+      {"fluidanimate",  "PARSEC", 0.50, 0.60, 0.25, 0.30, 0.50, 0.90,  0.73, 7},
+      {"facesim",       "PARSEC", 0.55, 0.60, 0.25, 0.30, 0.50, 0.90,  0.74, 6},
+      {"raytrace",      "PARSEC", 0.30, 0.65, 0.25, 0.10, 0.35, 1.40,  1.10, 5},
+      {"streamcluster", "PARSEC", 0.70, 0.40, 0.20, 0.10, 0.08, 1.40,  0.95, 14, 1152, 128, 32768, 0.8, 0.90},
+      {"canneal",       "PARSEC", 0.10, 0.50, 0.30, 0.15, 0.70, 0.75,  0.61, 7},
+  };
+  // Note: the paper's prose says "36 diverse workloads" but Table IV lists
+  // 35 and the artifact appendix confirms 35 ("8 configurations with 35
+  // workloads"); we reproduce the 35 of Table IV.
+  std::vector<WorkloadParams> catalog;
+  catalog.reserve(std::size(shapes));
+  for (const Shape& s : shapes) catalog.push_back(make(s));
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<WorkloadParams>& all_workloads() {
+  static const std::vector<WorkloadParams> catalog = build_catalog();
+  return catalog;
+}
+
+const WorkloadParams& find_workload(const std::string& name) {
+  for (const auto& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(all_workloads().size());
+  for (const auto& w : all_workloads()) names.push_back(w.name);
+  return names;
+}
+
+std::vector<std::vector<std::string>> make_mixes(std::uint32_t count, std::uint32_t cores,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  const auto names = workload_names();
+  std::vector<std::vector<std::string>> mixes;
+  mixes.reserve(count);
+  for (std::uint32_t m = 0; m < count; ++m) {
+    std::vector<std::string> mix;
+    mix.reserve(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+      mix.push_back(names[rng.next_below(names.size())]);
+    }
+    mixes.push_back(std::move(mix));
+  }
+  return mixes;
+}
+
+}  // namespace coaxial::workload

@@ -1,0 +1,27 @@
+// The paper's 36-workload evaluation set (Table IV), expressed as synthetic
+// generator parameterisations, plus the Fig. 6 mixed-workload sampler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace coaxial::workload {
+
+/// All 36 workloads in Table IV order (SPEC, LIGRA, STREAM, KVS, PARSEC).
+const std::vector<WorkloadParams>& all_workloads();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const WorkloadParams& find_workload(const std::string& name);
+
+/// Names of all 36 workloads.
+std::vector<std::string> workload_names();
+
+/// Fig. 6: `count` mixes, each `cores` workloads sampled uniformly (with
+/// replacement) from the catalog, deterministic in `seed`.
+std::vector<std::vector<std::string>> make_mixes(std::uint32_t count, std::uint32_t cores,
+                                                 std::uint64_t seed);
+
+}  // namespace coaxial::workload

@@ -1,0 +1,120 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coaxial::workload {
+
+namespace {
+// Synthetic PC layout. Distinct PCs per access class give the MAP-I
+// predictor a learnable signal: stream and cold accesses (LLC-hostile)
+// carry different PCs than hot/mid accesses (LLC-friendly).
+constexpr Addr kPcAlu = 0x400000;
+constexpr Addr kPcStreamBase = 0x401000;
+constexpr Addr kPcHotBase = 0x402000;
+constexpr Addr kPcMidBase = 0x403000;
+constexpr Addr kPcColdBase = 0x404000;
+constexpr std::uint32_t kPcsPerClass = 8;
+
+Addr kb_to_bytes(std::uint32_t kb) {
+  const Addr b = static_cast<Addr>(kb) * 1024;
+  return std::max<Addr>(b & ~static_cast<Addr>(kLineBytes - 1), kLineBytes);
+}
+}  // namespace
+
+Regions region_layout(const WorkloadParams& params, std::uint32_t core_id) {
+  // Disjoint 4 GB-aligned region per core so instances never share lines
+  // (rate-mode execution); tiers are disjoint sub-ranges within the region.
+  const Addr region = (static_cast<Addr>(core_id) + 1) << 32;
+  Regions r;
+  r.hot_base = region;
+  r.hot_bytes = kb_to_bytes(params.hot_kb);
+  r.mid_base = region + (1ull << 28);
+  r.mid_bytes = kb_to_bytes(params.mid_kb);
+  r.cold_base = region + (1ull << 29);
+  r.cold_bytes = kb_to_bytes(params.cold_kb);
+  return r;
+}
+
+Generator::Generator(const WorkloadParams& params, std::uint32_t core_id, std::uint64_t seed)
+    : params_(params),
+      rng_(seed * 0x9e3779b97f4a7c15ull + core_id + 1),
+      phase_rng_(seed * 0x9e3779b97f4a7c15ull + 0x5eed) {
+  const Regions r = region_layout(params, core_id);
+  hot_bytes_ = r.hot_bytes;
+  mid_bytes_ = r.mid_bytes;
+  cold_bytes_ = r.cold_bytes;
+  base_hot_ = r.hot_base;
+  base_mid_ = r.mid_base;
+  base_cold_ = r.cold_base;
+
+  const std::uint32_t n_streams = std::max<std::uint32_t>(1, params_.streams);
+  stream_pos_.reserve(n_streams);
+  for (std::uint32_t s = 0; s < n_streams; ++s) {
+    stream_pos_.push_back(rng_.next_below(cold_bytes_) & ~static_cast<Addr>(7));
+  }
+}
+
+Instr Generator::next() {
+  // Burst/gap phase machine: mean burst 3000 instructions, mean gap 6000,
+  // so bursts cover 1/3 of instructions.
+  if (phase_left_ == 0) {
+    in_burst_ = !in_burst_;
+    const double mean = in_burst_ ? 3000.0 : 6000.0;
+    phase_left_ =
+        1 + static_cast<std::uint32_t>(-mean * std::log(1.0 - phase_rng_.next_double()));
+  }
+  --phase_left_;
+  const double b = params_.burstiness;
+  const double mem_frac =
+      std::min(0.9, params_.mem_fraction * (in_burst_ ? 1.0 + 2.0 * b : 1.0 - b));
+
+  Instr ins;
+  if (!rng_.chance(mem_frac)) {
+    ins.kind = InstrKind::kAlu;
+    ins.pc = kPcAlu;
+    return ins;
+  }
+
+  const bool is_store = rng_.chance(params_.store_fraction);
+  ins.kind = is_store ? InstrKind::kStore : InstrKind::kLoad;
+
+  if (rng_.chance(params_.seq_prob)) {
+    // Sequential stream through the cold tier, 8-byte word granularity.
+    const std::uint32_t s = next_stream_;
+    next_stream_ = (next_stream_ + 1) % static_cast<std::uint32_t>(stream_pos_.size());
+    Addr pos = stream_pos_[s] + 8;
+    if (pos >= cold_bytes_) pos = 0;
+    stream_pos_[s] = pos;
+    ins.addr = base_cold_ + pos;
+    ins.pc = kPcStreamBase + 8 * (s % kPcsPerClass);
+  } else {
+    const double r = rng_.next_double();
+    Addr base, span, pc_base;
+    if (r < params_.p_hot) {
+      base = base_hot_;
+      span = hot_bytes_;
+      pc_base = kPcHotBase;
+    } else if (r < params_.p_hot + params_.p_mid) {
+      base = base_mid_;
+      span = mid_bytes_;
+      pc_base = kPcMidBase;
+    } else {
+      base = base_cold_;
+      span = cold_bytes_;
+      pc_base = kPcColdBase;
+    }
+    ins.addr = base + (rng_.next_below(span) & ~static_cast<Addr>(7));
+    ins.pc = pc_base + 8 * rng_.next_below(kPcsPerClass);
+  }
+
+  // Pointer-chase dependency: the load consumes the most recent load's
+  // result (intervening ALU work does not break the chain).
+  if (!is_store && saw_load_ && rng_.chance(params_.dep_prob)) {
+    ins.depends_on_prev_load = true;
+  }
+  if (!is_store) saw_load_ = true;
+  return ins;
+}
+
+}  // namespace coaxial::workload

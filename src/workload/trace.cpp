@@ -1,0 +1,92 @@
+#include "workload/trace.hpp"
+
+#include <cstring>
+
+namespace coaxial::workload {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'X', 'T', 'R', 'A', 'C', 'E', '1'};
+
+std::uint64_t pack(const Instr& ins) {
+  std::uint64_t flags = static_cast<std::uint64_t>(ins.kind) & 0x3;
+  if (ins.depends_on_prev_load) flags |= 0x4;
+  return (ins.pc << 8) | flags;
+}
+
+Instr unpack(std::uint64_t addr, std::uint64_t packed) {
+  Instr ins;
+  ins.addr = addr;
+  ins.kind = static_cast<InstrKind>(packed & 0x3);
+  ins.depends_on_prev_load = (packed & 0x4) != 0;
+  ins.pc = packed >> 8;
+  return ins;
+}
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  if (!out_) return;
+  out_.write(kMagic, sizeof(kMagic));
+  const std::uint64_t placeholder = 0;
+  out_.write(reinterpret_cast<const char*>(&placeholder), sizeof(placeholder));
+}
+
+TraceWriter::~TraceWriter() {
+  if (!finished_) finish();
+}
+
+void TraceWriter::append(const Instr& ins) {
+  if (!out_ || finished_) return;
+  const std::uint64_t packed = pack(ins);
+  out_.write(reinterpret_cast<const char*>(&ins.addr), sizeof(ins.addr));
+  out_.write(reinterpret_cast<const char*>(&packed), sizeof(packed));
+  ++count_;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!out_) return;
+  out_.seekp(sizeof(kMagic), std::ios::beg);
+  out_.write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+  out_.close();
+}
+
+TraceReplayer::TraceReplayer(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return;
+  records_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record r;
+    in.read(reinterpret_cast<char*>(&r.addr), sizeof(r.addr));
+    in.read(reinterpret_cast<char*>(&r.packed), sizeof(r.packed));
+    if (!in) {
+      records_.clear();  // Truncated trace: treat as unreadable.
+      return;
+    }
+    records_.push_back(r);
+  }
+}
+
+Instr TraceReplayer::next() {
+  if (records_.empty()) return Instr{};
+  const Record& r = records_[pos_];
+  pos_ = (pos_ + 1) % records_.size();
+  return unpack(r.addr, r.packed);
+}
+
+std::uint64_t record_trace(Generator gen, std::uint64_t count, const std::string& path) {
+  TraceWriter writer(path);
+  if (!writer.ok()) return 0;
+  for (std::uint64_t i = 0; i < count; ++i) writer.append(gen.next());
+  writer.finish();
+  return writer.written();
+}
+
+}  // namespace coaxial::workload

@@ -1,0 +1,86 @@
+// Instruction-trace record / replay.
+//
+// The paper's methodology replays recorded execution traces through the
+// simulator. This module provides the equivalent facility: any instruction
+// source (including the synthetic generators) can be recorded to a compact
+// binary trace, and a TraceReplayer plays a trace back as an instruction
+// source — so users with real traces can run them through COAXIAL.
+//
+// Format: a 16-byte header ("CXTRACE1" + u64 instruction count), then one
+// 16-byte record per instruction:
+//   u64 addr | u64 packed(pc<<8 | flags)   flags: bit0-1 kind, bit2 dep.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace coaxial::workload {
+
+/// Abstract instruction source; Generator and TraceReplayer both satisfy
+/// it so the simulation layer can consume either.
+class InstrSource {
+ public:
+  virtual ~InstrSource() = default;
+  virtual Instr next() = 0;
+};
+
+/// Adapts a synthetic Generator to the InstrSource interface.
+class GeneratorSource final : public InstrSource {
+ public:
+  explicit GeneratorSource(Generator gen) : gen_(std::move(gen)) {}
+  Instr next() override { return gen_.next(); }
+
+ private:
+  Generator gen_;
+};
+
+/// Writes instructions to a binary trace file.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return static_cast<bool>(out_); }
+  void append(const Instr& ins);
+  std::uint64_t written() const { return count_; }
+
+  /// Flushes the header (with the final count) and closes the file.
+  void finish();
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Replays a binary trace, looping back to the start when exhausted (the
+/// paper replays fixed-length regions; looping keeps long runs fed).
+class TraceReplayer final : public InstrSource {
+ public:
+  explicit TraceReplayer(const std::string& path);
+
+  bool ok() const { return !records_.empty(); }
+  std::uint64_t size() const { return records_.size(); }
+  Instr next() override;
+
+ private:
+  struct Record {
+    std::uint64_t addr;
+    std::uint64_t packed;
+  };
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: record `count` instructions of a generator to `path`.
+/// Returns the number written (0 on I/O failure).
+std::uint64_t record_trace(Generator gen, std::uint64_t count, const std::string& path);
+
+}  // namespace coaxial::workload

@@ -1,0 +1,104 @@
+#include "dram/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace coaxial::dram {
+namespace {
+
+TEST(AddressMap, CoordinatesInRange) {
+  Geometry g;
+  AddressMap m(g);
+  for (Addr line = 0; line < 100000; ++line) {
+    const Coord c = m.map(line);
+    EXPECT_LT(c.bank_group, g.bank_groups);
+    EXPECT_LT(c.bank, g.banks_per_group);
+    EXPECT_LT(c.row, g.rows);
+    EXPECT_LT(c.column, g.columns);
+    EXPECT_LT(c.flat_bank(g), g.banks());
+  }
+}
+
+TEST(AddressMap, IsInjectiveOverDeviceCapacity) {
+  // Distinct local lines within one row's worth of banks map to distinct
+  // coordinates (bijectivity of the mapping on a window).
+  Geometry g;
+  AddressMap m(g);
+  std::set<std::uint64_t> seen;
+  const Addr window = static_cast<Addr>(g.columns) * g.banks() * 4;  // 4 rows deep.
+  for (Addr line = 0; line < window; ++line) {
+    const Coord c = m.map(line);
+    const std::uint64_t key = ((static_cast<std::uint64_t>(c.row) * g.banks() +
+                                c.flat_bank(g)) *
+                               g.columns) +
+                              c.column;
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate at line " << line;
+  }
+}
+
+TEST(AddressMap, SequentialLinesFillARowFirst) {
+  Geometry g;
+  AddressMap m(g);
+  const Coord first = m.map(0);
+  for (Addr line = 1; line < g.columns; ++line) {
+    const Coord c = m.map(line);
+    EXPECT_EQ(c.row, first.row);
+    EXPECT_EQ(c.flat_bank(g), first.flat_bank(g));
+    EXPECT_EQ(c.column, static_cast<std::uint32_t>(line));
+  }
+  // The next line moves to another bank (row locality preserved per bank).
+  EXPECT_NE(m.map(g.columns).flat_bank(g), first.flat_bank(g));
+}
+
+TEST(AddressMap, PermutationSpreadsRowConflictStreams) {
+  // A stream striding by exactly one row (same nominal bank pre-XOR) must
+  // touch many banks thanks to permutation interleaving.
+  Geometry g;
+  AddressMap m(g);
+  const Addr row_stride = static_cast<Addr>(g.columns) * g.banks();
+  std::set<std::uint32_t> banks;
+  for (Addr i = 0; i < 64; ++i) {
+    banks.insert(m.map(i * row_stride).flat_bank(g));
+  }
+  EXPECT_GT(banks.size(), 16u);
+}
+
+TEST(AddressMap, BankDistributionBalancedForRandom) {
+  Geometry g;
+  AddressMap m(g);
+  std::map<std::uint32_t, int> counts;
+  // Pseudo-random-ish large-stride walk.
+  const int n = 32000;
+  for (int i = 0; i < n; ++i) {
+    counts[m.map(static_cast<Addr>(i) * 7919).flat_bank(g)]++;
+  }
+  EXPECT_EQ(counts.size(), g.banks());
+  for (const auto& [bank, count] : counts) {
+    EXPECT_NEAR(count, n / static_cast<int>(g.banks()), n / g.banks() * 0.25)
+        << "bank " << bank;
+  }
+}
+
+TEST(Timing, DerivedValuesConsistent) {
+  Timing t;
+  EXPECT_EQ(t.rc(), t.ras + t.rp);
+  EXPECT_GT(t.cl, 0u);
+  EXPECT_GE(t.ccd_l, t.ccd_s);
+  EXPECT_GE(t.rrd_l, t.rrd_s);
+  EXPECT_GE(t.wtr_l, t.wtr_s);
+  EXPECT_GE(t.faw, t.rrd_s);  // Four-ACT window at least one ACT gap.
+  EXPECT_LT(t.rfc, t.refi);   // Refresh must not consume the whole interval.
+}
+
+TEST(Timing, SubChannelBandwidthConstants) {
+  // One line per tBL cycles at 2.4 GHz = 64 B / (8 * 0.4167 ns) = 19.2 GB/s.
+  const Timing t;
+  const double gbps = kLineBytes / (static_cast<double>(t.bl) * kNsPerCycle);
+  EXPECT_NEAR(gbps, kSubChannelPeakGBps, 1e-9);
+  EXPECT_NEAR(2 * kSubChannelPeakGBps, kChannelPeakGBps, 1e-9);
+}
+
+}  // namespace
+}  // namespace coaxial::dram

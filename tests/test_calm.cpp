@@ -1,0 +1,222 @@
+#include "coaxial/calm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+
+namespace coaxial::calm {
+namespace {
+
+cache::Cache make_llc() { return cache::Cache(64 * 1024, 16); }
+
+TEST(Calm, NonePolicyNeverProbes) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kNone;
+  Decider d(cfg, 16.0, 12);
+  auto llc = make_llc();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(d.decide(0, i, 0x400, i, llc));
+  }
+  EXPECT_EQ(d.stats().decisions, 100u);
+  EXPECT_EQ(d.stats().probes, 0u);
+}
+
+TEST(Calm, OraclePeeksLlcExactly) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kOracle;
+  Decider d(cfg, 16.0, 12);
+  auto llc = make_llc();
+  llc.fill(5, false);
+  EXPECT_FALSE(d.decide(0, 5, 0x400, 0, llc));   // Present: no probe.
+  EXPECT_TRUE(d.decide(0, 99, 0x400, 0, llc));   // Absent: probe.
+}
+
+TEST(Calm, MapIStartsPredictingMiss) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kMapI;
+  Decider d(cfg, 16.0, 12);
+  auto llc = make_llc();
+  EXPECT_TRUE(d.decide(0, 1, 0x400, 0, llc));
+}
+
+TEST(Calm, MapILearnsHitsPerPc) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kMapI;
+  Decider d(cfg, 16.0, 12);
+  auto llc = make_llc();
+  const Addr pc = 0x408;
+  // Train: this PC always hits the LLC.
+  for (int i = 0; i < 16; ++i) d.on_llc_result(0, pc, /*llc_hit=*/true, true, i);
+  EXPECT_FALSE(d.decide(0, 1, pc, 100, llc));
+  // A different PC (different table index) still predicts miss.
+  EXPECT_TRUE(d.decide(0, 1, pc + 8, 100, llc));
+}
+
+TEST(Calm, MapIRelearnsMisses) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kMapI;
+  Decider d(cfg, 16.0, 12);
+  auto llc = make_llc();
+  const Addr pc = 0x410;
+  for (int i = 0; i < 16; ++i) d.on_llc_result(0, pc, true, true, i);
+  ASSERT_FALSE(d.decide(0, 1, pc, 100, llc));
+  for (int i = 0; i < 16; ++i) d.on_llc_result(0, pc, false, false, 100 + i);
+  EXPECT_TRUE(d.decide(0, 1, pc, 200, llc));
+}
+
+TEST(Calm, RegulatedProbesWhenBandwidthIsFree) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kRegulated;
+  cfg.r_fraction = 0.7;
+  Decider d(cfg, /*peak B/cyc=*/16.0, /*num_l2=*/1);
+  auto llc = make_llc();
+  // No recorded traffic: estimators are zero -> probability 1.
+  int probes = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (d.decide(0, i, 0x400, i, llc)) ++probes;
+  }
+  EXPECT_EQ(probes, 100);
+}
+
+TEST(Calm, RegulatedStopsWhenFilteredBandwidthSaturates) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kRegulated;
+  cfg.r_fraction = 0.5;
+  cfg.epoch_cycles = 128;
+  Decider d(cfg, 16.0, 1);  // Share = 8 B/cycle.
+  auto llc = make_llc();
+  // Record an epoch of LLC-missing traffic far above the share:
+  // one 64 B miss per cycle = 64 B/cycle filtered demand.
+  for (Cycle t = 0; t < 256; ++t) d.on_llc_result(0, 0x400, /*llc_hit=*/false, true, t);
+  // Decide within the epoch right after training (estimates are fresh;
+  // after an idle epoch the estimate decays by design).
+  int probes = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (d.decide(0, i, 0x400, 260 + i % 60, llc)) ++probes;
+  }
+  EXPECT_EQ(probes, 0);
+}
+
+TEST(Calm, RegulatedPartialProbability) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kRegulated;
+  cfg.r_fraction = 0.5;
+  cfg.epoch_cycles = 1024;
+  Decider d(cfg, 16.0, 1);  // Share = 8 B/cycle.
+  auto llc = make_llc();
+  // One L2 miss every 4 cycles (unfiltered 16 B/cycle); one in four of
+  // those misses the LLC (filtered 4 B/cycle) => p = (8-4)/16 = 0.25.
+  for (Cycle t = 0; t < 2048; t += 4) {
+    const bool miss = (t % 16) == 0;
+    d.on_llc_result(0, 0x400, !miss, true, t);
+  }
+  int probes = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (d.decide(0, i, 0x400, 2050 + i % 512, llc)) ++probes;
+  }
+  EXPECT_NEAR(static_cast<double>(probes) / n, 0.25, 0.05);
+}
+
+TEST(Calm, ConfusionMatrixConsistency) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kOracle;
+  Decider d(cfg, 16.0, 2);
+  auto llc = make_llc();
+  llc.fill(1, false);
+  // Probe + miss, probe + hit, no-probe + hit, no-probe + miss.
+  d.on_llc_result(0, 0x400, false, true, 1);
+  d.on_llc_result(0, 0x400, true, true, 2);
+  d.on_llc_result(1, 0x400, true, false, 3);
+  d.on_llc_result(1, 0x400, false, false, 4);
+  const CalmStats& s = d.stats();
+  EXPECT_EQ(s.true_positives, 1u);
+  EXPECT_EQ(s.false_positives, 1u);
+  EXPECT_EQ(s.true_negatives, 1u);
+  EXPECT_EQ(s.false_negatives, 1u);
+  EXPECT_EQ(s.probes, 2u);
+}
+
+TEST(Calm, RatesComputedOverDecisions) {
+  CalmStats s;
+  s.decisions = 10;
+  s.false_positives = 2;
+  s.false_negatives = 3;
+  EXPECT_DOUBLE_EQ(s.false_positive_rate(), 0.2);
+  EXPECT_DOUBLE_EQ(s.false_negative_rate(), 0.3);
+  EXPECT_EQ(CalmStats{}.false_positive_rate(), 0.0);
+}
+
+TEST(Calm, ResetStatsClears) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kOracle;
+  Decider d(cfg, 16.0, 1);
+  auto llc = make_llc();
+  d.decide(0, 1, 0x400, 0, llc);
+  d.reset_stats();
+  EXPECT_EQ(d.stats().decisions, 0u);
+}
+
+class CalmThreshold : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalmThreshold, HigherRProbesAtLeastAsOften) {
+  const double r = GetParam();
+  auto run = [&](double r_frac) {
+    CalmConfig cfg;
+    cfg.policy = Policy::kRegulated;
+    cfg.r_fraction = r_frac;
+    cfg.epoch_cycles = 512;
+    Decider d(cfg, 16.0, 1);
+    auto llc = make_llc();
+    for (Cycle t = 0; t < 1024; ++t) {
+      d.on_llc_result(0, 0x400, (t % 3) != 0, true, t);
+    }
+    int probes = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (d.decide(0, i, 0x400, 2000, llc)) ++probes;
+    }
+    return probes;
+  };
+  EXPECT_GE(run(r) + 60, run(r - 0.2));  // Allow sampling noise.
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, CalmThreshold, ::testing::Values(0.5, 0.6, 0.7, 0.9));
+
+}  // namespace
+}  // namespace coaxial::calm
+// -- Hybrid policy (extension) ----------------------------------------------
+
+namespace coaxial::calm {
+namespace {
+
+TEST(CalmHybrid, RequiresBothPredictorAndBudget) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kHybrid;
+  cfg.r_fraction = 0.5;
+  cfg.epoch_cycles = 128;
+  Decider d(cfg, 16.0, 1);
+  auto llc = cache::Cache(64 * 1024, 16);
+  // Fresh state: MAP-I predicts miss and budget is free -> probes.
+  EXPECT_TRUE(d.decide(0, 1, 0x400, 0, llc));
+  // Train the PC to hit: predictor vetoes even with free budget.
+  for (int i = 0; i < 16; ++i) d.on_llc_result(0, 0x400, true, true, i);
+  EXPECT_FALSE(d.decide(0, 1, 0x400, 20, llc));
+  // Saturate the budget on a miss-predicting PC: regulator vetoes.
+  for (Cycle t = 0; t < 256; ++t) d.on_llc_result(0, 0x500, false, true, t);
+  EXPECT_FALSE(d.decide(0, 1, 0x500, 300, llc));
+}
+
+TEST(CalmHybrid, TrainsLikeMapI) {
+  CalmConfig cfg;
+  cfg.policy = Policy::kHybrid;
+  Decider d(cfg, 1e9, 1);  // Effectively unlimited budget.
+  auto llc = cache::Cache(64 * 1024, 16);
+  const Addr pc = 0x600;
+  for (int i = 0; i < 16; ++i) d.on_llc_result(0, pc, true, true, i);
+  EXPECT_FALSE(d.decide(0, 1, pc, 100, llc));
+  for (int i = 0; i < 16; ++i) d.on_llc_result(0, pc, false, false, 200 + i);
+  EXPECT_TRUE(d.decide(0, 1, pc, 300, llc));
+}
+
+}  // namespace
+}  // namespace coaxial::calm

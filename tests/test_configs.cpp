@@ -1,0 +1,96 @@
+#include "coaxial/configs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coaxial/area_model.hpp"
+
+namespace coaxial::sys {
+namespace {
+
+TEST(Configs, BaselineMatchesTableIII) {
+  const SystemConfig c = baseline_ddr();
+  EXPECT_EQ(c.topology, Topology::kDirectDdr);
+  EXPECT_EQ(c.ddr_channels, 1u);
+  EXPECT_EQ(c.uarch.cores, 12u);
+  EXPECT_EQ(c.uarch.llc_mb_per_core, 2u);
+  EXPECT_EQ(c.uarch.rob_entries, 256u);
+  EXPECT_EQ(c.uarch.fetch_width, 4u);
+  EXPECT_EQ(c.calm.policy, calm::Policy::kNone);
+  EXPECT_DOUBLE_EQ(c.peak_memory_gbps(), 38.4);
+}
+
+TEST(Configs, Coaxial4xMatchesTableII) {
+  const SystemConfig c = coaxial_4x();
+  EXPECT_EQ(c.topology, Topology::kCxl);
+  EXPECT_EQ(c.cxl_channels, 4u);
+  EXPECT_EQ(c.ddr_per_device, 1u);
+  EXPECT_EQ(c.uarch.llc_mb_per_core, 1u);  // Halved LLC.
+  EXPECT_EQ(c.calm.policy, calm::Policy::kRegulated);
+  EXPECT_DOUBLE_EQ(c.calm.r_fraction, 0.70);
+  EXPECT_DOUBLE_EQ(c.peak_memory_gbps(), 4 * 38.4);
+}
+
+TEST(Configs, Coaxial2xKeepsLlc) {
+  const SystemConfig c = coaxial_2x();
+  EXPECT_EQ(c.cxl_channels, 2u);
+  EXPECT_EQ(c.uarch.llc_mb_per_core, 2u);
+}
+
+TEST(Configs, Coaxial5xIsIsoPin) {
+  const SystemConfig c = coaxial_5x();
+  EXPECT_EQ(c.cxl_channels, 5u);
+  EXPECT_EQ(c.uarch.llc_mb_per_core, 2u);
+  EXPECT_DOUBLE_EQ(c.peak_memory_gbps(), 5 * 38.4);
+}
+
+TEST(Configs, AsymHasTwoDdrPerDevice) {
+  const SystemConfig c = coaxial_asym();
+  EXPECT_TRUE(c.asym_lanes);
+  EXPECT_EQ(c.cxl_channels, 4u);
+  EXPECT_EQ(c.ddr_per_device, 2u);
+  EXPECT_EQ(c.uarch.llc_mb_per_core, 1u);
+  EXPECT_DOUBLE_EQ(c.peak_memory_gbps(), 8 * 38.4);
+}
+
+TEST(Configs, MakeMemoryBuildsMatchingTopology) {
+  auto base = baseline_ddr().make_memory();
+  EXPECT_EQ(base->ports(), 1u);
+  EXPECT_DOUBLE_EQ(base->peak_gbps(), 38.4);
+
+  auto coax = coaxial_4x().make_memory();
+  EXPECT_EQ(coax->ports(), 4u);
+  EXPECT_DOUBLE_EQ(coax->peak_gbps(), 4 * 38.4);
+
+  auto asym = coaxial_asym().make_memory();
+  EXPECT_EQ(asym->ports(), 4u);
+  EXPECT_DOUBLE_EQ(asym->peak_gbps(), 8 * 38.4);
+}
+
+TEST(Configs, AllConfigsAreTableIIOrder) {
+  const auto configs = all_configs();
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs[0].name, "DDR-baseline");
+  EXPECT_EQ(configs[1].name, "COAXIAL-5x");
+  EXPECT_EQ(configs[2].name, "COAXIAL-2x");
+  EXPECT_EQ(configs[3].name, "COAXIAL-4x");
+  EXPECT_EQ(configs[4].name, "COAXIAL-asym");
+}
+
+TEST(AreaModel, TableIIRelativeAreas) {
+  const area::ServerArea baseline{144, 288, 12, 0};
+  EXPECT_NEAR(area::relative_area({144, 288, 0, 60}, baseline), 1.17, 0.01);
+  EXPECT_NEAR(area::relative_area({144, 288, 0, 24}, baseline), 1.01, 0.01);
+  EXPECT_NEAR(area::relative_area({144, 144, 0, 48}, baseline), 1.01, 0.01);
+}
+
+TEST(AreaModel, ComponentConstantsMatchTableI) {
+  EXPECT_DOUBLE_EQ(area::kLlcPerMb, 1.0);
+  EXPECT_DOUBLE_EQ(area::kCore, 6.5);
+  EXPECT_DOUBLE_EQ(area::kPciePhyCtrl, 5.9);
+  EXPECT_DOUBLE_EQ(area::kDdrPhyCtrl, 10.8);
+  // The paper's 55% claim: x8 PCIe is ~55% of a DDR controller's area.
+  EXPECT_NEAR(area::kPciePhyCtrl / area::kDdrPhyCtrl, 0.55, 0.01);
+}
+
+}  // namespace
+}  // namespace coaxial::sys

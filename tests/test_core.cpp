@@ -1,0 +1,204 @@
+#include "core/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace coaxial::core {
+namespace {
+
+using workload::WorkloadParams;
+
+/// Scriptable memory port: answers issue attempts from a queue of canned
+/// results and records accepted waiters so tests can complete them later.
+class FakePort : public MemoryPort {
+ public:
+  IssueResult load_response = IssueResult::kHitL1;
+  IssueResult store_response = IssueResult::kHitL1;
+
+  IssueResult issue_load(std::uint32_t, Addr addr, Addr, std::uint64_t waiter,
+                         Cycle) override {
+    ++loads;
+    last_load_addr = addr;
+    if (load_response == IssueResult::kAccepted) accepted_loads.push_back(waiter);
+    return load_response;
+  }
+  IssueResult issue_store(std::uint32_t, Addr, Addr, std::uint64_t, Cycle) override {
+    ++stores;
+    if (store_response == IssueResult::kAccepted) ++outstanding_stores;
+    return store_response;
+  }
+
+  int loads = 0;
+  int stores = 0;
+  int outstanding_stores = 0;
+  Addr last_load_addr = 0;
+  std::deque<std::uint64_t> accepted_loads;
+};
+
+WorkloadParams alu_only() {
+  WorkloadParams p;
+  p.mem_fraction = 0.0;
+  p.max_ipc = 4.0;
+  p.burstiness = 0.0;
+  return p;
+}
+
+WorkloadParams loads_only(double dep = 0.0) {
+  WorkloadParams p;
+  p.mem_fraction = 1.0;
+  p.store_fraction = 0.0;
+  p.seq_prob = 1.0;
+  p.streams = 1;
+  p.dep_prob = dep;
+  p.max_ipc = 4.0;
+  p.burstiness = 0.0;
+  return p;
+}
+
+sys::MicroarchConfig small_uarch() {
+  sys::MicroarchConfig u;
+  u.rob_entries = 32;
+  u.store_buffer = 4;
+  return u;
+}
+
+TEST(Core, AluStreamRetiresAtFullWidth) {
+  Core core(0, small_uarch(), workload::Generator(alu_only(), 0, 1));
+  FakePort port;
+  for (Cycle t = 1; t <= 100; ++t) core.tick(t, port);
+  // 4-wide with 1-cycle latency: close to 4 IPC after pipeline fill.
+  EXPECT_GE(core.retired(), 380u);
+  EXPECT_EQ(port.loads, 0);
+}
+
+TEST(Core, MaxIpcCeilingThrottlesFetch) {
+  auto p = alu_only();
+  p.max_ipc = 1.0;
+  Core core(0, small_uarch(), workload::Generator(p, 0, 1));
+  FakePort port;
+  for (Cycle t = 1; t <= 200; ++t) core.tick(t, port);
+  EXPECT_NEAR(static_cast<double>(core.retired()), 200.0, 12.0);
+}
+
+TEST(Core, L1HitLoadsRetireAfterHitLatency) {
+  Core core(0, small_uarch(), workload::Generator(loads_only(), 0, 1));
+  FakePort port;
+  port.load_response = IssueResult::kHitL1;
+  for (Cycle t = 1; t <= 200; ++t) core.tick(t, port);
+  EXPECT_GT(core.retired(), 300u);  // Pipelined 4-cycle hits barely stall.
+}
+
+TEST(Core, OutstandingMissBlocksRetirementUntilCompleted) {
+  Core core(0, small_uarch(), workload::Generator(loads_only(), 0, 1));
+  FakePort port;
+  port.load_response = IssueResult::kAccepted;
+  for (Cycle t = 1; t <= 100; ++t) core.tick(t, port);
+  // Nothing can retire: every load is waiting on memory.
+  EXPECT_EQ(core.retired(), 0u);
+  ASSERT_FALSE(port.accepted_loads.empty());
+  // Complete the first load: retirement resumes for it.
+  core.on_load_complete(port.accepted_loads.front(), 100);
+  for (Cycle t = 101; t <= 105; ++t) core.tick(t, port);
+  EXPECT_GE(core.retired(), 1u);
+}
+
+TEST(Core, RobCapsOutstandingLoads) {
+  Core core(0, small_uarch(), workload::Generator(loads_only(), 0, 1));
+  FakePort port;
+  port.load_response = IssueResult::kAccepted;
+  for (Cycle t = 1; t <= 500; ++t) core.tick(t, port);
+  // At most ROB-size loads can be in flight.
+  EXPECT_LE(port.accepted_loads.size(), 32u);
+}
+
+TEST(Core, RetryBacksOffAndRetries) {
+  Core core(0, small_uarch(), workload::Generator(loads_only(), 0, 1));
+  FakePort port;
+  port.load_response = IssueResult::kRetry;
+  for (Cycle t = 1; t <= 50; ++t) core.tick(t, port);
+  const int attempts_during_stall = port.loads;
+  EXPECT_GT(attempts_during_stall, 5);  // Keeps retrying.
+  port.load_response = IssueResult::kHitL1;
+  for (Cycle t = 51; t <= 150; ++t) core.tick(t, port);
+  EXPECT_GT(core.retired(), 0u);
+}
+
+TEST(Core, DependentLoadWaitsForProducer) {
+  Core core(0, small_uarch(), workload::Generator(loads_only(/*dep=*/1.0), 0, 1));
+  FakePort port;
+  port.load_response = IssueResult::kAccepted;
+  for (Cycle t = 1; t <= 50; ++t) core.tick(t, port);
+  // Fully serialized chain: only the first load may issue.
+  EXPECT_EQ(port.accepted_loads.size(), 1u);
+  core.on_load_complete(port.accepted_loads.front(), 50);
+  port.accepted_loads.clear();
+  for (Cycle t = 51; t <= 60; ++t) core.tick(t, port);
+  EXPECT_EQ(port.accepted_loads.size(), 1u);  // Next link of the chain.
+}
+
+TEST(Core, StoresRetireWithoutWaiting) {
+  WorkloadParams p = loads_only();
+  p.store_fraction = 1.0;
+  Core core(0, small_uarch(), workload::Generator(p, 0, 1));
+  FakePort port;
+  port.store_response = IssueResult::kAccepted;  // All stores miss (RFO).
+  for (Cycle t = 1; t <= 20; ++t) core.tick(t, port);
+  EXPECT_GT(core.retired(), 0u);  // Stores don't block the ROB head.
+}
+
+TEST(Core, StoreBufferBoundsOutstandingRfos) {
+  WorkloadParams p = loads_only();
+  p.store_fraction = 1.0;
+  Core core(0, small_uarch(), workload::Generator(p, 0, 1));
+  FakePort port;
+  port.store_response = IssueResult::kAccepted;
+  for (Cycle t = 1; t <= 200; ++t) core.tick(t, port);
+  EXPECT_LE(port.outstanding_stores, 4);  // store_buffer = 4.
+  // Draining the buffer lets more stores issue.
+  const int before = port.stores;
+  core.on_store_complete(201);
+  core.on_store_complete(201);
+  for (Cycle t = 201; t <= 210; ++t) core.tick(t, port);
+  EXPECT_GT(port.stores, before);
+}
+
+TEST(Core, WaiterEncodingRoundTrips) {
+  const std::uint64_t lw = Core::make_load_waiter(7, 123);
+  EXPECT_EQ(Core::waiter_core(lw), 7u);
+  EXPECT_EQ(Core::waiter_slot(lw), 123u);
+  EXPECT_FALSE(Core::waiter_is_store(lw));
+  const std::uint64_t sw = Core::make_store_waiter(11);
+  EXPECT_EQ(Core::waiter_core(sw), 11u);
+  EXPECT_TRUE(Core::waiter_is_store(sw));
+}
+
+TEST(Core, ResetWindowZeroesRetiredOnly) {
+  Core core(0, small_uarch(), workload::Generator(alu_only(), 0, 1));
+  FakePort port;
+  for (Cycle t = 1; t <= 50; ++t) core.tick(t, port);
+  ASSERT_GT(core.retired(), 0u);
+  core.reset_window();
+  EXPECT_EQ(core.retired(), 0u);
+  for (Cycle t = 51; t <= 100; ++t) core.tick(t, port);
+  EXPECT_GT(core.retired(), 100u);  // Keeps executing.
+}
+
+class CoreIpcCeiling : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoreIpcCeiling, RealizedIpcTracksCeiling) {
+  auto p = alu_only();
+  p.max_ipc = GetParam();
+  Core core(0, small_uarch(), workload::Generator(p, 0, 1));
+  FakePort port;
+  const Cycle horizon = 2000;
+  for (Cycle t = 1; t <= horizon; ++t) core.tick(t, port);
+  const double ipc = static_cast<double>(core.retired()) / horizon;
+  EXPECT_NEAR(ipc, GetParam(), GetParam() * 0.05 + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ceilings, CoreIpcCeiling,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace coaxial::core

@@ -1,0 +1,190 @@
+#include "link/cxl_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "link/lane_config.hpp"
+
+namespace coaxial::link {
+namespace {
+
+TEST(LaneConfig, X8GoodputsMatchPaper) {
+  const LaneConfig c = LaneConfig::x8();
+  EXPECT_DOUBLE_EQ(c.rx_goodput_gbps, 26.0);
+  EXPECT_DOUBLE_EQ(c.tx_goodput_gbps, 13.0);
+  EXPECT_EQ(c.pins, 32u);
+  EXPECT_EQ(c.port_latency_cycles(), 30u);  // 12.5 ns.
+}
+
+TEST(LaneConfig, AsymGoodputsMatchPaper) {
+  const LaneConfig c = LaneConfig::x8_asym();
+  EXPECT_DOUBLE_EQ(c.rx_goodput_gbps, 32.0);
+  EXPECT_DOUBLE_EQ(c.tx_goodput_gbps, 10.0);
+  EXPECT_EQ(c.pins, 32u);  // Same pin budget, repartitioned.
+}
+
+TEST(LaneConfig, SerializationTimesMatchPaper) {
+  const LaneConfig x8 = LaneConfig::x8();
+  // 2.5 ns RX (6 cycles), 5.5 ns-ish TX (12 cycles = 5 ns).
+  EXPECT_EQ(x8.rx_line_cycles(), 6u);
+  EXPECT_EQ(x8.tx_line_cycles(), 12u);
+  const LaneConfig asym = LaneConfig::x8_asym();
+  EXPECT_EQ(asym.rx_line_cycles(), 5u);   // 2 ns.
+  EXPECT_EQ(asym.tx_line_cycles(), 16u);  // 6.4 ns (paper: ~9 ns with headers).
+}
+
+TEST(LaneConfig, ReadOverheadIs52ns) {
+  // 4 x 12.5 ns ports + 2.5 ns RX serialisation = 52.5 ns.
+  EXPECT_NEAR(LaneConfig::x8().read_overhead_ns(), 52.5, 0.1);
+}
+
+TEST(LaneConfig, PortLatencyScalesOverhead) {
+  EXPECT_NEAR(LaneConfig::x8(17.5).read_overhead_ns(), 72.5, 0.1);
+  EXPECT_NEAR(LaneConfig::x8(2.5).read_overhead_ns(), 12.5, 0.1);
+}
+
+TEST(CxlLink, UnloadedDeliveryTime) {
+  CxlLink link(LaneConfig::x8());
+  const Cycle arrival = link.send_rx(kLineBytes, 100);
+  // Serialisation (6) + 2 ports (60).
+  EXPECT_EQ(arrival, 100u + 6 + 60);
+}
+
+TEST(CxlLink, DirectionsAreIndependent) {
+  CxlLink link(LaneConfig::x8());
+  const Cycle rx1 = link.send_rx(kLineBytes, 100);
+  const Cycle tx1 = link.send_tx(kLineBytes, 100);
+  EXPECT_EQ(rx1, 100u + 6 + 60);
+  EXPECT_EQ(tx1, 100u + 12 + 60);  // TX slower serialisation, same ports.
+}
+
+TEST(CxlLink, BackToBackMessagesSerialize) {
+  CxlLink link(LaneConfig::x8());
+  const Cycle first = link.send_rx(kLineBytes, 100);
+  const Cycle second = link.send_rx(kLineBytes, 100);
+  EXPECT_EQ(second, first + 6);  // One extra serialisation slot.
+}
+
+TEST(CxlLink, FifoOrderPreserved) {
+  CxlLink link(LaneConfig::x8());
+  Cycle prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Cycle arrival = link.send_rx(kLineBytes, 100);
+    EXPECT_GT(arrival, prev);
+    prev = arrival;
+  }
+}
+
+TEST(CxlLink, PipeDrainsDuringIdle) {
+  CxlLink link(LaneConfig::x8());
+  link.send_rx(kLineBytes, 100);
+  // After a long idle gap, the next message sees an empty pipe again.
+  const Cycle arrival = link.send_rx(kLineBytes, 10000);
+  EXPECT_EQ(arrival, 10000u + 6 + 60);
+}
+
+TEST(CxlLink, BackpressureKicksInAtBacklogBound) {
+  CxlLink link(LaneConfig::x8(), /*max_backlog_cycles=*/50);
+  Cycle now = 100;
+  int sent = 0;
+  while (link.can_send_rx(now) && sent < 1000) {
+    link.send_rx(kLineBytes, now);
+    ++sent;
+  }
+  EXPECT_LT(sent, 1000);
+  EXPECT_GE(sent, 50 / 6);
+  // Backlog clears with time.
+  EXPECT_TRUE(link.can_send_rx(now + 1000));
+}
+
+TEST(CxlLink, StatsTrackBytesAndMessages) {
+  CxlLink link(LaneConfig::x8());
+  link.send_rx(64, 10);
+  link.send_rx(64, 10);
+  link.send_tx(16, 10);
+  EXPECT_EQ(link.rx_stats().messages, 2u);
+  EXPECT_EQ(link.rx_stats().bytes, 128u);
+  EXPECT_EQ(link.tx_stats().messages, 1u);
+  EXPECT_EQ(link.tx_stats().bytes, 16u);
+  EXPECT_EQ(link.rx_stats().busy_cycles, 12u);
+}
+
+TEST(CxlLink, QueueDelayAccumulates) {
+  CxlLink link(LaneConfig::x8());
+  link.send_rx(kLineBytes, 100);
+  link.send_rx(kLineBytes, 100);  // Waits 6 cycles.
+  EXPECT_DOUBLE_EQ(link.rx_stats().queue_delay_sum, 6.0);
+}
+
+TEST(CxlLink, ResetStatsClears) {
+  CxlLink link(LaneConfig::x8());
+  link.send_rx(64, 10);
+  link.reset_stats();
+  EXPECT_EQ(link.rx_stats().messages, 0u);
+  EXPECT_EQ(link.rx_stats().bytes, 0u);
+}
+
+TEST(CxlLink, UtilizationHelper) {
+  DirectionStats st;
+  st.busy_cycles = 50;
+  EXPECT_DOUBLE_EQ(direction_utilization(st, 100), 0.5);
+  EXPECT_DOUBLE_EQ(direction_utilization(st, 0), 0.0);
+}
+
+class LinkThroughput : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LinkThroughput, SaturatedPipeMatchesGoodput) {
+  // Send back-to-back messages for a long window; achieved bytes/ns must
+  // approach the configured goodput.
+  CxlLink link(LaneConfig::x8(), /*max_backlog_cycles=*/1u << 30);
+  const std::uint32_t bytes = GetParam();
+  const int n = 10000;
+  Cycle last = 0;
+  for (int i = 0; i < n; ++i) last = link.send_rx(bytes, 0);
+  const double ns = cycles_to_ns(last);
+  const double gbps = static_cast<double>(bytes) * n / ns;
+  EXPECT_NEAR(gbps, 26.0, 26.0 * 0.25);  // Within rounding granularity.
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinkThroughput, ::testing::Values(64u, 128u, 256u));
+
+}  // namespace
+}  // namespace coaxial::link
+// -- Extended lane configurations ------------------------------------------
+
+namespace coaxial::link {
+namespace {
+
+TEST(LaneConfig, X4IsHalfOfX8) {
+  const LaneConfig c = LaneConfig::x4();
+  EXPECT_DOUBLE_EQ(c.rx_goodput_gbps, 13.0);
+  EXPECT_DOUBLE_EQ(c.tx_goodput_gbps, 6.5);
+  EXPECT_EQ(c.pins, 16u);
+}
+
+TEST(LaneConfig, X16IsDoubleOfX8) {
+  const LaneConfig c = LaneConfig::x16();
+  EXPECT_DOUBLE_EQ(c.rx_goodput_gbps, 52.0);
+  EXPECT_EQ(c.pins, 64u);
+  // Wider link: faster line serialisation.
+  EXPECT_LT(c.rx_line_cycles(), LaneConfig::x8().rx_line_cycles());
+}
+
+TEST(LaneConfig, SwitchedAddsHopLatency) {
+  EXPECT_GT(LaneConfig::x8_switched().read_overhead_ns(),
+            LaneConfig::x8().read_overhead_ns());
+  EXPECT_NEAR(LaneConfig::x8_switched(5.0).read_overhead_ns() -
+                  LaneConfig::x8().read_overhead_ns(),
+              20.0, 0.5);  // 4 traversals x 5 ns.
+}
+
+TEST(LaneConfig, BandwidthPerPinOrdering) {
+  // All symmetric widths deliver the same goodput per pin.
+  const double x4 = LaneConfig::x4().rx_goodput_gbps / LaneConfig::x4().pins;
+  const double x8 = LaneConfig::x8().rx_goodput_gbps / LaneConfig::x8().pins;
+  const double x16 = LaneConfig::x16().rx_goodput_gbps / LaneConfig::x16().pins;
+  EXPECT_NEAR(x4, x8, 1e-9);
+  EXPECT_NEAR(x16, x8, 0.001);
+}
+
+}  // namespace
+}  // namespace coaxial::link

@@ -1,0 +1,299 @@
+// Deeper DRAM-controller properties: bank-level parallelism, read/write
+// turnaround, refresh cadence, and per-completion latency decomposition.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/address_map.hpp"
+#include "dram/controller.hpp"
+
+namespace coaxial::dram {
+namespace {
+
+/// Find `n` local lines that map to pairwise-distinct banks.
+std::vector<Addr> distinct_bank_lines(const Geometry& g, std::size_t n) {
+  AddressMap amap(g);
+  std::vector<Addr> lines;
+  std::set<std::uint32_t> banks;
+  for (Addr cand = 0; lines.size() < n; cand += g.columns) {
+    const std::uint32_t b = amap.map(cand).flat_bank(g);
+    if (banks.insert(b).second) lines.push_back(cand);
+  }
+  return lines;
+}
+
+Cycle drain_all(Controller& c, std::size_t expected, Cycle start, Cycle deadline) {
+  std::size_t done = 0;
+  Cycle last = 0;
+  for (Cycle now = start; now < start + deadline; ++now) {
+    c.tick(now);
+    for (const auto& comp : c.completions()) {
+      ++done;
+      last = std::max(last, comp.done);
+    }
+    c.completions().clear();
+    if (done >= expected) return last;
+  }
+  return kNoCycle;
+}
+
+TEST(DramProperties, BankLevelParallelismOverlapsActivations) {
+  // Eight row-miss reads to different banks must finish far faster than
+  // eight serialized ones (8 * tRC would be ~930 cycles).
+  Timing t;
+  Geometry g;
+  Controller c(t, g);
+  const auto lines = distinct_bank_lines(g, 8);
+  for (std::size_t i = 0; i < lines.size(); ++i) c.enqueue(lines[i], false, 1, i);
+  const Cycle last = drain_all(c, 8, 1, 4000);
+  ASSERT_NE(last, kNoCycle);
+  // Lower bound: bus serialisation of 8 lines; upper: well under serial tRC.
+  EXPECT_GE(last - 1, 8 * t.bl);
+  EXPECT_LT(last - 1, 4 * t.rc());
+}
+
+TEST(DramProperties, SameBankConflictsSerializeOnTrc) {
+  Timing t;
+  Geometry g;
+  AddressMap amap(g);
+  // Four different rows of one bank.
+  std::vector<Addr> lines;
+  const std::uint32_t bank0 = amap.map(0).flat_bank(g);
+  for (Addr cand = 0; lines.size() < 4; cand += g.columns) {
+    const Coord coord = amap.map(cand);
+    if (coord.flat_bank(g) == bank0) lines.push_back(cand);
+  }
+  Controller c(t, g);
+  for (std::size_t i = 0; i < lines.size(); ++i) c.enqueue(lines[i], false, 1, i);
+  const Cycle last = drain_all(c, 4, 1, 10000);
+  ASSERT_NE(last, kNoCycle);
+  EXPECT_GE(last - 1, 3 * t.rc());  // Each successive row pays the full cycle.
+}
+
+TEST(DramProperties, MixedReadWriteSlowerThanReadOnly) {
+  auto run = [](double write_share) {
+    Timing t;
+    Controller c(t, Geometry{});
+    Rng rng(3);
+    for (Cycle now = 1; now < 120000; ++now) {
+      if (rng.chance(0.08) && c.can_accept(rng.chance(write_share))) {
+        c.enqueue(rng.next_below(1 << 20), rng.chance(write_share), now, now);
+      }
+      c.tick(now);
+      c.completions().clear();
+    }
+    return c.read_latency_hist().mean();
+  };
+  // Bus turnarounds (tWTR/tRTW) make mixed traffic slower for reads.
+  EXPECT_GT(run(0.35), run(0.0) * 1.02);
+}
+
+TEST(DramProperties, RefreshCadenceMatchesTrefi) {
+  Timing t;
+  Controller c(t, Geometry{});
+  Rng rng(5);
+  const Cycle horizon = t.refi * 20;
+  for (Cycle now = 1; now < horizon; ++now) {
+    if (rng.chance(0.02) && c.can_accept(false)) {
+      c.enqueue(rng.next_below(1 << 20), false, now, now);
+    }
+    c.tick(now);
+    c.completions().clear();
+  }
+  EXPECT_NEAR(static_cast<double>(c.stats().refreshes), 19.0, 2.0);
+}
+
+TEST(DramProperties, CompletionBreakdownSumsToLatency) {
+  Timing t;
+  Controller c(t, Geometry{});
+  Rng rng(7);
+  std::map<std::uint64_t, Cycle> arrivals;
+  std::uint64_t token = 1;
+  std::uint64_t checked = 0;
+  for (Cycle now = 1; now < 200000 && checked < 500; ++now) {
+    if (rng.chance(0.06) && c.can_accept(false)) {
+      arrivals[token] = now;
+      c.enqueue(rng.next_below(1 << 20), false, now, token++);
+    }
+    c.tick(now);
+    for (const auto& comp : c.completions()) {
+      const Cycle total = comp.done - arrivals.at(comp.token);
+      EXPECT_EQ(comp.service + comp.queue_delay, total) << "token " << comp.token;
+      EXPECT_GE(comp.service, t.cl + t.bl);
+      ++checked;
+    }
+    c.completions().clear();
+  }
+  EXPECT_GE(checked, 500u);
+}
+
+TEST(DramProperties, ServiceComponentReflectsRowState) {
+  Timing t;
+  Controller c(t, Geometry{});
+  // First access: row miss (ACT needed).
+  c.enqueue(0, false, 1, 1);
+  Cycle miss_service = 0, hit_service = 0;
+  for (Cycle now = 1; now < 2000; ++now) {
+    c.tick(now);
+    for (const auto& comp : c.completions()) {
+      if (comp.token == 1) {
+        miss_service = comp.service;
+        c.enqueue(1, false, now, 2);  // Same row: hit.
+      }
+      if (comp.token == 2) hit_service = comp.service;
+    }
+    c.completions().clear();
+    if (hit_service) break;
+  }
+  EXPECT_EQ(miss_service, t.rcd + t.cl + t.bl);
+  EXPECT_EQ(hit_service, t.cl + t.bl);
+}
+
+TEST(DramProperties, NoPermutationKeepsStridedStreamsInOneBank) {
+  Geometry g;
+  g.permutation_interleave = false;
+  AddressMap amap(g, g.permutation_interleave);
+  const Addr row_stride = static_cast<Addr>(g.columns) * g.banks();
+  std::set<std::uint32_t> banks;
+  for (Addr i = 0; i < 64; ++i) banks.insert(amap.map(i * row_stride).flat_bank(g));
+  EXPECT_EQ(banks.size(), 1u);  // All rows of the same bank: worst case.
+}
+
+TEST(DramProperties, IdlePrechargeDisabledKeepsRowsOpen) {
+  Timing t;
+  t.idle_precharge = 0;
+  Controller c(t, Geometry{});
+  c.enqueue(0, false, 1, 1);
+  for (Cycle now = 1; now < 5000; ++now) {
+    c.tick(now);
+    c.completions().clear();
+  }
+  // Long idle gap, then same row again: still a hit (row never closed).
+  c.enqueue(1, false, 5000, 2);
+  Cycle done = 0;
+  for (Cycle now = 5000; now < 6000 && done == 0; ++now) {
+    c.tick(now);
+    for (const auto& comp : c.completions()) {
+      if (comp.token == 2) {
+        EXPECT_EQ(comp.service, t.cl + t.bl);  // Row hit.
+        done = comp.done;
+      }
+    }
+    c.completions().clear();
+  }
+  ASSERT_NE(done, 0u);
+}
+
+TEST(DramProperties, IdlePrechargeClosesIdleRows) {
+  Timing t;  // idle_precharge = 150 by default.
+  Controller c(t, Geometry{});
+  c.enqueue(0, false, 1, 1);
+  for (Cycle now = 1; now < 5000; ++now) {
+    c.tick(now);
+    c.completions().clear();
+  }
+  c.enqueue(1, false, 5000, 2);
+  bool checked = false;
+  for (Cycle now = 5000; now < 6000 && !checked; ++now) {
+    c.tick(now);
+    for (const auto& comp : c.completions()) {
+      if (comp.token == 2) {
+        EXPECT_EQ(comp.service, t.rcd + t.cl + t.bl);  // Row was closed.
+        checked = true;
+      }
+    }
+    c.completions().clear();
+  }
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace coaxial::dram
+// -- Multi-rank (2DPC) support ----------------------------------------------
+
+namespace coaxial::dram {
+namespace {
+
+TEST(DramRanks, TwoRankGeometryDoublesBanksAndMapsInRange) {
+  Geometry g;
+  g.ranks = 2;
+  EXPECT_EQ(g.total_banks(), 64u);
+  AddressMap amap(g);
+  bool saw_rank1 = false;
+  for (Addr line = 0; line < 1 << 20; line += 4097) {
+    const Coord c = amap.map(line);
+    EXPECT_LT(c.rank, 2u);
+    EXPECT_LT(c.flat_bank_all(g), g.total_banks());
+    if (c.rank == 1) saw_rank1 = true;
+  }
+  EXPECT_TRUE(saw_rank1);
+}
+
+TEST(DramRanks, SingleRankNeverMapsToRankOne) {
+  Geometry g;  // ranks = 1.
+  AddressMap amap(g);
+  for (Addr line = 0; line < 100000; line += 991) {
+    EXPECT_EQ(amap.map(line).rank, 0u);
+  }
+}
+
+TEST(DramRanks, RankAlternationPaysSwitchPenalty) {
+  // Two row-hit streams: one within a single rank, one alternating ranks
+  // every access. The alternating stream must sustain lower throughput
+  // because of the tCS bus turnaround (the 2DPC bandwidth cost, SIV-E).
+  Geometry g;
+  g.ranks = 2;
+  AddressMap amap(g);
+
+  // Find one line in each rank, same-row-hit streams (consecutive columns).
+  Addr rank0_base = 0, rank1_base = 0;
+  bool found1 = false;
+  for (Addr cand = 0; !found1; cand += g.columns) {
+    if (amap.map(cand).rank == 1) {
+      rank1_base = cand;
+      found1 = true;
+    }
+  }
+
+  auto throughput = [&](bool alternate) {
+    Timing t;
+    Controller c(t, g);
+    Addr col = 0;
+    std::uint64_t sent = 0;
+    const Cycle horizon = 60000;
+    for (Cycle now = 1; now < horizon; ++now) {
+      if (c.can_accept(false)) {
+        const Addr base = (alternate && (sent % 2)) ? rank1_base : rank0_base;
+        c.enqueue(base + (col++ % g.columns), false, now, sent++);
+      }
+      c.tick(now);
+      c.completions().clear();
+    }
+    return static_cast<double>(c.stats().reads_done) / horizon;
+  };
+
+  const double same_rank = throughput(false);
+  const double alternating = throughput(true);
+  EXPECT_LT(alternating, same_rank * 0.95);
+  EXPECT_GT(alternating, same_rank * 0.5);  // Penalty is bounded (tCS, not tRC).
+}
+
+TEST(DramRanks, TwoRankRandomTrafficStillCompletes) {
+  Geometry g;
+  g.ranks = 2;
+  Controller c(Timing{}, g);
+  Rng rng(11);
+  std::uint64_t completed = 0;
+  for (Cycle now = 1; now < 200000 && completed < 1000; ++now) {
+    if (c.can_accept(false)) c.enqueue(rng.next_u64() >> 20, false, now, now);
+    c.tick(now);
+    completed += c.completions().size();
+    c.completions().clear();
+  }
+  EXPECT_GE(completed, 1000u);
+}
+
+}  // namespace
+}  // namespace coaxial::dram

@@ -1,0 +1,112 @@
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace coaxial::noc {
+namespace {
+
+TEST(Mesh, TileCount) {
+  Mesh m(4, 3, 3);
+  EXPECT_EQ(m.tiles(), 12u);
+}
+
+TEST(Mesh, SelfDistanceIsZero) {
+  Mesh m;
+  for (std::uint32_t t = 0; t < m.tiles(); ++t) {
+    EXPECT_EQ(m.hops(t, t), 0u);
+    EXPECT_EQ(m.latency(t, t), 0u);
+  }
+}
+
+TEST(Mesh, HopsAreSymmetric) {
+  Mesh m;
+  for (std::uint32_t a = 0; a < m.tiles(); ++a) {
+    for (std::uint32_t b = 0; b < m.tiles(); ++b) {
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+    }
+  }
+}
+
+TEST(Mesh, TriangleInequality) {
+  Mesh m;
+  for (std::uint32_t a = 0; a < m.tiles(); ++a) {
+    for (std::uint32_t b = 0; b < m.tiles(); ++b) {
+      for (std::uint32_t c = 0; c < m.tiles(); ++c) {
+        EXPECT_LE(m.hops(a, c), m.hops(a, b) + m.hops(b, c));
+      }
+    }
+  }
+}
+
+TEST(Mesh, KnownManhattanDistances) {
+  Mesh m(4, 3, 3);
+  // Tile layout: tile = y*4 + x.
+  EXPECT_EQ(m.hops(0, 3), 3u);    // (0,0) -> (3,0).
+  EXPECT_EQ(m.hops(0, 11), 5u);   // (0,0) -> (3,2).
+  EXPECT_EQ(m.hops(5, 6), 1u);    // (1,1) -> (2,1).
+  EXPECT_EQ(m.latency(0, 11), 15u);  // 5 hops x 3 cycles.
+}
+
+TEST(Mesh, MaxDiameter) {
+  Mesh m(4, 3, 3);
+  std::uint32_t max_hops = 0;
+  for (std::uint32_t a = 0; a < m.tiles(); ++a) {
+    for (std::uint32_t b = 0; b < m.tiles(); ++b) {
+      max_hops = std::max(max_hops, m.hops(a, b));
+    }
+  }
+  EXPECT_EQ(max_hops, 5u);  // (cols-1) + (rows-1).
+}
+
+TEST(Mesh, HomeTileInRange) {
+  Mesh m;
+  for (Addr line = 0; line < 10000; ++line) {
+    EXPECT_LT(m.home_tile(line), m.tiles());
+  }
+}
+
+TEST(Mesh, HomeTileDistributionIsBalanced) {
+  Mesh m;
+  std::map<std::uint32_t, int> counts;
+  const int n = 120000;
+  for (Addr line = 0; line < n; ++line) ++counts[m.home_tile(line)];
+  for (const auto& [tile, count] : counts) {
+    EXPECT_NEAR(count, n / 12, n / 12 * 0.1) << "tile " << tile;
+  }
+}
+
+TEST(Mesh, SequentialLinesSpreadAcrossSlices) {
+  // Strided streams must not all land on one slice.
+  Mesh m;
+  std::map<std::uint32_t, int> counts;
+  for (Addr line = 1000; line < 1128; ++line) ++counts[m.home_tile(line)];
+  EXPECT_GT(counts.size(), 6u);
+}
+
+TEST(Mesh, MemoryTilesAreOnPerimeter) {
+  Mesh m(4, 3, 3);
+  for (std::uint32_t ports = 1; ports <= 8; ++ports) {
+    for (std::uint32_t p = 0; p < ports; ++p) {
+      const std::uint32_t t = m.memory_tile(p, ports);
+      const std::uint32_t x = t % 4, y = t / 4;
+      EXPECT_TRUE(x == 0 || x == 3 || y == 0 || y == 2) << "tile " << t;
+    }
+  }
+}
+
+TEST(Mesh, MemoryTilesSpreadForMultiplePorts) {
+  Mesh m(4, 3, 3);
+  std::map<std::uint32_t, int> used;
+  for (std::uint32_t p = 0; p < 4; ++p) ++used[m.memory_tile(p, 4)];
+  EXPECT_EQ(used.size(), 4u);  // Four distinct tiles for four ports.
+}
+
+TEST(Mesh, ZeroPortsHandled) {
+  Mesh m;
+  EXPECT_LT(m.memory_tile(0, 0), m.tiles());
+}
+
+}  // namespace
+}  // namespace coaxial::noc

@@ -1,0 +1,114 @@
+// Thread pool, env parsing, and report table tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/report.hpp"
+
+namespace coaxial {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // Must not block.
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, TasksCanSubmitWork) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++count; });
+  });
+  // Wait until the nested submissions settle.
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Env, ParsesU64) {
+  ::setenv("COAXIAL_TEST_U64", "12345", 1);
+  EXPECT_EQ(env_u64("COAXIAL_TEST_U64", 7), 12345u);
+  ::setenv("COAXIAL_TEST_U64", "junk", 1);
+  EXPECT_EQ(env_u64("COAXIAL_TEST_U64", 7), 7u);
+  ::unsetenv("COAXIAL_TEST_U64");
+  EXPECT_EQ(env_u64("COAXIAL_TEST_U64", 7), 7u);
+}
+
+TEST(Env, ParsesDouble) {
+  ::setenv("COAXIAL_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("COAXIAL_TEST_D", 1.0), 2.5);
+  ::unsetenv("COAXIAL_TEST_D");
+  EXPECT_DOUBLE_EQ(env_double("COAXIAL_TEST_D", 1.0), 1.0);
+}
+
+TEST(Env, BudgetDefaults) {
+  ::unsetenv("COAXIAL_INSTR");
+  ::unsetenv("COAXIAL_WARMUP");
+  EXPECT_EQ(bench_instr_budget(), 400'000u);
+  EXPECT_EQ(bench_warmup_budget(), 120'000u);
+  ::setenv("COAXIAL_INSTR", "1000", 1);
+  EXPECT_EQ(bench_instr_budget(), 1000u);
+  ::unsetenv("COAXIAL_INSTR");
+}
+
+TEST(ReportTable, PrintsAlignedColumns) {
+  report::Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-cell", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTable, CsvRoundTrip) {
+  report::Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "2.5"});
+  const std::string path = "/tmp/coaxial_test_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(f, line);
+  EXPECT_EQ(line, "alpha,1.5");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTable, WriteCsvFailsOnBadPath) {
+  report::Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/x.csv"));
+}
+
+TEST(ReportNum, Formats) {
+  EXPECT_EQ(report::num(3.14159, 2), "3.14");
+  EXPECT_EQ(report::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace coaxial

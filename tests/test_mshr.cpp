@@ -1,0 +1,88 @@
+#include "cache/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coaxial::cache {
+namespace {
+
+TEST(Mshr, AllocatesNewEntry) {
+  Mshr m(4);
+  EXPECT_EQ(m.on_miss(10, 1), MshrOutcome::kAllocated);
+  EXPECT_TRUE(m.holds(10));
+  EXPECT_EQ(m.in_flight(), 1u);
+}
+
+TEST(Mshr, MergesSecondaryMiss) {
+  Mshr m(4);
+  m.on_miss(10, 1);
+  EXPECT_EQ(m.on_miss(10, 2), MshrOutcome::kMerged);
+  EXPECT_EQ(m.in_flight(), 1u);  // Still one entry.
+  EXPECT_EQ(m.merged(), 1u);
+}
+
+TEST(Mshr, RejectsWhenFull) {
+  Mshr m(2);
+  m.on_miss(1, 1);
+  m.on_miss(2, 2);
+  EXPECT_TRUE(m.full());
+  EXPECT_EQ(m.on_miss(3, 3), MshrOutcome::kFull);
+  EXPECT_EQ(m.rejections(), 1u);
+  // But merging into an existing entry still works at capacity.
+  EXPECT_EQ(m.on_miss(1, 4), MshrOutcome::kMerged);
+}
+
+TEST(Mshr, FillReturnsAllWaitersInOrder) {
+  Mshr m(4);
+  m.on_miss(7, 100);
+  m.on_miss(7, 200);
+  m.on_miss(7, 300);
+  const auto waiters = m.on_fill(7);
+  ASSERT_EQ(waiters.size(), 3u);
+  EXPECT_EQ(waiters[0], 100u);
+  EXPECT_EQ(waiters[1], 200u);
+  EXPECT_EQ(waiters[2], 300u);
+  EXPECT_FALSE(m.holds(7));
+  EXPECT_EQ(m.in_flight(), 0u);
+}
+
+TEST(Mshr, StrayFillReturnsEmpty) {
+  Mshr m(4);
+  EXPECT_TRUE(m.on_fill(42).empty());
+}
+
+TEST(Mshr, CapacityFreedAfterFill) {
+  Mshr m(1);
+  m.on_miss(1, 1);
+  EXPECT_EQ(m.on_miss(2, 2), MshrOutcome::kFull);
+  m.on_fill(1);
+  EXPECT_EQ(m.on_miss(2, 2), MshrOutcome::kAllocated);
+}
+
+TEST(Mshr, CountsAllocations) {
+  Mshr m(8);
+  for (Addr line = 0; line < 5; ++line) m.on_miss(line, line);
+  EXPECT_EQ(m.allocations(), 5u);
+  EXPECT_EQ(m.capacity(), 8u);
+}
+
+class MshrStress : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MshrStress, InFlightNeverExceedsCapacity) {
+  const std::size_t cap = GetParam();
+  Mshr m(cap);
+  std::uint64_t pending_lines = 0;
+  for (Addr line = 0; line < 1000; ++line) {
+    const auto r = m.on_miss(line % (cap * 2), line);
+    if (r == MshrOutcome::kAllocated) ++pending_lines;
+    EXPECT_LE(m.in_flight(), cap);
+    if (line % 3 == 0 && m.holds(line % (cap * 2))) {
+      m.on_fill(line % (cap * 2));
+    }
+  }
+  (void)pending_lines;
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, MshrStress, ::testing::Values(1u, 2u, 8u, 16u, 64u));
+
+}  // namespace
+}  // namespace coaxial::cache

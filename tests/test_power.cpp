@@ -1,0 +1,115 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_power.hpp"
+
+namespace coaxial::power {
+namespace {
+
+dram::ControllerStats activity(std::uint64_t reads, std::uint64_t writes,
+                               std::uint64_t acts) {
+  dram::ControllerStats s;
+  s.reads_done = reads;
+  s.writes_done = writes;
+  s.activates = acts;
+  return s;
+}
+
+TEST(DramPower, IdleIsBackgroundOnly) {
+  const double w = dram::dram_power_w(dram::ControllerStats{}, 12, 1'000'000);
+  EXPECT_NEAR(w, 12 * dram::PowerParams{}.background_w_per_dimm, 1e-9);
+}
+
+TEST(DramPower, GrowsWithActivity) {
+  const Cycle elapsed = 2'400'000;  // 1 ms.
+  const double idle = dram::dram_power_w(activity(0, 0, 0), 12, elapsed);
+  const double busy = dram::dram_power_w(activity(100000, 50000, 60000), 12, elapsed);
+  EXPECT_GT(busy, idle);
+}
+
+TEST(DramPower, LinearInAccessCount) {
+  const Cycle elapsed = 2'400'000;
+  const double p1 = dram::dram_power_w(activity(10000, 0, 5000), 1, elapsed);
+  const double p2 = dram::dram_power_w(activity(20000, 0, 10000), 1, elapsed);
+  const double background = dram::PowerParams{}.background_w_per_dimm;
+  EXPECT_NEAR(p2 - background, 2 * (p1 - background), 1e-9);
+}
+
+TEST(DramPower, ZeroElapsedFallsBackToBackground) {
+  EXPECT_GT(dram::dram_power_w(activity(100, 0, 0), 4, 0), 0.0);
+}
+
+TEST(PowerModel, BaselineComponentsNearTableV) {
+  const auto cfg = sys::baseline_ddr();
+  // Slice activity representative of a loaded run: ~55% util for 1 ms.
+  dram::ControllerStats act;
+  const Cycle elapsed = 2'400'000;
+  act.reads_done = 50'000;
+  act.writes_done = 18'000;
+  act.activates = 30'000;
+  const PowerBreakdown b = compute_power(cfg, act, elapsed);
+  EXPECT_DOUBLE_EQ(b.core_w, 393.0);
+  EXPECT_NEAR(b.ddr_mc_w, 13.0, 0.5);       // 12 channels at 1.083 W.
+  EXPECT_NEAR(b.llc_w, 94.0, 1.0);          // 288 MB LLC.
+  EXPECT_DOUBLE_EQ(b.cxl_interface_w, 0.0); // No CXL on baseline.
+  EXPECT_GT(b.dram_dimm_w, 60.0);
+  EXPECT_LT(b.dram_dimm_w, 320.0);
+  EXPECT_GT(b.total_w(), 550.0);
+  EXPECT_LT(b.total_w(), 850.0);
+}
+
+TEST(PowerModel, CoaxialComponentsNearTableV) {
+  const auto cfg = sys::coaxial_4x();
+  dram::ControllerStats act;
+  const Cycle elapsed = 2'400'000;
+  act.reads_done = 80'000;
+  act.writes_done = 28'000;
+  act.activates = 45'000;
+  const PowerBreakdown b = compute_power(cfg, act, elapsed);
+  EXPECT_NEAR(b.ddr_mc_w, 52.0, 1.0);          // 48 channels.
+  EXPECT_NEAR(b.llc_w, 51.0, 1.0);             // 144 MB LLC.
+  EXPECT_NEAR(b.cxl_interface_w, 76.8, 0.5);   // 384 lanes at 0.2 W.
+  EXPECT_GT(b.total_w(), 700.0);
+}
+
+TEST(PowerModel, AsymInterfacePowerEqualsSymmetric) {
+  // Asym repartitions the same 32 pins: interface power must not change.
+  dram::ControllerStats act;
+  const PowerBreakdown sym = compute_power(sys::coaxial_4x(), act, 1000);
+  const PowerBreakdown asym = compute_power(sys::coaxial_asym(), act, 1000);
+  EXPECT_DOUBLE_EQ(sym.cxl_interface_w, asym.cxl_interface_w);
+  // But asym has twice the DDR channels behind the links.
+  EXPECT_GT(asym.ddr_mc_w, sym.ddr_mc_w);
+}
+
+TEST(EnergyMetrics, EdpMath) {
+  PowerBreakdown p;
+  p.core_w = 100.0;
+  const EnergyMetrics m = compute_energy(p, 2.0);
+  EXPECT_DOUBLE_EQ(m.edp, 100.0 * 4.0);
+  EXPECT_DOUBLE_EQ(m.ed2p, 100.0 * 8.0);
+  EXPECT_DOUBLE_EQ(m.perf_per_watt, 1.0 / 200.0);
+}
+
+TEST(EnergyMetrics, FasterSystemWinsEdpDespiteMorePower) {
+  // The paper's core claim in Table V: 931 W at CPI 1.48 beats 646 W at
+  // CPI 2.05 on EDP and even more on ED2P.
+  PowerBreakdown base, coax;
+  base.core_w = 646.0;
+  coax.core_w = 931.0;
+  const EnergyMetrics mb = compute_energy(base, 2.05);
+  const EnergyMetrics mc = compute_energy(coax, 1.48);
+  EXPECT_LT(mc.edp, mb.edp);
+  EXPECT_NEAR(mc.edp / mb.edp, 0.75, 0.02);
+  EXPECT_NEAR(mc.ed2p / mb.ed2p, 0.54, 0.02);
+}
+
+TEST(EnergyMetrics, ZeroGuards) {
+  const EnergyMetrics m = compute_energy(PowerBreakdown{}, 0.0);
+  EXPECT_EQ(m.perf_per_watt, 0.0);
+  EXPECT_EQ(m.edp, 0.0);
+}
+
+}  // namespace
+}  // namespace coaxial::power

@@ -1,0 +1,68 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coaxial::sim {
+namespace {
+
+TEST(Runner, HomogeneousHelperFillsRequest) {
+  const RunRequest r = homogeneous(sys::baseline_ddr(), "lbm", 100, 200, 9);
+  EXPECT_EQ(r.workloads.size(), 1u);
+  EXPECT_EQ(r.workloads.front(), "lbm");
+  EXPECT_EQ(r.warmup_instr, 100u);
+  EXPECT_EQ(r.measure_instr, 200u);
+  EXPECT_EQ(r.seed, 9u);
+}
+
+TEST(Runner, RunOneProducesStats) {
+  const RunResult r = run_one(homogeneous(sys::baseline_ddr(), "canneal", 1000, 4000));
+  EXPECT_EQ(r.config_name, "DDR-baseline");
+  EXPECT_EQ(r.workload_name, "canneal");
+  EXPECT_GT(r.stats.ipc_per_core, 0.0);
+}
+
+TEST(Runner, RunOneThrowsOnEmptyWorkloads) {
+  RunRequest r;
+  r.config = sys::baseline_ddr();
+  EXPECT_THROW(run_one(r), std::invalid_argument);
+}
+
+TEST(Runner, RunOneThrowsOnUnknownWorkload) {
+  EXPECT_THROW(run_one(homogeneous(sys::baseline_ddr(), "bogus", 100, 100)),
+               std::out_of_range);
+}
+
+TEST(Runner, MixRequestAssignsPerCore) {
+  RunRequest r;
+  r.config = sys::baseline_ddr();
+  r.workloads = {"lbm", "gcc", "bc"};
+  r.warmup_instr = 1000;
+  r.measure_instr = 3000;
+  const RunResult res = run_one(r);
+  EXPECT_EQ(res.workload_name, "mix");
+  EXPECT_GT(res.stats.ipc_per_core, 0.0);
+}
+
+TEST(Runner, RunManyPreservesOrder) {
+  std::vector<RunRequest> reqs = {
+      homogeneous(sys::baseline_ddr(), "canneal", 500, 2000),
+      homogeneous(sys::coaxial_4x(), "canneal", 500, 2000),
+      homogeneous(sys::baseline_ddr(), "raytrace", 500, 2000),
+  };
+  const auto results = run_many(reqs, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].config_name, "DDR-baseline");
+  EXPECT_EQ(results[1].config_name, "COAXIAL-4x");
+  EXPECT_EQ(results[2].workload_name, "raytrace");
+}
+
+TEST(Runner, RunManyMatchesRunOne) {
+  const auto req = homogeneous(sys::baseline_ddr(), "bfs", 1000, 3000, 5);
+  const auto solo = run_one(req);
+  const auto many = run_many({req}, 2);
+  ASSERT_EQ(many.size(), 1u);
+  EXPECT_DOUBLE_EQ(many[0].stats.ipc_per_core, solo.stats.ipc_per_core);
+}
+
+}  // namespace
+}  // namespace coaxial::sim

@@ -1,0 +1,57 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coaxial {
+namespace {
+
+TEST(Units, ClockConstantsAreConsistent) {
+  EXPECT_DOUBLE_EQ(kNsPerCycle, 1.0 / kClockGhz);
+  EXPECT_NEAR(kNsPerCycle, 0.41667, 1e-4);
+}
+
+TEST(Units, NsToCyclesRoundsToNearest) {
+  EXPECT_EQ(ns_to_cycles(0.0), 0u);
+  EXPECT_EQ(ns_to_cycles(1.0), 2u);    // 2.4 cycles -> 2
+  EXPECT_EQ(ns_to_cycles(12.5), 30u);  // CXL port latency: exactly 30 cycles.
+  EXPECT_EQ(ns_to_cycles(50.0), 120u);
+}
+
+TEST(Units, CyclesToNsInverts) {
+  for (Cycle c : {Cycle{1}, Cycle{10}, Cycle{100}, Cycle{1000}}) {
+    EXPECT_EQ(ns_to_cycles(cycles_to_ns(c)), c);
+  }
+}
+
+TEST(Units, SerializationCyclesMatchesPaperNumbers) {
+  // 64 B at 26 GB/s RX goodput = 2.46 ns ~= 6 cycles (2.5 ns).
+  EXPECT_EQ(serialization_cycles(26.0, 64), 6u);
+  // 64 B at 13 GB/s TX goodput = 4.9 ns -> 12 cycles.
+  EXPECT_EQ(serialization_cycles(13.0, 64), 12u);
+  // 64 B at 32 GB/s (asym RX) = 2 ns -> 5 cycles.
+  EXPECT_EQ(serialization_cycles(32.0, 64), 5u);
+}
+
+TEST(Units, SerializationCyclesNeverZero) {
+  EXPECT_GE(serialization_cycles(1000.0, 1), 1u);
+  EXPECT_GE(serialization_cycles(26.0, 1), 1u);
+}
+
+TEST(Units, BytesPerCycle) {
+  // 38.4 GB/s channel at 2.4 GHz = 16 B per cycle.
+  EXPECT_NEAR(bytes_per_cycle(38.4), 16.0, 1e-9);
+}
+
+class SerializationMonotonic : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SerializationMonotonic, MoreBytesNeverFewerCycles) {
+  const std::uint32_t bytes = GetParam();
+  EXPECT_LE(serialization_cycles(26.0, bytes), serialization_cycles(26.0, bytes + 64));
+  EXPECT_LE(serialization_cycles(13.0, bytes), serialization_cycles(13.0, bytes + 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializationMonotonic,
+                         ::testing::Values(1u, 16u, 64u, 128u, 256u, 4096u));
+
+}  // namespace
+}  // namespace coaxial
