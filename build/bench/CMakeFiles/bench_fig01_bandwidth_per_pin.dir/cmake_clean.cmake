@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_bandwidth_per_pin.dir/bench_fig01_bandwidth_per_pin.cpp.o"
+  "CMakeFiles/bench_fig01_bandwidth_per_pin.dir/bench_fig01_bandwidth_per_pin.cpp.o.d"
+  "bench_fig01_bandwidth_per_pin"
+  "bench_fig01_bandwidth_per_pin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_bandwidth_per_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_main_results.dir/bench_fig05_main_results.cpp.o"
+  "CMakeFiles/bench_fig05_main_results.dir/bench_fig05_main_results.cpp.o.d"
+  "bench_fig05_main_results"
+  "bench_fig05_main_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_main_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

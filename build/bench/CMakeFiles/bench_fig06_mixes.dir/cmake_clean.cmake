@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_mixes.dir/bench_fig06_mixes.cpp.o"
+  "CMakeFiles/bench_fig06_mixes.dir/bench_fig06_mixes.cpp.o.d"
+  "bench_fig06_mixes"
+  "bench_fig06_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

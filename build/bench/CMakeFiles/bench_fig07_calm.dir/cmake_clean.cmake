@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_calm.dir/bench_fig07_calm.cpp.o"
+  "CMakeFiles/bench_fig07_calm.dir/bench_fig07_calm.cpp.o.d"
+  "bench_fig07_calm"
+  "bench_fig07_calm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_calm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

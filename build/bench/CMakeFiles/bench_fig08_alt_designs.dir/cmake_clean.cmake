@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_alt_designs.dir/bench_fig08_alt_designs.cpp.o"
+  "CMakeFiles/bench_fig08_alt_designs.dir/bench_fig08_alt_designs.cpp.o.d"
+  "bench_fig08_alt_designs"
+  "bench_fig08_alt_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_alt_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

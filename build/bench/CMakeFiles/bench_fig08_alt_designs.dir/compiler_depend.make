@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig08_alt_designs.
+# This may be replaced when dependencies are built.

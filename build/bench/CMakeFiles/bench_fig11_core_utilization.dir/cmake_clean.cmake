@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_core_utilization.dir/bench_fig11_core_utilization.cpp.o"
+  "CMakeFiles/bench_fig11_core_utilization.dir/bench_fig11_core_utilization.cpp.o.d"
+  "bench_fig11_core_utilization"
+  "bench_fig11_core_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_core_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

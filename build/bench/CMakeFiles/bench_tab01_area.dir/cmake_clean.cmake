@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_area.dir/bench_tab01_area.cpp.o"
+  "CMakeFiles/bench_tab01_area.dir/bench_tab01_area.cpp.o.d"
+  "bench_tab01_area"
+  "bench_tab01_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

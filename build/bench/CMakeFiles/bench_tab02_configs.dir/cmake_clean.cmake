@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_configs.dir/bench_tab02_configs.cpp.o"
+  "CMakeFiles/bench_tab02_configs.dir/bench_tab02_configs.cpp.o.d"
+  "bench_tab02_configs"
+  "bench_tab02_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_workload_metrics.dir/bench_tab04_workload_metrics.cpp.o"
+  "CMakeFiles/bench_tab04_workload_metrics.dir/bench_tab04_workload_metrics.cpp.o.d"
+  "bench_tab04_workload_metrics"
+  "bench_tab04_workload_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_workload_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_power_edp.dir/bench_tab05_power_edp.cpp.o"
+  "CMakeFiles/bench_tab05_power_edp.dir/bench_tab05_power_edp.cpp.o.d"
+  "bench_tab05_power_edp"
+  "bench_tab05_power_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_power_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

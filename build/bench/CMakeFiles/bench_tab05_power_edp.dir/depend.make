@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab05_power_edp.
+# This may be replaced when dependencies are built.

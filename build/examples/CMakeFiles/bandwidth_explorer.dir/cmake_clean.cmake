@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_explorer.dir/bandwidth_explorer.cpp.o"
+  "CMakeFiles/bandwidth_explorer.dir/bandwidth_explorer.cpp.o.d"
+  "bandwidth_explorer"
+  "bandwidth_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

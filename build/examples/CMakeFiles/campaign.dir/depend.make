@@ -1,0 +1,2 @@
+# Empty dependencies file for campaign.
+# This may be replaced when dependencies are built.

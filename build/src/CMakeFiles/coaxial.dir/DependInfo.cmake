@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/coaxial.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/coaxial/calm.cpp" "src/CMakeFiles/coaxial.dir/coaxial/calm.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/coaxial/calm.cpp.o.d"
+  "/root/repo/src/coaxial/configs.cpp" "src/CMakeFiles/coaxial.dir/coaxial/configs.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/coaxial/configs.cpp.o.d"
+  "/root/repo/src/coaxial/memory_system.cpp" "src/CMakeFiles/coaxial.dir/coaxial/memory_system.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/coaxial/memory_system.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/coaxial.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/core.cpp" "src/CMakeFiles/coaxial.dir/core/core.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/core/core.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/CMakeFiles/coaxial.dir/dram/controller.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/dram/controller.cpp.o.d"
+  "/root/repo/src/dram/dram_power.cpp" "src/CMakeFiles/coaxial.dir/dram/dram_power.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/dram/dram_power.cpp.o.d"
+  "/root/repo/src/link/cxl_link.cpp" "src/CMakeFiles/coaxial.dir/link/cxl_link.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/link/cxl_link.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/coaxial.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/coaxial.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/svg_plot.cpp" "src/CMakeFiles/coaxial.dir/sim/svg_plot.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/sim/svg_plot.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/coaxial.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/sim/system.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/CMakeFiles/coaxial.dir/workload/catalog.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/workload/catalog.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/coaxial.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/coaxial.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/coaxial.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address_map.dir/test_address_map.cpp.o"
+  "CMakeFiles/test_address_map.dir/test_address_map.cpp.o.d"
+  "test_address_map"
+  "test_address_map.pdb"
+  "test_address_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

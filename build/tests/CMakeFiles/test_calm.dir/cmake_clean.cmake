@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calm.dir/test_calm.cpp.o"
+  "CMakeFiles/test_calm.dir/test_calm.cpp.o.d"
+  "test_calm"
+  "test_calm.pdb"
+  "test_calm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

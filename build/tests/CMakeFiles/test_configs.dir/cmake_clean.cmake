@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_configs.dir/test_configs.cpp.o"
+  "CMakeFiles/test_configs.dir/test_configs.cpp.o.d"
+  "test_configs"
+  "test_configs.pdb"
+  "test_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cxl_link.dir/test_cxl_link.cpp.o"
+  "CMakeFiles/test_cxl_link.dir/test_cxl_link.cpp.o.d"
+  "test_cxl_link"
+  "test_cxl_link.pdb"
+  "test_cxl_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cxl_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

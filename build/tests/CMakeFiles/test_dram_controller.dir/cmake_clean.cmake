@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_controller.dir/test_dram_controller.cpp.o"
+  "CMakeFiles/test_dram_controller.dir/test_dram_controller.cpp.o.d"
+  "test_dram_controller"
+  "test_dram_controller.pdb"
+  "test_dram_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

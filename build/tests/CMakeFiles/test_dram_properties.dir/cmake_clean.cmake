@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_properties.dir/test_dram_properties.cpp.o"
+  "CMakeFiles/test_dram_properties.dir/test_dram_properties.cpp.o.d"
+  "test_dram_properties"
+  "test_dram_properties.pdb"
+  "test_dram_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

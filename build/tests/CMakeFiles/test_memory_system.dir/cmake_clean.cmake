@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_system.dir/test_memory_system.cpp.o"
+  "CMakeFiles/test_memory_system.dir/test_memory_system.cpp.o.d"
+  "test_memory_system"
+  "test_memory_system.pdb"
+  "test_memory_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

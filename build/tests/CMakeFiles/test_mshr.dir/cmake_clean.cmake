@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mshr.dir/test_mshr.cpp.o"
+  "CMakeFiles/test_mshr.dir/test_mshr.cpp.o.d"
+  "test_mshr"
+  "test_mshr.pdb"
+  "test_mshr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

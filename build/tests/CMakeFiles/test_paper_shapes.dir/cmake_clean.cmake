@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_shapes.dir/test_paper_shapes.cpp.o"
+  "CMakeFiles/test_paper_shapes.dir/test_paper_shapes.cpp.o.d"
+  "test_paper_shapes"
+  "test_paper_shapes.pdb"
+  "test_paper_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svg_plot.dir/test_svg_plot.cpp.o"
+  "CMakeFiles/test_svg_plot.dir/test_svg_plot.cpp.o.d"
+  "test_svg_plot"
+  "test_svg_plot.pdb"
+  "test_svg_plot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svg_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
