@@ -27,7 +27,7 @@ struct Variant {
 };
 
 void run_group(const std::string& title, const std::vector<Variant>& variants,
-               report::Table& table) {
+               report::Table& table, std::vector<sim::RunResult>& all_runs) {
   const auto b = bench::budget();
   std::vector<sim::RunRequest> requests;
   for (const auto& v : variants) {
@@ -36,7 +36,7 @@ void run_group(const std::string& title, const std::vector<Variant>& variants,
       requests.push_back(sim::homogeneous(v.coax, wl, b.warmup, b.measure));
     }
   }
-  const auto results = sim::run_many(requests);
+  auto results = sim::run_many(requests);
   std::size_t i = 0;
   for (const auto& v : variants) {
     for (const auto& wl : kTrio) {
@@ -47,6 +47,7 @@ void run_group(const std::string& title, const std::vector<Variant>& variants,
                      report::num(coax.ipc_per_core / base.ipc_per_core)});
     }
   }
+  for (auto& r : results) all_runs.push_back(std::move(r));
 }
 
 Variant make_variant(const std::string& label,
@@ -68,6 +69,7 @@ int main() {
 
   report::Table table({"study", "variant", "workload", "baseline IPC", "COAXIAL IPC",
                        "speedup"});
+  std::vector<sim::RunResult> all_runs;
 
   // A1: prefetcher degree.
   {
@@ -78,7 +80,7 @@ int main() {
                                   c.uarch.prefetch_degree = degree;
                                 }));
     }
-    run_group("A1-prefetch", vs, table);
+    run_group("A1-prefetch", vs, table, all_runs);
   }
 
   // A2: LLC replacement policy.
@@ -93,7 +95,7 @@ int main() {
         c.uarch.llc_replacement = p;
       }));
     }
-    run_group("A2-replacement", vs, table);
+    run_group("A2-replacement", vs, table, all_runs);
   }
 
   // A3: permutation bank interleaving.
@@ -105,7 +107,7 @@ int main() {
                                   c.dram_geometry.permutation_interleave = on;
                                 }));
     }
-    run_group("A3-interleave", vs, table);
+    run_group("A3-interleave", vs, table, all_runs);
   }
 
   // A4: idle precharge.
@@ -117,7 +119,7 @@ int main() {
                                   c.dram_timing.idle_precharge = cycles;
                                 }));
     }
-    run_group("A4-idle-pre", vs, table);
+    run_group("A4-idle-pre", vs, table, all_runs);
   }
 
   // A6: DIMMs per channel (1DPC vs 2DPC; SIV-E quotes ~15% bandwidth cost
@@ -130,7 +132,7 @@ int main() {
                                   c.dram_geometry.ranks = ranks;
                                 }));
     }
-    run_group("A6-dpc", vs, table);
+    run_group("A6-dpc", vs, table, all_runs);
   }
 
   // A5: ROB depth (memory-level parallelism headroom).
@@ -142,10 +144,10 @@ int main() {
                                   c.uarch.rob_entries = rob;
                                 }));
     }
-    run_group("A5-rob", vs, table);
+    run_group("A5-rob", vs, table, all_runs);
   }
 
   table.print();
-  bench::finish(table, "ablations.csv");
+  bench::finish(table, "ablations.csv", all_runs);
   return 0;
 }

@@ -56,6 +56,6 @@ int main() {
   table.print();
   std::cout << "\nPCIe 5.0 vs DDR5-4800 bandwidth-per-pin advantage: "
             << report::num(pcie5 / ddr5_4800, 1) << "x   (paper: ~4x)\n";
-  bench::finish(table, "fig01_bandwidth_per_pin.csv");
+  bench::finish(table, "fig01_bandwidth_per_pin.csv", std::vector<sim::RunResult>{});
   return 0;
 }

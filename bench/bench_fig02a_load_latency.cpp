@@ -21,14 +21,18 @@ struct Point {
   double avg_ns;
   double p90_ns;
   double row_hit_rate;
+  coaxial::obs::Snapshot metrics;  ///< Per-point controller stats tree.
 };
 
 Point run_point(double util, double write_share, coaxial::Cycle cycles) {
   using namespace coaxial;
   dram::Timing timing;
   dram::Geometry geom;
-  dram::Controller sub[2] = {dram::Controller(timing, geom),
-                             dram::Controller(timing, geom)};
+  obs::MetricsRegistry registry;
+  const obs::Scope root(&registry, "mem");
+  dram::Controller sub[2] = {
+      dram::Controller(timing, geom, 64, 64, root.sub("dram/ctrl00")),
+      dram::Controller(timing, geom, 64, 64, root.sub("dram/ctrl01"))};
   Rng rng(123);
 
   // One sub-channel transfers one line per tBL=8 cycles at 100% utilisation.
@@ -67,6 +71,7 @@ Point run_point(double util, double write_share, coaxial::Cycle cycles) {
   p.avg_ns = reads > 0 ? coaxial::kNsPerCycle * lat / reads : 0;
   p.p90_ns = coaxial::kNsPerCycle * p90;
   p.row_hit_rate = total_cls > 0 ? hits / total_cls : 0;
+  p.metrics = registry.snapshot();
   return p;
 }
 
@@ -80,14 +85,20 @@ int main() {
   report::Table table({"target util%", "achieved util%", "avg latency (ns)",
                        "p90 latency (ns)", "row-hit rate"});
   std::vector<double> xs, avg_series, p90_series;
+  std::vector<sim::RunResult> runs;
   for (double u : {0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90}) {
-    const Point p = run_point(u, /*write_share=*/0.0, cycles);
+    Point p = run_point(u, /*write_share=*/0.0, cycles);
     xs.push_back(100 * p.achieved_util);
     avg_series.push_back(p.avg_ns);
     p90_series.push_back(p.p90_ns);
     table.add_row({report::num(100 * p.target_util, 0),
                    report::num(100 * p.achieved_util, 1), report::num(p.avg_ns, 1),
                    report::num(p.p90_ns, 1), report::num(p.row_hit_rate, 2)});
+    sim::RunResult r;
+    r.config_name = "DDR5-channel";
+    r.workload_name = "open-loop-util-" + report::num(100 * u, 0);
+    r.metrics = std::move(p.metrics);
+    runs.push_back(std::move(r));
   }
   table.print();
   if (report::write_line_chart_svg("fig02a_load_latency.svg",
@@ -98,6 +109,6 @@ int main() {
   }
   std::cout << "\nPaper reference: ~40 ns unloaded; avg 3x/4x at 50%/60% load; "
                "p90 4.7x/7.1x.\n";
-  bench::finish(table, "fig02a_load_latency.csv");
+  bench::finish(table, "fig02a_load_latency.csv", runs);
   return 0;
 }

@@ -43,6 +43,6 @@ int main() {
             << "%   (paper: ~15%)\n"
             << "Avg bandwidth utilisation: " << report::num(100 * util_sum / n, 1)
             << "%\n";
-  bench::finish(table, "fig02b_latency_breakdown.csv");
+  bench::finish(table, "fig02b_latency_breakdown.csv", results);
   return 0;
 }

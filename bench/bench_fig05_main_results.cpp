@@ -60,7 +60,7 @@ int main() {
             << report::num(100 * coax_util / names.size(), 1)
             << "%   (paper: 54% -> 34%)\n";
 
-  bench::finish(table, "fig05_main_results.csv");
+  bench::finish(table, "fig05_main_results.csv", results);
   if (report::write_bar_chart_svg("fig05_speedup.svg",
                                   "COAXIAL-4x speedup over DDR baseline", names,
                                   {{"speedup", speedups}}, /*reference=*/1.0)) {

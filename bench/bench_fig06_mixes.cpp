@@ -14,13 +14,14 @@ int main() {
   const auto mixes = workload::make_mixes(10, 12, /*seed=*/7);
 
   std::vector<sim::RunRequest> requests;
-  for (const auto& mix : mixes) {
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
     for (const auto& cfg : {sys::baseline_ddr(), sys::coaxial_4x()}) {
       sim::RunRequest r;
       r.config = cfg;
-      r.workloads = mix;
+      r.workloads = mixes[m];
       r.warmup_instr = b.warmup;
       r.measure_instr = b.measure;
+      r.mix_id = static_cast<std::uint32_t>(m);
       requests.push_back(std::move(r));
     }
   }
@@ -49,6 +50,6 @@ int main() {
   std::cout << "\nmin / max / geomean: " << report::num(lo) << " / " << report::num(hi)
             << " / " << report::num(geomean(speedups))
             << "   (paper: 1.5 / 1.9 / 1.7)\n";
-  bench::finish(table, "fig06_mixes.csv");
+  bench::finish(table, "fig06_mixes.csv", results);
   return 0;
 }

@@ -105,6 +105,6 @@ int main() {
             << report::num(geomean_speedup("COAXIAL-4x/calm70", "DDR-baseline/serial"), 3)
             << "x\n";
 
-  bench::finish(ta, "fig07_calm.csv");
+  bench::finish(ta, "fig07_calm.csv", results, avg_results);
   return 0;
 }

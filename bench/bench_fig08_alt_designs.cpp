@@ -34,6 +34,6 @@ int main() {
             << "  COAXIAL-asym: " << report::num(geomean(sa)) << "x   (paper: 1.52x)\n"
             << "  asym gain over 4x: "
             << report::num(geomean(sa) / geomean(s4), 3) << "x   (paper: ~1.13x)\n";
-  bench::finish(table, "fig08_alt_designs.csv");
+  bench::finish(table, "fig08_alt_designs.csv", results);
   return 0;
 }

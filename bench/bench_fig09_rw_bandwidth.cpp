@@ -31,6 +31,6 @@ int main() {
             << ":1   (paper: 3.7:1)\n"
             << "Most write-intensive: " << min_wl << " at " << report::num(min_ratio, 1)
             << ":1   (paper: cam4, approaching 1:1)\n";
-  bench::finish(table, "fig09_rw_bandwidth.csv");
+  bench::finish(table, "fig09_rw_bandwidth.csv", results);
   return 0;
 }

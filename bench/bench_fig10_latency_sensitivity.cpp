@@ -45,6 +45,6 @@ int main() {
             << "x   (paper: 1.71 / 1.39 / 1.26)\n"
             << "Workloads losing at 50ns: " << losers50 << "  (paper: 7); at 70ns: "
             << losers70 << "  (paper: 10)\n";
-  bench::finish(table, "fig10_latency_sensitivity.csv");
+  bench::finish(table, "fig10_latency_sensitivity.csv", results);
   return 0;
 }

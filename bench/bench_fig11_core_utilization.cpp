@@ -45,6 +45,6 @@ int main() {
               << "x\n";
   }
   std::cout << "(paper: 0.73x at 1 core; ~1x at 4; 1.17x at 8; 1.39x at 12)\n";
-  bench::finish(table, "fig11_core_utilization.csv");
+  bench::finish(table, "fig11_core_utilization.csv", results);
   return 0;
 }

@@ -31,6 +31,6 @@ int main() {
   t2.add_row({"COAXIAL-4x (balanced)", report::num(area::relative_area(c4x, baseline)),
               "1.01"});
   t2.print();
-  bench::finish(t2, "tab01_area.csv");
+  bench::finish(t2, "tab01_area.csv", std::vector<sim::RunResult>{});
   return 0;
 }

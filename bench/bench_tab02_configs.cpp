@@ -27,6 +27,6 @@ int main() {
                    report::num(cfg.cxl_port_ns, 1)});
   }
   table.print();
-  bench::finish(table, "tab02_configs.csv");
+  bench::finish(table, "tab02_configs.csv", std::vector<sim::RunResult>{});
   return 0;
 }

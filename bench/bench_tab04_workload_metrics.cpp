@@ -21,6 +21,6 @@ int main() {
                    report::num(st.llc_mpki(), 1), report::num(w.paper_llc_mpki, 1)});
   }
   table.print();
-  bench::finish(table, "tab04_workload_metrics.csv");
+  bench::finish(table, "tab04_workload_metrics.csv", results);
   return 0;
 }

@@ -20,6 +20,7 @@ int main() {
     int runs = 0;
   };
   std::map<std::string, Agg> agg;
+  std::vector<sim::RunResult> all_runs;
 
   // Power needs raw DRAM activity; run synchronously and aggregate.
   std::vector<sys::SystemConfig> cfgs = {sys::baseline_ddr(), sys::coaxial_4x()};
@@ -38,6 +39,15 @@ int main() {
       a.dram.refreshes += d.refreshes;
       a.cycles_sum += system.now();
       ++a.runs;
+      sim::RunResult r;
+      r.config_name = cfg.name;
+      r.workload_name = wl;
+      r.seed = 42;
+      r.warmup_instr = b.warmup;
+      r.measure_instr = b.measure;
+      r.stats = system.stats();
+      r.metrics = system.metrics().snapshot();
+      all_runs.push_back(std::move(r));
     }
   }
 
@@ -71,6 +81,6 @@ int main() {
             << "   (paper: 0.75)\n"
             << "ED2P ratio: " << report::num(m[1].ed2p / m[0].ed2p)
             << "   (paper: 0.53)\n";
-  bench::finish(table, "tab05_power_edp.csv");
+  bench::finish(table, "tab05_power_edp.csv", all_runs);
   return 0;
 }

@@ -2,15 +2,20 @@
 //
 // Budgets come from COAXIAL_INSTR / COAXIAL_WARMUP (per core, measurement /
 // warmup). Each harness prints the paper element's rows to stdout and drops
-// a CSV in the working directory.
+// a CSV in the working directory; when COAXIAL_STATS_JSON is set (non-empty)
+// it additionally drops the full per-run metrics tree as
+// "<csv stem>.stats.json" (schema coaxial-stats-v1, see DESIGN.md).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/env.hpp"
+#include "obs/stats_json.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "workload/catalog.hpp"
@@ -28,13 +33,27 @@ inline Budget budget() {
 
 /// Key for result lookup: (config name, workload name).
 using ResultKey = std::pair<std::string, std::string>;
-using ResultMap = std::map<ResultKey, sim::RunStats>;
 
-/// Run every workload on every configuration; returns results keyed by
-/// (config, workload). Uses all host threads.
-inline ResultMap run_matrix(const std::vector<sys::SystemConfig>& configs,
-                            const std::vector<std::string>& workloads,
-                            std::uint64_t seed = 42) {
+/// Results of a (configs x workloads) sweep: the full per-run results (with
+/// registry snapshots, for JSON export) plus a (config, workload) -> index
+/// map for the table emitters.
+struct MatrixResults {
+  std::vector<sim::RunResult> runs;
+  std::map<ResultKey, std::size_t> index;
+
+  const sim::RunStats& at(const ResultKey& key) const {
+    auto it = index.find(key);
+    if (it == index.end()) {
+      throw std::out_of_range("no run for (" + key.first + ", " + key.second + ")");
+    }
+    return runs[it->second].stats;
+  }
+};
+
+/// Run every workload on every configuration. Uses all host threads.
+inline MatrixResults run_matrix(const std::vector<sys::SystemConfig>& configs,
+                                const std::vector<std::string>& workloads,
+                                std::uint64_t seed = 42) {
   const Budget b = budget();
   std::vector<sim::RunRequest> requests;
   requests.reserve(configs.size() * workloads.size());
@@ -43,12 +62,12 @@ inline ResultMap run_matrix(const std::vector<sys::SystemConfig>& configs,
       requests.push_back(sim::homogeneous(cfg, w, b.warmup, b.measure, seed));
     }
   }
-  const auto results = sim::run_many(requests);
-  ResultMap map;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    map[{requests[i].config.name, requests[i].workloads.front()}] = results[i].stats;
+  MatrixResults out;
+  out.runs = sim::run_many(requests);
+  for (std::size_t i = 0; i < out.runs.size(); ++i) {
+    out.index[{requests[i].config.name, requests[i].workloads.front()}] = i;
   }
-  return map;
+  return out;
 }
 
 inline void announce(const std::string& element, const std::string& what) {
@@ -58,10 +77,51 @@ inline void announce(const std::string& element, const std::string& what) {
             << " warmup; scale with COAXIAL_INSTR / COAXIAL_WARMUP)\n\n";
 }
 
+inline bool stats_json_enabled() {
+  const char* v = std::getenv("COAXIAL_STATS_JSON");
+  return v != nullptr && v[0] != '\0';
+}
+
+/// "fig05_main_results.csv" -> "fig05_main_results.stats.json".
+inline std::string stats_json_name(const std::string& csv_name) {
+  const std::size_t dot = csv_name.rfind('.');
+  return (dot == std::string::npos ? csv_name : csv_name.substr(0, dot)) +
+         ".stats.json";
+}
+
+inline void emit_stats_json(const std::vector<sim::RunResult>& runs,
+                            const std::string& csv_name) {
+  if (!stats_json_enabled()) return;
+  const std::string name = stats_json_name(csv_name);
+  if (sim::write_stats_json(runs, name)) {
+    std::cout << "[json] " << name << "\n";
+  }
+}
+
 inline void finish(const report::Table& table, const std::string& csv_name) {
   if (table.write_csv(csv_name)) {
     std::cout << "\n[csv] " << csv_name << "\n";
   }
+}
+
+/// finish() plus the per-run stats tree when COAXIAL_STATS_JSON is set.
+inline void finish(const report::Table& table, const std::string& csv_name,
+                   const std::vector<sim::RunResult>& runs) {
+  finish(table, csv_name);
+  emit_stats_json(runs, csv_name);
+}
+
+inline void finish(const report::Table& table, const std::string& csv_name,
+                   const MatrixResults& results) {
+  finish(table, csv_name, results.runs);
+}
+
+inline void finish(const report::Table& table, const std::string& csv_name,
+                   const MatrixResults& a, const MatrixResults& b) {
+  finish(table, csv_name);
+  std::vector<sim::RunResult> runs = a.runs;
+  runs.insert(runs.end(), b.runs.begin(), b.runs.end());
+  emit_stats_json(runs, csv_name);
 }
 
 }  // namespace coaxial::bench

@@ -9,7 +9,8 @@ namespace {
 bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 }  // namespace
 
-Cache::Cache(std::size_t size_bytes, std::uint32_t ways, ReplacementPolicy policy)
+Cache::Cache(std::size_t size_bytes, std::uint32_t ways, ReplacementPolicy policy,
+             obs::Scope scope)
     : ways_(ways), policy_(policy) {
   if (ways == 0 || size_bytes % (static_cast<std::size_t>(ways) * kLineBytes) != 0) {
     throw std::invalid_argument("cache size must be a multiple of ways * line size");
@@ -18,6 +19,14 @@ Cache::Cache(std::size_t size_bytes, std::uint32_t ways, ReplacementPolicy polic
   if (!is_pow2(sets_)) throw std::invalid_argument("cache set count must be a power of two");
   set_mask_ = sets_ - 1;
   array_.resize(static_cast<std::size_t>(sets_) * ways_);
+  if (scope.valid()) {
+    scope.expose_counter("hits", [this] { return stats_.hits; });
+    scope.expose_counter("misses", [this] { return stats_.misses; });
+    scope.expose_counter("fills", [this] { return stats_.fills; });
+    scope.expose_counter("evictions", [this] { return stats_.evictions; });
+    scope.expose_counter("dirty_evictions", [this] { return stats_.dirty_evictions; });
+    scope.expose_counter("writes", [this] { return stats_.writes; });
+  }
 }
 
 std::size_t Cache::size_bytes() const {

@@ -13,6 +13,7 @@
 #include "cache/replacement.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace coaxial::cache {
 
@@ -37,9 +38,11 @@ struct CacheStats {
 
 class Cache {
  public:
-  /// `size_bytes` must be a multiple of `ways * kLineBytes`.
+  /// `size_bytes` must be a multiple of `ways * kLineBytes`. `scope`, when
+  /// valid, registers this cache's hit/miss/fill/eviction counters into the
+  /// metrics registry at construction.
   Cache(std::size_t size_bytes, std::uint32_t ways,
-        ReplacementPolicy policy = ReplacementPolicy::kLru);
+        ReplacementPolicy policy = ReplacementPolicy::kLru, obs::Scope scope = {});
 
   /// Tag probe without state update (used by the CALM oracle predictor).
   bool probe(Addr line) const;

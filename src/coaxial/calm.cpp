@@ -5,7 +5,7 @@
 namespace coaxial::calm {
 
 Decider::Decider(const CalmConfig& cfg, double peak_bytes_per_cycle, std::uint32_t num_l2,
-                 std::uint64_t seed)
+                 std::uint64_t seed, obs::Scope scope)
     : cfg_(cfg), rng_(seed) {
   share_bytes_per_cycle_ =
       cfg.r_fraction * peak_bytes_per_cycle / std::max<std::uint32_t>(num_l2, 1);
@@ -14,6 +14,14 @@ Decider::Decider(const CalmConfig& cfg, double peak_bytes_per_cycle, std::uint32
   // MAP-I counters start weakly predicting "miss": bandwidth-rich systems
   // prefer false positives over false negatives (§VI-B).
   mapi_table_.assign(cfg.mapi_entries, cfg.mapi_threshold);
+  if (scope.valid()) {
+    scope.expose_counter("decisions", [this] { return stats_.decisions; });
+    scope.expose_counter("probes", [this] { return stats_.probes; });
+    scope.expose_counter("true_positives", [this] { return stats_.true_positives; });
+    scope.expose_counter("false_positives", [this] { return stats_.false_positives; });
+    scope.expose_counter("true_negatives", [this] { return stats_.true_negatives; });
+    scope.expose_counter("false_negatives", [this] { return stats_.false_negatives; });
+  }
 }
 
 bool Decider::decide(std::uint32_t l2_id, Addr line, Addr pc, Cycle now,

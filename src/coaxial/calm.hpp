@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace coaxial::calm {
 
@@ -69,8 +70,10 @@ class Decider {
  public:
   /// `peak_bytes_per_cycle` is the memory system's aggregate DRAM-side peak;
   /// each of the `num_l2` controllers regulates against its fair share.
+  /// `scope`, when valid, registers the confusion-matrix counters into the
+  /// metrics registry at construction.
   Decider(const CalmConfig& cfg, double peak_bytes_per_cycle, std::uint32_t num_l2,
-          std::uint64_t seed = 0xca1f);
+          std::uint64_t seed = 0xca1f, obs::Scope scope = {});
 
   /// Decide at L2-miss time whether to probe memory concurrently.
   /// `llc` is consulted only by the oracle policy.

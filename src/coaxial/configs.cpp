@@ -4,14 +4,15 @@
 
 namespace coaxial::sys {
 
-std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory() const {
+std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory(obs::Scope scope) const {
   if (topology == Topology::kDirectDdr) {
-    return std::make_unique<mem::DirectDdrMemory>(ddr_channels, dram_timing, dram_geometry);
+    return std::make_unique<mem::DirectDdrMemory>(ddr_channels, dram_timing, dram_geometry,
+                                                  scope);
   }
   const link::LaneConfig lanes =
       asym_lanes ? link::LaneConfig::x8_asym(cxl_port_ns) : link::LaneConfig::x8(cxl_port_ns);
   return std::make_unique<mem::CxlMemory>(cxl_channels, ddr_per_device, lanes, dram_timing,
-                                          dram_geometry);
+                                          dram_geometry, scope);
 }
 
 double SystemConfig::peak_memory_gbps() const {

@@ -75,8 +75,9 @@ struct SystemConfig {
   dram::Timing dram_timing;
   dram::Geometry dram_geometry;
 
-  /// Construct the memory system this configuration describes.
-  std::unique_ptr<mem::MemorySystem> make_memory() const;
+  /// Construct the memory system this configuration describes. `scope`,
+  /// when valid, is the registry subtree the memory system registers into.
+  std::unique_ptr<mem::MemorySystem> make_memory(obs::Scope scope = {}) const;
 
   /// Aggregate DRAM-side peak bandwidth (GB/s).
   double peak_memory_gbps() const;

@@ -25,18 +25,35 @@ void accumulate(dram::ControllerStats& into, const dram::ControllerStats& from) 
   into.read_queue_delay_sum += from.read_queue_delay_sum;
   into.read_service_sum += from.read_service_sum;
 }
+
+/// Aggregate probes common to both topologies, sampled from snapshot() at
+/// registry-snapshot time (zero hot-path cost).
+void register_aggregates(const obs::Scope& scope, const MemorySystem& mem) {
+  scope.expose_counter("reads", [&mem] { return mem.snapshot().reads; });
+  scope.expose_counter("writes", [&mem] { return mem.snapshot().writes; });
+  scope.expose("dram_service_sum", [&mem] { return mem.snapshot().dram_service_sum; });
+  scope.expose("dram_queue_sum", [&mem] { return mem.snapshot().dram_queue_sum; });
+  scope.expose("cxl_interface_sum", [&mem] { return mem.snapshot().cxl_interface_sum; });
+  scope.expose("cxl_queue_sum", [&mem] { return mem.snapshot().cxl_queue_sum; });
+  scope.expose("data_bus_busy", [&mem] { return mem.snapshot().data_bus_busy; });
+  scope.expose("row_hit_rate", [&mem] { return mem.snapshot().row_hit_rate; });
+  scope.expose_counter("subchannels", [&mem] { return mem.snapshot().subchannels; });
+  scope.expose("peak_gbps", [&mem] { return mem.peak_gbps(); });
+}
 }  // namespace
 
 // ---------------------------------------------------------------- baseline
 
 DirectDdrMemory::DirectDdrMemory(std::uint32_t channels, const dram::Timing& timing,
-                                 const dram::Geometry& geometry)
+                                 const dram::Geometry& geometry, obs::Scope scope)
     : channels_(channels) {
   const std::uint32_t n_sub = channels * 2;
   ctrls_.reserve(n_sub);
   for (std::uint32_t i = 0; i < n_sub; ++i) {
-    ctrls_.push_back(std::make_unique<dram::Controller>(timing, geometry));
+    ctrls_.push_back(std::make_unique<dram::Controller>(
+        timing, geometry, 64, 64, scope.sub("dram/ctrl" + obs::idx(i))));
   }
+  if (scope.valid()) register_aggregates(scope, *this);
 }
 
 bool DirectDdrMemory::can_accept(Addr line, bool is_write, Cycle) const {
@@ -90,7 +107,7 @@ dram::ControllerStats DirectDdrMemory::aggregate_dram_stats() const {
 
 CxlMemory::CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
                      const link::LaneConfig& lanes, const dram::Timing& timing,
-                     const dram::Geometry& geometry)
+                     const dram::Geometry& geometry, obs::Scope scope)
     : cxl_channels_(cxl_channels),
       ddr_per_device_(ddr_per_device),
       subchannels_per_device_(ddr_per_device * 2),
@@ -101,14 +118,17 @@ CxlMemory::CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
   links_.reserve(cxl_channels_);
   pending_responses_.resize(cxl_channels_);
   for (std::uint32_t i = 0; i < cxl_channels_; ++i) {
-    links_.push_back(std::make_unique<link::CxlLink>(lane_cfg_));
+    links_.push_back(std::make_unique<link::CxlLink>(
+        lane_cfg_, 512, scope.sub("cxl/link" + obs::idx(i))));
   }
   const std::uint32_t n_sub = subchannels();
   ctrls_.reserve(n_sub);
   device_ingress_.resize(n_sub);
   for (std::uint32_t i = 0; i < n_sub; ++i) {
-    ctrls_.push_back(std::make_unique<dram::Controller>(timing, geometry));
+    ctrls_.push_back(std::make_unique<dram::Controller>(
+        timing, geometry, 64, 64, scope.sub("dram/ctrl" + obs::idx(i))));
   }
+  if (scope.valid()) register_aggregates(scope, *this);
 }
 
 std::uint32_t CxlMemory::alloc_slot(std::uint64_t token) {

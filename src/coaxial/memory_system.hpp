@@ -17,6 +17,7 @@
 #include "common/units.hpp"
 #include "dram/controller.hpp"
 #include "link/cxl_link.hpp"
+#include "obs/metrics.hpp"
 
 namespace coaxial::mem {
 
@@ -91,8 +92,10 @@ class MemorySystem {
 /// Baseline: `channels` DDR5 channels (2 sub-channels each) on package pins.
 class DirectDdrMemory final : public MemorySystem {
  public:
+  /// `scope`, when valid, registers per-sub-channel controller metrics under
+  /// `dram/ctrlNN` plus aggregate read/write/bandwidth probes.
   explicit DirectDdrMemory(std::uint32_t channels, const dram::Timing& timing = {},
-                           const dram::Geometry& geometry = {});
+                           const dram::Geometry& geometry = {}, obs::Scope scope = {});
 
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
@@ -120,9 +123,12 @@ class DirectDdrMemory final : public MemorySystem {
 /// `ddr_per_device` DDR5 channels (1 normally, 2 for COAXIAL-asym).
 class CxlMemory final : public MemorySystem {
  public:
+  /// `scope`, when valid, registers per-link metrics under `cxl/linkNN`,
+  /// per-sub-channel controller metrics under `dram/ctrlNN`, and aggregate
+  /// read/write/bandwidth probes.
   CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
             const link::LaneConfig& lanes, const dram::Timing& timing = {},
-            const dram::Geometry& geometry = {});
+            const dram::Geometry& geometry = {}, obs::Scope scope = {});
 
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;

@@ -11,7 +11,8 @@ constexpr std::size_t kScanWindow = 16;
 }  // namespace
 
 Controller::Controller(const Timing& timing, const Geometry& geometry,
-                       std::size_t read_queue_depth, std::size_t write_queue_depth)
+                       std::size_t read_queue_depth, std::size_t write_queue_depth,
+                       obs::Scope scope)
     : timing_(timing),
       amap_(geometry, geometry.permutation_interleave),
       read_depth_(read_queue_depth),
@@ -24,10 +25,36 @@ Controller::Controller(const Timing& timing, const Geometry& geometry,
       next_cas_group_(static_cast<std::size_t>(geometry.ranks) * geometry.bank_groups, 0),
       next_rd_after_wr_group_(static_cast<std::size_t>(geometry.ranks) * geometry.bank_groups, 0),
       faw_(geometry.ranks),
-      next_refresh_(timing.refi) {
+      next_refresh_(timing.refi),
+      checker_(timing, geometry) {
   read_q_.reserve(read_depth_);
   write_q_.reserve(write_depth_);
   completions_.reserve(16);
+  if (scope.valid()) {
+    scope.expose_counter("reads_done", [this] { return stats_.reads_done; });
+    scope.expose_counter("writes_done", [this] { return stats_.writes_done; });
+    scope.expose_counter("reads_forwarded", [this] { return stats_.reads_forwarded; });
+    scope.expose_counter("row_hits", [this] { return stats_.row_hits; });
+    scope.expose_counter("row_misses", [this] { return stats_.row_misses; });
+    scope.expose_counter("row_conflicts", [this] { return stats_.row_conflicts; });
+    scope.expose_counter("activates", [this] { return stats_.activates; });
+    scope.expose_counter("precharges", [this] { return stats_.precharges; });
+    scope.expose_counter("refreshes", [this] { return stats_.refreshes; });
+    scope.expose_counter("data_bus_busy_cycles",
+                         [this] { return stats_.data_bus_busy_cycles; });
+    scope.expose("read_queue_delay_sum", [this] { return stats_.read_queue_delay_sum; });
+    scope.expose("read_service_sum", [this] { return stats_.read_service_sum; });
+    scope.expose_histogram("read_latency", read_hist_);
+    const obs::Scope inv = scope.sub("invariants");
+    inv.expose_counter("violations", [this] { return checker_.violations(); });
+    inv.expose_counter("trc", [this] { return checker_.trc_violations(); });
+    inv.expose_counter("trcd", [this] { return checker_.trcd_violations(); });
+    inv.expose_counter("trp", [this] { return checker_.trp_violations(); });
+    inv.expose_counter("tras", [this] { return checker_.tras_violations(); });
+    inv.expose_counter("tccd_l", [this] { return checker_.tccd_violations(); });
+    inv.expose_counter("tfaw", [this] { return checker_.tfaw_violations(); });
+    inv.expose_counter("refresh", [this] { return checker_.refresh_violations(); });
+  }
 }
 
 bool Controller::can_accept(bool is_write) const {
@@ -108,6 +135,7 @@ void Controller::idle_precharge(Cycle now) {
       --open_banks_;
       b.next_act = std::max(b.next_act, now + timing_.rp);
       ++stats_.precharges;
+      checker_.on_pre(i, now);
       return;  // One command per cycle.
     }
   }
@@ -126,6 +154,7 @@ bool Controller::try_refresh(Cycle now) {
       --open_banks_;
       b.next_act = std::max(b.next_act, now + timing_.rp);
       ++stats_.precharges;
+      checker_.on_pre(i, now);
       return true;  // One command per cycle.
     }
   }
@@ -137,6 +166,7 @@ bool Controller::try_refresh(Cycle now) {
   if (ready > now) return false;
   for (Bank& b : banks_) b.next_act = now + timing_.rfc;
   ++stats_.refreshes;
+  checker_.on_refresh(now, next_refresh_);
   next_refresh_ += timing_.refi;
   refresh_pending_ = false;
   return true;
@@ -169,6 +199,7 @@ void Controller::issue_cas(Request& req, bool is_write, Cycle now) {
   const Geometry& g = amap_.geometry();
   Bank& b = banks_[req.coord.flat_bank_all(g)];
   bank_last_use_[req.coord.flat_bank_all(g)] = now;
+  checker_.on_cas(req.coord, is_write, now);
 
   // Row-locality classification at service time: a request that needed no
   // preparatory command of its own rode an already-open row.
@@ -227,6 +258,7 @@ bool Controller::try_prep(Request& req, Cycle now) {
     --open_banks_;
     b.next_act = std::max(b.next_act, now + timing_.rp);
     ++stats_.precharges;
+    checker_.on_pre(req.coord.flat_bank_all(g), now);
     req.needed_pre = true;
     return true;
   }
@@ -255,6 +287,7 @@ bool Controller::try_prep(Request& req, Cycle now) {
     next_act_rank_[req.coord.rank] = now + timing_.rrd_s;
     next_act_group_[rg] = now + timing_.rrd_l;
     ++stats_.activates;
+    checker_.on_act(req.coord, now);
     req.needed_act = true;
     return true;
   }

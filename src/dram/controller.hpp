@@ -18,6 +18,8 @@
 #include "dram/address_map.hpp"
 #include "dram/bank.hpp"
 #include "dram/timing.hpp"
+#include "dram/timing_check.hpp"
+#include "obs/metrics.hpp"
 
 namespace coaxial::dram {
 
@@ -53,8 +55,12 @@ struct ControllerStats {
 
 class Controller {
  public:
+  /// `scope`, when valid, registers this controller's counters, read-latency
+  /// histogram, and timing-invariant violation counters into the metrics
+  /// registry at construction.
   Controller(const Timing& timing, const Geometry& geometry,
-             std::size_t read_queue_depth = 64, std::size_t write_queue_depth = 64);
+             std::size_t read_queue_depth = 64, std::size_t write_queue_depth = 64,
+             obs::Scope scope = {});
 
   /// True if a read/write can be enqueued this cycle.
   bool can_accept(bool is_write) const;
@@ -74,6 +80,10 @@ class Controller {
 
   /// Read latency distribution (arrival to data), for load-latency curves.
   const LatencyHistogram& read_latency_hist() const { return read_hist_; }
+
+  /// Shadow timing-invariant checker (tRC/tRCD/tRP/tRAS/tCCD_L/tFAW,
+  /// refresh deadlines). Violation counts should always be zero.
+  const TimingChecker& timing_checker() const { return checker_; }
 
   std::size_t read_queue_size() const { return read_q_.size(); }
   std::size_t write_queue_size() const { return write_q_.size(); }
@@ -138,6 +148,7 @@ class Controller {
 
   ControllerStats stats_;
   LatencyHistogram read_hist_;
+  TimingChecker checker_;
 };
 
 }  // namespace coaxial::dram

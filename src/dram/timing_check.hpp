@@ -1,0 +1,147 @@
+// Shadow DRAM-timing invariant checker.
+//
+// Tracks command history independently of the controller's scheduling state
+// and verifies, at command-issue time, the protocol constraints that the
+// scheduler is supposed to honour: per-bank tRC / tRCD / tRP / tRAS,
+// same-bank-group tCCD_L, the per-rank four-activate window (tFAW), and the
+// refresh deadline (a refresh may never slip more than one tREFI past its
+// scheduled point). Violations feed counters that the controller registers
+// into the metrics registry; with -DCOAXIAL_ASSERT_TIMING=ON (or in any
+// build defining COAXIAL_ASSERT_TIMING) a violation additionally aborts
+// with a diagnostic, so regressions in the scheduler fail loudly in CI.
+//
+// The checker is deliberately redundant with the controller's own
+// bookkeeping — that redundancy is the point: it catches bugs where the
+// scheduler's `next_*` state and the protocol disagree.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/address_map.hpp"
+#include "dram/timing.hpp"
+
+namespace coaxial::dram {
+
+class TimingChecker {
+ public:
+  TimingChecker(const Timing& timing, const Geometry& geometry)
+      : timing_(timing),
+        geometry_(geometry),
+        last_act_(geometry.total_banks(), kNoCycle),
+        last_pre_(geometry.total_banks(), kNoCycle),
+        last_cas_group_(static_cast<std::size_t>(geometry.ranks) * geometry.bank_groups,
+                        kNoCycle),
+        faw_history_(geometry.ranks) {}
+
+  void on_act(const Coord& c, Cycle now) {
+    const std::uint32_t bank = c.flat_bank_all(geometry_);
+    if (last_act_[bank] != kNoCycle) {
+      const Cycle gap = now - last_act_[bank];
+      if (gap < min_act_gap_) min_act_gap_ = gap;
+      if (gap < timing_.rc()) violate("tRC", bank, gap, timing_.rc(), &trc_violations_);
+    }
+    if (last_pre_[bank] != kNoCycle && now - last_pre_[bank] < timing_.rp) {
+      violate("tRP", bank, now - last_pre_[bank], timing_.rp, &trp_violations_);
+    }
+    FawRing& ring = faw_history_[c.rank];
+    if (ring.acts[ring.pos] != kNoCycle && now - ring.acts[ring.pos] < timing_.faw) {
+      violate("tFAW", c.rank, now - ring.acts[ring.pos], timing_.faw, &tfaw_violations_);
+    }
+    ring.acts[ring.pos] = now;
+    ring.pos = (ring.pos + 1) % 4;
+    last_act_[bank] = now;
+  }
+
+  /// `bank` is the flat all-rank bank index (precharge sites iterate banks
+  /// directly, without a Coord).
+  void on_pre(std::uint32_t bank, Cycle now) {
+    if (last_act_[bank] != kNoCycle && now - last_act_[bank] < timing_.ras) {
+      violate("tRAS", bank, now - last_act_[bank], timing_.ras, &tras_violations_);
+    }
+    last_pre_[bank] = now;
+  }
+
+  void on_cas(const Coord& c, bool /*is_write*/, Cycle now) {
+    const std::uint32_t bank = c.flat_bank_all(geometry_);
+    if (last_act_[bank] != kNoCycle && now - last_act_[bank] < timing_.rcd) {
+      violate("tRCD", bank, now - last_act_[bank], timing_.rcd, &trcd_violations_);
+    }
+    const std::size_t rg =
+        static_cast<std::size_t>(c.rank) * geometry_.bank_groups + c.bank_group;
+    if (last_cas_group_[rg] != kNoCycle && now - last_cas_group_[rg] < timing_.ccd_l) {
+      violate("tCCD_L", static_cast<std::uint32_t>(rg), now - last_cas_group_[rg],
+              timing_.ccd_l, &tccd_violations_);
+    }
+    last_cas_group_[rg] = now;
+  }
+
+  /// `deadline` is the refresh's scheduled point (the controller's
+  /// pre-increment next_refresh_). Draining may delay it, but never by more
+  /// than a full interval.
+  void on_refresh(Cycle now, Cycle deadline) {
+    if (now > deadline + timing_.refi) {
+      violate("tREFI-deadline", 0, now - deadline, timing_.refi, &refresh_violations_);
+    }
+  }
+
+  std::uint64_t violations() const {
+    return trc_violations_ + trcd_violations_ + trp_violations_ + tras_violations_ +
+           tccd_violations_ + tfaw_violations_ + refresh_violations_;
+  }
+  std::uint64_t trc_violations() const { return trc_violations_; }
+  std::uint64_t trcd_violations() const { return trcd_violations_; }
+  std::uint64_t trp_violations() const { return trp_violations_; }
+  std::uint64_t tras_violations() const { return tras_violations_; }
+  std::uint64_t tccd_violations() const { return tccd_violations_; }
+  std::uint64_t tfaw_violations() const { return tfaw_violations_; }
+  std::uint64_t refresh_violations() const { return refresh_violations_; }
+
+  /// Smallest observed same-bank ACT-to-ACT gap (kNoCycle if no bank saw a
+  /// second ACT). The property test asserts this never dips below tRC.
+  Cycle min_act_gap() const { return min_act_gap_; }
+
+ private:
+  void violate(const char* what, std::uint32_t where, Cycle got, Cycle need,
+               std::uint64_t* counter) {
+    ++*counter;
+#if defined(COAXIAL_ASSERT_TIMING)
+    std::fprintf(stderr,
+                 "DRAM timing invariant violated: %s at unit %u: gap %llu < %llu\n",
+                 what, where, static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(need));
+    std::abort();
+#else
+    (void)what;
+    (void)where;
+    (void)got;
+    (void)need;
+#endif
+  }
+
+  struct FawRing {
+    Cycle acts[4] = {kNoCycle, kNoCycle, kNoCycle, kNoCycle};
+    std::uint32_t pos = 0;
+  };
+
+  Timing timing_;
+  Geometry geometry_;
+  std::vector<Cycle> last_act_;   ///< Per flat bank (all ranks).
+  std::vector<Cycle> last_pre_;
+  std::vector<Cycle> last_cas_group_;  ///< Per (rank, bank group).
+  std::vector<FawRing> faw_history_;   ///< Per rank.
+
+  Cycle min_act_gap_ = kNoCycle;
+  std::uint64_t trc_violations_ = 0;
+  std::uint64_t trcd_violations_ = 0;
+  std::uint64_t trp_violations_ = 0;
+  std::uint64_t tras_violations_ = 0;
+  std::uint64_t tccd_violations_ = 0;
+  std::uint64_t tfaw_violations_ = 0;
+  std::uint64_t refresh_violations_ = 0;
+};
+
+}  // namespace coaxial::dram

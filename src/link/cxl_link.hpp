@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/units.hpp"
 #include "link/lane_config.hpp"
+#include "obs/metrics.hpp"
 
 namespace coaxial::link {
 
@@ -25,8 +28,22 @@ struct DirectionStats {
 
 class CxlLink {
  public:
-  explicit CxlLink(const LaneConfig& cfg, Cycle max_backlog_cycles = 512)
-      : cfg_(cfg), max_backlog_(max_backlog_cycles) {}
+  /// `scope`, when valid, registers per-direction traffic counters plus the
+  /// flit-credit / queue-occupancy invariant counters at construction.
+  explicit CxlLink(const LaneConfig& cfg, Cycle max_backlog_cycles = 512,
+                   obs::Scope scope = {})
+      : cfg_(cfg), max_backlog_(max_backlog_cycles) {
+    if (scope.valid()) {
+      register_direction(scope.sub("tx"), tx_stats_);
+      register_direction(scope.sub("rx"), rx_stats_);
+      const obs::Scope inv = scope.sub("invariants");
+      inv.expose_counter("violations", [this] { return invariant_violations_; });
+      inv.expose_counter("occupancy_high_water",
+                         [this] { return static_cast<std::uint64_t>(max_backlog_seen_); });
+      inv.expose_counter("occupancy_bound",
+                         [this] { return static_cast<std::uint64_t>(max_backlog_); });
+    }
+  }
 
   /// True if the direction's backlog leaves room for another message.
   bool can_send_tx(Cycle now) const { return backlog(tx_busy_until_, now) < max_backlog_; }
@@ -57,21 +74,57 @@ class CxlLink {
     rx_stats_ = {};
   }
 
+  /// Invariant-check state: violations of the credit/occupancy protocol
+  /// (a send admitted while the direction's backlog had no credit left, or
+  /// a non-causal delivery time). Always zero when callers gate on
+  /// can_send_tx/can_send_rx.
+  std::uint64_t invariant_violations() const { return invariant_violations_; }
+  /// Highest serialisation backlog observed across both directions.
+  Cycle occupancy_high_water() const { return max_backlog_seen_; }
+
  private:
   static Cycle backlog(Cycle busy_until, Cycle now) {
     return busy_until > now ? busy_until - now : 0;
   }
 
+  void register_direction(const obs::Scope& s, const DirectionStats& st) {
+    s.expose_counter("messages", [&st] { return st.messages; });
+    s.expose_counter("bytes", [&st] { return st.bytes; });
+    s.expose_counter("busy_cycles", [&st] { return st.busy_cycles; });
+    s.expose("queue_delay_sum", [&st] { return st.queue_delay_sum; });
+  }
+
+  void check_violation(const char* what) {
+    ++invariant_violations_;
+#if defined(COAXIAL_ASSERT_TIMING)
+    std::fprintf(stderr, "CXL link invariant violated: %s\n", what);
+    std::abort();
+#else
+    (void)what;
+#endif
+  }
+
   Cycle send(Cycle& busy_until, DirectionStats& st, double goodput, std::uint32_t bytes,
              Cycle now) {
+    // Flit-credit conservation: admission requires a free credit, i.e. the
+    // accumulated backlog must be under the bound at send time. A violation
+    // means a caller bypassed can_send_tx/can_send_rx.
+    if (backlog(busy_until, now) >= max_backlog_) check_violation("send without credit");
     const Cycle ser = serialization_cycles(goodput, bytes);
     const Cycle start = busy_until > now ? busy_until : now;
     busy_until = start + ser;
+    const Cycle occupancy = backlog(busy_until, now);
+    if (occupancy > max_backlog_seen_) max_backlog_seen_ = occupancy;
+    // Queue-occupancy bound: admitting one message may overshoot the bound
+    // by at most that message's own serialisation time.
+    if (occupancy > max_backlog_ + ser) check_violation("occupancy bound exceeded");
     ++st.messages;
     st.bytes += bytes;
     st.busy_cycles += ser;
     st.queue_delay_sum += static_cast<double>(start - now);
-    return busy_until + 2 * cfg_.port_latency_cycles();
+    const Cycle delivered = busy_until + 2 * cfg_.port_latency_cycles();
+    if (delivered <= now) check_violation("non-causal delivery");
+    return delivered;
   }
 
   LaneConfig cfg_;
@@ -80,6 +133,8 @@ class CxlLink {
   Cycle rx_busy_until_ = 0;
   DirectionStats tx_stats_;
   DirectionStats rx_stats_;
+  std::uint64_t invariant_violations_ = 0;
+  Cycle max_backlog_seen_ = 0;
 };
 
 /// Utilisation of one direction over `elapsed` cycles, in [0, 1].

@@ -1,0 +1,98 @@
+#include "obs/statdiff.hpp"
+
+#include <cmath>
+
+namespace coaxial::obs {
+
+namespace {
+
+std::string render(const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::kNull: return "null";
+    case json::Value::Kind::kBool: return v.boolean ? "true" : "false";
+    case json::Value::Kind::kString: return "\"" + v.str + "\"";
+    case json::Value::Kind::kNumber:
+      return v.integral ? json::number(static_cast<std::uint64_t>(v.num))
+                        : json::number(v.num);
+  }
+  return "?";
+}
+
+}  // namespace
+
+double DiffOptions::rtol_for(const std::string& path, bool integral) const {
+  double tol = integral ? 0.0 : default_rtol;
+  for (const DiffRule& rule : rules) {
+    if (path.find(rule.pattern) != std::string::npos) tol = rule.rtol;
+  }
+  return tol;
+}
+
+double relative_error(double a, double b) {
+  if (a == b) return 0.0;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return scale == 0.0 ? 0.0 : std::fabs(a - b) / scale;
+}
+
+std::vector<Diff> diff_stats(const json::Flat& a, const json::Flat& b,
+                             const DiffOptions& opts) {
+  std::vector<Diff> out;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      out.push_back({ia->first, render(ia->second), "<missing>", 0.0, "missing"});
+      ++ia;
+      continue;
+    }
+    if (ia == a.end() || ib->first < ia->first) {
+      out.push_back({ib->first, "<missing>", render(ib->second), 0.0, "missing"});
+      ++ib;
+      continue;
+    }
+    const std::string& path = ia->first;
+    const json::Value& va = ia->second;
+    const json::Value& vb = ib->second;
+    ++ia;
+    ++ib;
+
+    if (va.kind != vb.kind) {
+      out.push_back({path, render(va), render(vb), 0.0, "type"});
+      continue;
+    }
+    switch (va.kind) {
+      case json::Value::Kind::kNull:
+        break;
+      case json::Value::Kind::kBool:
+        if (va.boolean != vb.boolean) {
+          out.push_back({path, render(va), render(vb), 0.0, "bool"});
+        }
+        break;
+      case json::Value::Kind::kString:
+        if (va.str != vb.str) {
+          out.push_back({path, render(va), render(vb), 0.0, "string"});
+        }
+        break;
+      case json::Value::Kind::kNumber: {
+        const bool integral = va.integral && vb.integral;
+        const double tol = opts.rtol_for(path, integral);
+        const double rel = relative_error(va.num, vb.num);
+        if (rel > tol) {
+          out.push_back({path, render(va), render(vb), rel,
+                         tol == 0.0 ? "not-exact" : "exceeds-rtol"});
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Diff& d) {
+  std::string s = d.path + ": " + d.lhs + " vs " + d.rhs + " (" + d.reason;
+  if (d.rel_error > 0.0) s += ", rel=" + json::number(d.rel_error);
+  s += ")";
+  return s;
+}
+
+}  // namespace coaxial::obs

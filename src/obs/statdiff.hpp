@@ -1,0 +1,54 @@
+// Tolerance-based comparison of two flattened stats documents.
+//
+// The comparison rule set mirrors how the golden-regression tests guard
+// behaviour: integral leaves (counters, histogram counts, cycle
+// percentiles) must match exactly; floating leaves pass within a relative
+// tolerance; strings and booleans must match exactly; structural
+// differences (a path present on one side only, or with different types)
+// always count as diffs. Per-metric overrides select by substring match on
+// the path — the last matching rule wins, so specific rules can follow a
+// broad default.
+//
+// Shared by the `statdiff` CLI (tools/statdiff.cpp) and the golden test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/stats_json.hpp"
+
+namespace coaxial::obs {
+
+struct DiffRule {
+  std::string pattern;  ///< Substring of the metric path.
+  double rtol = 0.0;
+};
+
+struct DiffOptions {
+  /// Relative tolerance applied to non-integral numeric leaves with no
+  /// matching rule. Integral leaves stay exact unless a rule matches them.
+  double default_rtol = 0.0;
+  std::vector<DiffRule> rules;
+
+  double rtol_for(const std::string& path, bool integral) const;
+};
+
+struct Diff {
+  std::string path;
+  std::string lhs;   ///< Rendered left value ("<missing>" when absent).
+  std::string rhs;
+  double rel_error = 0.0;  ///< For numeric mismatches.
+  std::string reason;      ///< "missing", "type", "exceeds-rtol", ...
+};
+
+/// All differences between `a` and `b` under `opts`, in path order.
+std::vector<Diff> diff_stats(const json::Flat& a, const json::Flat& b,
+                             const DiffOptions& opts);
+
+/// Relative error |a-b| / max(|a|, |b|), 0 when both are 0.
+double relative_error(double a, double b);
+
+/// One-line rendering of a diff for logs and the CLI.
+std::string to_string(const Diff& d);
+
+}  // namespace coaxial::obs

@@ -1,0 +1,384 @@
+#include "obs/stats_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace coaxial::obs::json {
+
+// ------------------------------------------------------------------ writer
+
+void Writer::comma_and_indent(bool is_close) {
+  if (need_comma_ && !is_close) out_ += ',';
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+}
+
+void Writer::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // Value follows "key": on the same line.
+  }
+  if (depth_ > 0) comma_and_indent();
+}
+
+void Writer::begin_object() {
+  pre_value();
+  out_ += '{';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void Writer::end_object() {
+  --depth_;
+  if (need_comma_) comma_and_indent(/*is_close=*/true);
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void Writer::begin_array() {
+  pre_value();
+  out_ += '[';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void Writer::end_array() {
+  --depth_;
+  if (need_comma_) comma_and_indent(/*is_close=*/true);
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void Writer::key(const std::string& k) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  need_comma_ = true;
+  after_key_ = true;
+}
+
+void Writer::value(const std::string& v) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  need_comma_ = true;
+}
+
+void Writer::value(const char* v) { value(std::string(v)); }
+
+void Writer::value(double v) {
+  pre_value();
+  out_ += number(v);
+  need_comma_ = true;
+}
+
+void Writer::value(std::uint64_t v) {
+  pre_value();
+  out_ += number(v);
+  need_comma_ = true;
+}
+
+void Writer::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+void Writer::null() {
+  pre_value();
+  out_ += "null";
+  need_comma_ = true;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string number(std::uint64_t v) { return std::to_string(v); }
+
+void write_snapshot(Writer& w, const Snapshot& snap) {
+  // The snapshot is sorted by path; emit a nested tree by tracking the
+  // group stack (path segments before the leaf) across consecutive keys.
+  std::vector<std::string> open;  // Currently open group segments.
+  w.begin_object();
+  for (const auto& [path, value] : snap) {
+    std::vector<std::string> segs;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+      if (i == path.size() || path[i] == '/') {
+        segs.push_back(path.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    const std::string leaf = segs.back();
+    segs.pop_back();
+
+    std::size_t common = 0;
+    while (common < open.size() && common < segs.size() && open[common] == segs[common]) {
+      ++common;
+    }
+    while (open.size() > common) {
+      w.end_object();
+      open.pop_back();
+    }
+    while (open.size() < segs.size()) {
+      w.key(segs[open.size()]);
+      w.begin_object();
+      open.push_back(segs[open.size()]);
+    }
+    w.key(leaf);
+    if (value.integral) {
+      w.value(value.count);
+    } else {
+      w.value(value.value);
+    }
+  }
+  while (!open.empty()) {
+    w.end_object();
+    open.pop_back();
+  }
+  w.end_object();
+}
+
+std::string snapshot_to_json(const Snapshot& snap) {
+  Writer w;
+  write_snapshot(w, snap);
+  return w.str() + "\n";
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Flat parse() {
+    Flat out;
+    skip_ws();
+    parse_value(out, "");
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) throw std::runtime_error("JSON parse error: unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u digit");
+            }
+            // Our emitter only escapes control chars; decode BMP as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  void parse_number(Flat& out, const std::string& path) {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("bad number");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.integral = integral;
+    try {
+      v.num = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("unparsable number");
+    }
+    out[path] = v;
+  }
+
+  static std::string join(const std::string& path, const std::string& key) {
+    return path.empty() ? key : path + "/" + key;
+  }
+
+  void parse_value(Flat& out, const std::string& path) {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return;
+      }
+      while (true) {
+        skip_ws();
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        parse_value(out, join(path, key));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+    } else if (c == '[') {
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return;
+      }
+      std::uint32_t i = 0;
+      while (true) {
+        parse_value(out, join(path, idx(i++, 3)));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+    } else if (c == '"') {
+      Value v;
+      v.kind = Value::Kind::kString;
+      v.str = parse_string();
+      out[path] = v;
+    } else if (consume_literal("true")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      out[path] = v;
+    } else if (consume_literal("false")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = false;
+      out[path] = v;
+    } else if (consume_literal("null")) {
+      out[path] = Value{};
+    } else {
+      parse_number(out, path);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Flat parse_flat(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace coaxial::obs::json

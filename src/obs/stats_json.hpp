@@ -1,0 +1,87 @@
+// Canonical JSON emission and parsing for stats trees. No external deps.
+//
+// Emission is canonical: object keys come from deterministically ordered
+// inputs, indentation is fixed, integers print as integers, and doubles
+// print with "%.17g" (round-trippable). Two identical simulations therefore
+// produce byte-identical documents — the property the determinism and
+// golden-regression tests assert.
+//
+// The parser handles the full JSON value grammar (objects, arrays, strings,
+// numbers, booleans, null) and flattens nested documents into a
+// slash-joined path -> leaf map (array elements get zero-padded indices),
+// which is the representation statdiff compares.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace coaxial::obs::json {
+
+/// Canonical streaming writer. The caller is responsible for well-formed
+/// begin/end pairing; keys only inside objects.
+class Writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& k);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void null();
+
+  /// The accumulated document (call after the outermost end_*).
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma_and_indent(bool is_close = false);
+  void pre_value();
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string escape(const std::string& s);
+
+/// Canonical number text: integers exact, doubles via %.17g; non-finite
+/// values become null (JSON has no NaN/Inf).
+std::string number(double v);
+std::string number(std::uint64_t v);
+
+/// Write a flat metrics snapshot as a nested object tree, splitting paths
+/// on '/'. The snapshot's map order makes the output deterministic.
+void write_snapshot(Writer& w, const Snapshot& snap);
+
+/// Convenience: a standalone document holding just the snapshot tree.
+std::string snapshot_to_json(const Snapshot& snap);
+
+// ----------------------------------------------------------------- parsing
+
+struct Value {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  double num = 0.0;
+  bool integral = false;  ///< Number had no '.', 'e', or 'E' in its lexeme.
+  bool boolean = false;
+  std::string str;
+};
+
+/// Flattened document: nested keys joined with '/', array indices as
+/// zero-padded 3-digit numbers ("runs/000/...").
+using Flat = std::map<std::string, Value>;
+
+/// Parse a JSON document into its flattened form.
+/// Throws std::runtime_error with position info on malformed input.
+Flat parse_flat(const std::string& text);
+
+}  // namespace coaxial::obs::json

@@ -1,8 +1,10 @@
 #include "sim/runner.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "obs/stats_json.hpp"
 
 namespace coaxial::sim {
 
@@ -36,9 +38,14 @@ RunResult run_one(const RunRequest& request) {
 
   RunResult result;
   result.config_name = request.config.name;
-  result.workload_name =
-      request.workloads.size() == 1 ? request.workloads.front() : "mix";
+  result.workload_name = request.workloads.size() == 1
+                             ? request.workloads.front()
+                             : "mix-" + std::to_string(request.mix_id);
+  result.seed = request.seed;
+  result.warmup_instr = request.warmup_instr;
+  result.measure_instr = request.measure_instr;
   result.stats = system.stats();
+  result.metrics = system.metrics().snapshot();
   return result;
 }
 
@@ -51,6 +58,54 @@ std::vector<RunResult> run_many(const std::vector<RunRequest>& requests,
   }
   pool.wait_idle();
   return results;
+}
+
+// ------------------------------------------------------------- JSON export
+
+namespace {
+
+void write_run(obs::json::Writer& w, const RunResult& r) {
+  w.begin_object();
+  w.key("config");
+  w.value(r.config_name);
+  w.key("workload");
+  w.value(r.workload_name);
+  w.key("seed");
+  w.value(r.seed);
+  w.key("warmup_instr");
+  w.value(r.warmup_instr);
+  w.key("measure_instr");
+  w.value(r.measure_instr);
+  w.key("metrics");
+  obs::json::write_snapshot(w, r.metrics);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string stats_json(const std::vector<RunResult>& results) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("coaxial-stats-v1");
+  w.key("runs");
+  w.begin_array();
+  for (const RunResult& r : results) write_run(w, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string stats_json(const RunResult& result) {
+  return stats_json(std::vector<RunResult>{result});
+}
+
+bool write_stats_json(const std::vector<RunResult>& results, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string doc = stats_json(results);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace coaxial::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "coaxial/configs.hpp"
+#include "obs/metrics.hpp"
 #include "sim/system.hpp"
 #include "workload/catalog.hpp"
 
@@ -19,12 +20,17 @@ struct RunRequest {
   std::uint64_t warmup_instr = 120'000;
   std::uint64_t measure_instr = 400'000;
   std::uint64_t seed = 42;
+  std::uint32_t mix_id = 0;  ///< Names multi-workload requests "mix-<i>".
 };
 
 struct RunResult {
   std::string config_name;
   std::string workload_name;  ///< Single name or "mix-<i>".
+  std::uint64_t seed = 0;
+  std::uint64_t warmup_instr = 0;
+  std::uint64_t measure_instr = 0;
   RunStats stats;
+  obs::Snapshot metrics;  ///< Full registry snapshot taken after run().
 };
 
 /// Run one simulation synchronously.
@@ -39,5 +45,14 @@ std::vector<RunResult> run_many(const std::vector<RunRequest>& requests,
 RunRequest homogeneous(const sys::SystemConfig& cfg, const std::string& workload,
                        std::uint64_t warmup, std::uint64_t measure,
                        std::uint64_t seed = 42);
+
+/// Canonical JSON stats document ("coaxial-stats-v1") for one run or a batch.
+/// Byte-identical for identical runs — the determinism and golden-regression
+/// tests compare these documents directly.
+std::string stats_json(const RunResult& result);
+std::string stats_json(const std::vector<RunResult>& results);
+
+/// Write `stats_json(results)` to `path`. Returns false on I/O failure.
+bool write_stats_json(const std::vector<RunResult>& results, const std::string& path);
 
 }  // namespace coaxial::sim

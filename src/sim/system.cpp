@@ -37,19 +37,39 @@ constexpr Cycle kRetryInterval = 2;  ///< L2-MSHR-full replay spacing.
 
 void System::build_shared_structures() {
   const sys::MicroarchConfig& u = cfg_.uarch;
-  memory_ = cfg_.make_memory();
+  const obs::Scope root(&metrics_, "");
+  memory_ = cfg_.make_memory(root.sub("mem"));
   calm_ = std::make_unique<calm::Decider>(
-      cfg_.calm, bytes_per_cycle(memory_->peak_gbps()), u.cores, seed_ ^ 0xca1f);
+      cfg_.calm, bytes_per_cycle(memory_->peak_gbps()), u.cores, seed_ ^ 0xca1f,
+      root.sub("calm"));
   for (std::uint32_t c = 0; c < u.cores; ++c) {
-    l1_.push_back(std::make_unique<cache::Cache>(u.l1_kb * 1024ull, u.l1_ways));
+    l1_.push_back(std::make_unique<cache::Cache>(u.l1_kb * 1024ull, u.l1_ways,
+                                                 cache::ReplacementPolicy::kLru,
+                                                 root.sub("cache/l1/" + obs::idx(c))));
     l1_mshr_.push_back(std::make_unique<cache::Mshr>(u.l1_mshrs));
-    l2_.push_back(std::make_unique<cache::Cache>(u.l2_kb * 1024ull, u.l2_ways));
+    l2_.push_back(std::make_unique<cache::Cache>(u.l2_kb * 1024ull, u.l2_ways,
+                                                 cache::ReplacementPolicy::kLru,
+                                                 root.sub("cache/l2/" + obs::idx(c))));
     l2_mshr_.push_back(std::make_unique<cache::Mshr>(u.l2_mshrs));
     llc_.push_back(std::make_unique<cache::Cache>(
         static_cast<std::size_t>(u.llc_mb_per_core) << 20, u.llc_ways,
-        u.llc_replacement));
+        u.llc_replacement, root.sub("cache/llc/" + obs::idx(c))));
     llc_mshr_.push_back(std::make_unique<cache::Mshr>(u.llc_mshrs_per_slice));
   }
+  // Measurement-window accumulators live in the registry so RunStats is a
+  // view over it rather than a parallel set of hand-summed fields.
+  const obs::Scope run = root.sub("run");
+  ops_finished_ = run.counter("l2_miss/ops");
+  lat_total_sum_ = run.gauge("l2_miss/lat_total_sum");
+  lat_onchip_sum_ = run.gauge("l2_miss/lat_onchip_sum");
+  lat_pending_sum_ = run.gauge("l2_miss/lat_pending_sum");
+  lat_dram_service_sum_ = run.gauge("l2_miss/lat_dram_service_sum");
+  lat_dram_queue_sum_ = run.gauge("l2_miss/lat_dram_queue_sum");
+  lat_cxl_interface_sum_ = run.gauge("l2_miss/lat_cxl_interface_sum");
+  lat_cxl_queue_sum_ = run.gauge("l2_miss/lat_cxl_queue_sum");
+  llc_hits_ = run.counter("llc/hits");
+  llc_misses_ = run.counter("llc/misses");
+  l2_miss_hist_ = run.histogram("l2_miss/latency_cycles");
   for (std::uint32_t p = 0; p < memory_->ports(); ++p) {
     port_tile_.push_back(mesh_.memory_tile(p, memory_->ports()));
   }
@@ -274,13 +294,13 @@ void System::handle_llc_result(Cycle t, std::uint32_t op_id) {
   // LLC hit/miss statistics (and thus MPKI) count demand and prefetch
   // lookups alike, matching how an LLC-side counter (and Table IV) sees it.
   if (hit) {
-    ++llc_hits_;
+    llc_hits_->inc();
     op.onchip_cycles = mesh_.latency(op.core, slice) + cfg_.uarch.llc_latency +
                        mesh_.latency(slice, op.core);
     schedule(op.llc_leg_at_core, EventKind::kOpFinish, op_id, 0, /*from_memory=*/0);
     return;
   }
-  ++llc_misses_;
+  llc_misses_->inc();
   if (op.calm) {
     if (op.mem_arrived) {
       // Memory beat the LLC miss-ack: the ack is the critical path (§IV-C:
@@ -346,20 +366,20 @@ void System::finish_op(Cycle t, std::uint32_t op_id, bool data_from_memory) {
   if (!op.prefetch) {
     // Latency accounting (measurement window only; ops straddling the
     // boundary contribute fully — negligible at the budgets used).
-    ++ops_finished_;
-    l2_miss_hist_.add(t - op.t_start);
-    lat_total_sum_ += static_cast<double>(t - op.t_start);
-    lat_onchip_sum_ += static_cast<double>(op.onchip_cycles);
+    ops_finished_->inc();
+    l2_miss_hist_->add(t - op.t_start);
+    lat_total_sum_->add(static_cast<double>(t - op.t_start));
+    lat_onchip_sum_->add(static_cast<double>(op.onchip_cycles));
     if (op.t_mem_issued > op.t_mem_attempt && op.t_mem_attempt != 0) {
-      lat_pending_sum_ += static_cast<double>(op.t_mem_issued - op.t_mem_attempt);
+      lat_pending_sum_->add(static_cast<double>(op.t_mem_issued - op.t_mem_attempt));
     }
     // Memory-side components of this demand op's own read (zero for LLC
     // hits and for CALM ops served by the LLC whose probe is discarded).
     if (data_from_memory) {
-      lat_dram_service_sum_ += static_cast<double>(op.mem_dram_service);
-      lat_dram_queue_sum_ += static_cast<double>(op.mem_dram_queue);
-      lat_cxl_interface_sum_ += static_cast<double>(op.mem_cxl_interface);
-      lat_cxl_queue_sum_ += static_cast<double>(op.mem_cxl_queue);
+      lat_dram_service_sum_->add(static_cast<double>(op.mem_dram_service));
+      lat_dram_queue_sum_->add(static_cast<double>(op.mem_dram_queue));
+      lat_cxl_interface_sum_->add(static_cast<double>(op.mem_cxl_interface));
+      lat_cxl_queue_sum_->add(static_cast<double>(op.mem_cxl_queue));
     }
   }
 
@@ -490,18 +510,18 @@ void System::pump_memory(Cycle now) {
 void System::reset_window_stats() {
   window_start_ = now_;
   snap_at_window_ = memory_->snapshot();
-  ops_finished_ = 0;
-  lat_total_sum_ = 0;
-  lat_onchip_sum_ = 0;
-  lat_pending_sum_ = 0;
-  lat_dram_service_sum_ = 0;
-  lat_dram_queue_sum_ = 0;
-  lat_cxl_interface_sum_ = 0;
-  lat_cxl_queue_sum_ = 0;
-  llc_hits_ = 0;
-  llc_misses_ = 0;
+  ops_finished_->reset();
+  lat_total_sum_->reset();
+  lat_onchip_sum_->reset();
+  lat_pending_sum_->reset();
+  lat_dram_service_sum_->reset();
+  lat_dram_queue_sum_->reset();
+  lat_cxl_interface_sum_->reset();
+  lat_cxl_queue_sum_->reset();
+  llc_hits_->reset();
+  llc_misses_->reset();
   prefetch_window_base_ = prefetches_issued_;
-  l2_miss_hist_.reset();
+  l2_miss_hist_->reset();
   for (auto& c : cores_) c->reset_window();
   stats_ = RunStats{};
   stats_.calm = calm_->stats();  // Base for the delta at collection.
@@ -509,22 +529,69 @@ void System::reset_window_stats() {
 
 void System::collect_window_stats() {
   stats_.cycles = now_ - window_start_;
-  stats_.l2_miss_ops = ops_finished_;
-  stats_.lat_total_sum = lat_total_sum_;
-  stats_.lat_onchip_sum = lat_onchip_sum_;
-  stats_.lat_pending_sum = lat_pending_sum_;
-  stats_.lat_dram_service_sum = lat_dram_service_sum_;
-  stats_.lat_dram_queue_sum = lat_dram_queue_sum_;
-  stats_.lat_cxl_interface_sum = lat_cxl_interface_sum_;
-  stats_.lat_cxl_queue_sum = lat_cxl_queue_sum_;
-  stats_.llc_hits = llc_hits_;
-  stats_.llc_misses = llc_misses_;
+  stats_.l2_miss_ops = ops_finished_->value();
+  stats_.lat_total_sum = lat_total_sum_->value();
+  stats_.lat_onchip_sum = lat_onchip_sum_->value();
+  stats_.lat_pending_sum = lat_pending_sum_->value();
+  stats_.lat_dram_service_sum = lat_dram_service_sum_->value();
+  stats_.lat_dram_queue_sum = lat_dram_queue_sum_->value();
+  stats_.lat_cxl_interface_sum = lat_cxl_interface_sum_->value();
+  stats_.lat_cxl_queue_sum = lat_cxl_queue_sum_->value();
+  stats_.llc_hits = llc_hits_->value();
+  stats_.llc_misses = llc_misses_->value();
   stats_.prefetches = prefetches_issued_ - prefetch_window_base_;
-  stats_.lat_p50_ns = cycles_to_ns(l2_miss_hist_.percentile(0.50));
-  stats_.lat_p90_ns = cycles_to_ns(l2_miss_hist_.percentile(0.90));
-  stats_.lat_p99_ns = cycles_to_ns(l2_miss_hist_.percentile(0.99));
+  stats_.lat_p50_ns = cycles_to_ns(l2_miss_hist_->percentile(0.50));
+  stats_.lat_p90_ns = cycles_to_ns(l2_miss_hist_->percentile(0.90));
+  stats_.lat_p99_ns = cycles_to_ns(l2_miss_hist_->percentile(0.99));
   stats_.mem = snapshot_delta(memory_->snapshot(), snap_at_window_);
   stats_.calm = calm_delta(calm_->stats(), stats_.calm);
+}
+
+void System::publish_run_metrics() {
+  // Window results and derived figures, so a registry snapshot after run()
+  // carries everything the CSV emitters and RunStats helpers compute.
+  const obs::Scope run(&metrics_, "run");
+  run.counter("cycles")->set(stats_.cycles);
+  run.counter("instructions")->set(stats_.instructions);
+  run.counter("prefetches")->set(stats_.prefetches);
+  run.gauge("ipc_per_core")->set(stats_.ipc_per_core);
+  for (std::size_t c = 0; c < stats_.core_ipc.size(); ++c) {
+    run.gauge("core_ipc/" + obs::idx(static_cast<std::uint32_t>(c)))
+        ->set(stats_.core_ipc[c]);
+  }
+  run.gauge("lat/p50_ns")->set(stats_.lat_p50_ns);
+  run.gauge("lat/p90_ns")->set(stats_.lat_p90_ns);
+  run.gauge("lat/p99_ns")->set(stats_.lat_p99_ns);
+  run.gauge("lat/avg_total_ns")->set(stats_.avg_total_ns());
+  run.gauge("lat/avg_onchip_ns")->set(stats_.avg_onchip_ns());
+  run.gauge("lat/avg_pending_ns")->set(stats_.avg_pending_ns());
+  run.gauge("lat/avg_dram_service_ns")->set(stats_.avg_dram_service_ns());
+  run.gauge("lat/avg_dram_queue_ns")->set(stats_.avg_dram_queue_ns());
+  run.gauge("lat/avg_cxl_interface_ns")->set(stats_.avg_cxl_interface_ns());
+  run.gauge("lat/avg_cxl_queue_ns")->set(stats_.avg_cxl_queue_ns());
+  run.gauge("llc/miss_ratio")->set(stats_.llc_miss_ratio());
+  run.gauge("llc/mpki")->set(stats_.llc_mpki());
+  run.gauge("bw/read_gbps")->set(stats_.read_gbps());
+  run.gauge("bw/write_gbps")->set(stats_.write_gbps());
+  run.gauge("bw/utilization")->set(stats_.bandwidth_utilization());
+  // Memory-system deltas over the window (the cumulative counters live
+  // under `mem/`; these are the RunStats view of the same quantities).
+  const obs::Scope m = run.sub("mem");
+  m.counter("reads")->set(stats_.mem.reads);
+  m.counter("writes")->set(stats_.mem.writes);
+  m.gauge("dram_service_sum")->set(stats_.mem.dram_service_sum);
+  m.gauge("dram_queue_sum")->set(stats_.mem.dram_queue_sum);
+  m.gauge("cxl_interface_sum")->set(stats_.mem.cxl_interface_sum);
+  m.gauge("cxl_queue_sum")->set(stats_.mem.cxl_queue_sum);
+  m.gauge("data_bus_busy")->set(stats_.mem.data_bus_busy);
+  m.gauge("row_hit_rate")->set(stats_.mem.row_hit_rate);
+  const obs::Scope cs = run.sub("calm");
+  cs.counter("decisions")->set(stats_.calm.decisions);
+  cs.counter("probes")->set(stats_.calm.probes);
+  cs.counter("true_positives")->set(stats_.calm.true_positives);
+  cs.counter("false_positives")->set(stats_.calm.false_positives);
+  cs.counter("true_negatives")->set(stats_.calm.true_negatives);
+  cs.counter("false_negatives")->set(stats_.calm.false_negatives);
 }
 
 void System::prewarm_caches(std::uint64_t seed) {
@@ -638,6 +705,7 @@ void System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr) {
   }
   stats_.instructions = instr;
   stats_.ipc_per_core = ipc_sum / static_cast<double>(active);
+  publish_run_metrics();
 }
 
 }  // namespace coaxial::sim

@@ -21,6 +21,7 @@
 #include "common/units.hpp"
 #include "core/core.hpp"
 #include "noc/mesh.hpp"
+#include "obs/metrics.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
 
@@ -142,6 +143,11 @@ class System : public core::MemoryPort {
   /// The memory system (for tests and power accounting).
   const mem::MemorySystem& memory() const { return *memory_; }
 
+  /// The metrics registry every component registered into at construction.
+  /// `metrics().snapshot()` after run() yields the full stats tree
+  /// (including the `run/` subtree of window results published by run()).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   enum class EventKind : std::uint8_t {
     kL2Lookup,
@@ -206,6 +212,7 @@ class System : public core::MemoryPort {
   void maybe_free_joined_op(std::uint32_t id);
   void reset_window_stats();
   void collect_window_stats();
+  void publish_run_metrics();
   void prewarm_caches(std::uint64_t seed);
   void build_shared_structures();
 
@@ -216,6 +223,10 @@ class System : public core::MemoryPort {
   std::uint32_t n_slices_;
   std::uint64_t seed_;
   std::vector<workload::WorkloadParams> wl_params_;
+
+  /// Declared before the components so probes registered by them are
+  /// destroyed (with the registry) only after the components they sample.
+  obs::MetricsRegistry metrics_;
 
   std::vector<std::unique_ptr<core::Core>> cores_;
   std::vector<std::unique_ptr<cache::Cache>> l1_;
@@ -251,19 +262,21 @@ class System : public core::MemoryPort {
   std::vector<std::uint32_t> stream_victim_;
   std::uint64_t prefetches_issued_ = 0;
 
-  // Window accumulators.
-  std::uint64_t ops_finished_ = 0;
-  double lat_total_sum_ = 0;
-  double lat_onchip_sum_ = 0;
-  double lat_pending_sum_ = 0;
-  double lat_dram_service_sum_ = 0;
-  double lat_dram_queue_sum_ = 0;
-  double lat_cxl_interface_sum_ = 0;
-  double lat_cxl_queue_sum_ = 0;
-  std::uint64_t llc_hits_ = 0;
-  std::uint64_t llc_misses_ = 0;
+  // Window accumulators: registry-owned instruments under `run/` (set up in
+  // build_shared_structures; RunStats is materialised from them at
+  // collect_window_stats time).
+  obs::Counter* ops_finished_ = nullptr;
+  obs::Gauge* lat_total_sum_ = nullptr;
+  obs::Gauge* lat_onchip_sum_ = nullptr;
+  obs::Gauge* lat_pending_sum_ = nullptr;
+  obs::Gauge* lat_dram_service_sum_ = nullptr;
+  obs::Gauge* lat_dram_queue_sum_ = nullptr;
+  obs::Gauge* lat_cxl_interface_sum_ = nullptr;
+  obs::Gauge* lat_cxl_queue_sum_ = nullptr;
+  obs::Counter* llc_hits_ = nullptr;
+  obs::Counter* llc_misses_ = nullptr;
   std::uint64_t prefetch_window_base_ = 0;
-  LatencyHistogram l2_miss_hist_;
+  LatencyHistogram* l2_miss_hist_ = nullptr;
 };
 
 }  // namespace coaxial::sim

@@ -1,0 +1,215 @@
+// Property tests for the shadow timing-invariant checkers.
+//
+// The positive half drives the real FR-FCFS controller with randomized
+// request streams and asserts the shadow TimingChecker never fires — the
+// scheduler's bookkeeping and the protocol must agree on every command it
+// issues. The negative half feeds the checker (and the CXL link) malformed
+// command sequences directly and asserts each invariant actually trips, so
+// a silently-broken checker can't green-light a broken scheduler.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "dram/controller.hpp"
+#include "dram/timing_check.hpp"
+#include "link/cxl_link.hpp"
+
+namespace coaxial::dram {
+namespace {
+
+// ------------------------------------------------- controller property test
+
+struct StreamParams {
+  std::uint64_t seed = 1;
+  double enqueue_prob = 0.5;   ///< Chance of an enqueue attempt per cycle.
+  double write_frac = 0.3;
+  Addr addr_space = 1 << 20;   ///< Local line addresses drawn from [0, N).
+  Cycle cycles = 30000;
+};
+
+// Drives a controller with a random request stream and returns it for
+// inspection. Starts at cycle 1: cycle 0 is indistinguishable from
+// "never" in some of the controller's next_* state.
+void drive(Controller& ctrl, const StreamParams& p) {
+  std::mt19937_64 rng(p.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<Addr> addr(0, p.addr_space - 1);
+  std::uint64_t token = 0;
+  for (Cycle now = 1; now <= p.cycles; ++now) {
+    if (coin(rng) < p.enqueue_prob) {
+      const bool is_write = coin(rng) < p.write_frac;
+      if (ctrl.can_accept(is_write)) {
+        ctrl.enqueue(addr(rng), is_write, now, token++);
+      }
+    }
+    ctrl.tick(now);
+    ctrl.completions().clear();
+  }
+}
+
+TEST(DramInvariants, RandomStreamsNeverFireChecker) {
+  const Timing timing;      // DDR5-4800 defaults.
+  const Geometry geometry;  // 8 groups x 4 banks.
+  for (std::uint64_t seed : {1ull, 42ull, 1337ull}) {
+    Controller ctrl(timing, geometry);
+    StreamParams p;
+    p.seed = seed;
+    drive(ctrl, p);
+    const TimingChecker& chk = ctrl.timing_checker();
+    EXPECT_EQ(chk.violations(), 0u) << "seed " << seed;
+    EXPECT_GT(ctrl.stats().reads_done, 0u) << "seed " << seed;
+    EXPECT_GT(ctrl.stats().activates, 0u) << "seed " << seed;
+  }
+}
+
+TEST(DramInvariants, HighLoadKeepsActToActSpacingAboveTrc) {
+  const Timing timing;
+  const Geometry geometry;
+  Controller ctrl(timing, geometry);
+  StreamParams p;
+  p.seed = 7;
+  p.enqueue_prob = 0.95;       // Saturate the queues.
+  p.addr_space = 1 << 12;      // Small footprint: lots of bank reuse.
+  drive(ctrl, p);
+  const TimingChecker& chk = ctrl.timing_checker();
+  EXPECT_EQ(chk.violations(), 0u);
+  // Under this load some bank must see repeated activates; their spacing
+  // must honour tRC (= tRAS + tRP = 116 cycles for DDR5-4800).
+  ASSERT_NE(chk.min_act_gap(), kNoCycle) << "no bank saw two ACTs";
+  EXPECT_GE(chk.min_act_gap(), timing.rc());
+}
+
+TEST(DramInvariants, WriteHeavyStreamsAlsoClean) {
+  const Timing timing;
+  const Geometry geometry;
+  Controller ctrl(timing, geometry);
+  StreamParams p;
+  p.seed = 99;
+  p.write_frac = 0.9;          // Exercise write drain + turnaround paths.
+  p.enqueue_prob = 0.8;
+  drive(ctrl, p);
+  EXPECT_EQ(ctrl.timing_checker().violations(), 0u);
+  EXPECT_GT(ctrl.stats().writes_done, 0u);
+}
+
+// ------------------------------------------------ checker negative coverage
+
+Coord bank0() { return Coord{0, 0, 0, 0, 0}; }
+
+TEST(TimingChecker, ActToActBelowTrcCounts) {
+  const Timing t;
+  TimingChecker chk(t, Geometry{});
+  chk.on_act(bank0(), 100);
+  chk.on_act(bank0(), 100 + t.rc() - 1);
+  EXPECT_EQ(chk.trc_violations(), 1u);
+  EXPECT_EQ(chk.violations(), 1u);
+  EXPECT_EQ(chk.min_act_gap(), t.rc() - 1);
+}
+
+TEST(TimingChecker, ActToActAtExactlyTrcIsLegal) {
+  const Timing t;
+  TimingChecker chk(t, Geometry{});
+  chk.on_act(bank0(), 100);
+  chk.on_act(bank0(), 100 + t.rc());
+  EXPECT_EQ(chk.violations(), 0u);
+  EXPECT_EQ(chk.min_act_gap(), t.rc());
+}
+
+TEST(TimingChecker, CasBeforeTrcdCounts) {
+  const Timing t;
+  TimingChecker chk(t, Geometry{});
+  chk.on_act(bank0(), 100);
+  chk.on_cas(bank0(), /*is_write=*/false, 100 + t.rcd - 1);
+  EXPECT_EQ(chk.trcd_violations(), 1u);
+  chk.on_act(bank0(), 5000);
+  chk.on_cas(bank0(), /*is_write=*/false, 5000 + t.rcd);
+  EXPECT_EQ(chk.trcd_violations(), 1u);  // At-boundary CAS is legal.
+}
+
+TEST(TimingChecker, ActBeforeTrpAfterPrechargeCounts) {
+  const Timing t;
+  const Geometry g;
+  TimingChecker chk(t, g);
+  chk.on_pre(bank0().flat_bank_all(g), 200);
+  chk.on_act(bank0(), 200 + t.rp - 1);
+  EXPECT_EQ(chk.trp_violations(), 1u);
+}
+
+TEST(TimingChecker, PrechargeBeforeTrasCounts) {
+  const Timing t;
+  const Geometry g;
+  TimingChecker chk(t, g);
+  chk.on_act(bank0(), 100);
+  chk.on_pre(bank0().flat_bank_all(g), 100 + t.ras - 1);
+  EXPECT_EQ(chk.tras_violations(), 1u);
+}
+
+TEST(TimingChecker, SameGroupCasWithinCcdLCounts) {
+  const Timing t;
+  TimingChecker chk(t, Geometry{});
+  Coord a = bank0();
+  Coord b = bank0();
+  b.bank = 1;  // Different bank, same bank group -> tCCD_L applies.
+  chk.on_cas(a, false, 1000);
+  chk.on_cas(b, false, 1000 + t.ccd_l - 1);
+  EXPECT_EQ(chk.tccd_violations(), 1u);
+  Coord c = bank0();
+  c.bank_group = 1;  // Different group: only tCCD_S, checker stays quiet.
+  chk.on_cas(c, false, 1000 + t.ccd_l);
+  EXPECT_EQ(chk.tccd_violations(), 1u);
+}
+
+TEST(TimingChecker, FifthActInsideFawWindowCounts) {
+  const Timing t;
+  TimingChecker chk(t, Geometry{});
+  // Four ACTs to distinct banks, tightly spaced but individually legal.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    Coord c = bank0();
+    c.bank_group = i * 2;  // Distinct groups: no tRRD_L/tCCD_L interference.
+    chk.on_act(c, 1000 + i);
+  }
+  EXPECT_EQ(chk.tfaw_violations(), 0u);
+  Coord fifth = bank0();
+  fifth.bank_group = 1;
+  chk.on_act(fifth, 1000 + t.faw - 1);  // < faw after the window's first ACT.
+  EXPECT_EQ(chk.tfaw_violations(), 1u);
+}
+
+TEST(TimingChecker, RefreshPastDeadlineSlackCounts) {
+  const Timing t;
+  TimingChecker chk(t, Geometry{});
+  chk.on_refresh(/*now=*/t.refi + 100, /*deadline=*/100);  // Exactly one tREFI late: legal.
+  EXPECT_EQ(chk.refresh_violations(), 0u);
+  chk.on_refresh(/*now=*/2 * t.refi + 201, /*deadline=*/t.refi + 200);
+  EXPECT_EQ(chk.refresh_violations(), 1u);
+}
+
+// ------------------------------------------------------- CXL link invariants
+
+TEST(CxlLinkInvariants, GatedSendsNeverViolate) {
+  link::CxlLink link(link::LaneConfig::x8(), /*max_backlog_cycles=*/64);
+  Cycle now = 1;
+  for (int i = 0; i < 2000; ++i) {
+    if (link.can_send_tx(now)) link.send_tx(link::kWriteMessageBytes, now);
+    if (link.can_send_rx(now)) link.send_rx(link::kReadResponseBytes, now);
+    now += (i % 3 == 0) ? 1 : 0;  // Bursts of same-cycle sends.
+  }
+  EXPECT_EQ(link.invariant_violations(), 0u);
+  EXPECT_LE(link.occupancy_high_water(), 64u + link.config().rx_line_cycles() +
+                                             link.config().tx_line_cycles());
+}
+
+TEST(CxlLinkInvariants, BypassingCreditGateTrips) {
+  link::CxlLink link(link::LaneConfig::x8(), /*max_backlog_cycles=*/4);
+  const Cycle now = 1;
+  // Flood one direction without consulting can_send_tx. Once the backlog
+  // saturates, each further admission is a credit violation.
+  while (link.can_send_tx(now)) link.send_tx(link::kWriteMessageBytes, now);
+  EXPECT_EQ(link.invariant_violations(), 0u);
+  link.send_tx(link::kWriteMessageBytes, now);
+  EXPECT_GE(link.invariant_violations(), 1u);
+  EXPECT_GT(link.occupancy_high_water(), 4u);
+}
+
+}  // namespace
+}  // namespace coaxial::dram

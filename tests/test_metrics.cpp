@@ -1,0 +1,276 @@
+// Unit tests for the observability layer: the metrics registry, the
+// canonical JSON writer/parser, and the statdiff comparison logic.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/statdiff.hpp"
+#include "obs/stats_json.hpp"
+
+namespace coaxial::obs {
+namespace {
+
+// ----------------------------------------------------------------- registry
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a/b/reads");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  Gauge& g = reg.gauge("a/b/sum");
+  g.add(1.5);
+  g.add(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  c.reset();
+  g.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, ReRequestingSamePathReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, CrossKindDuplicateThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x"), std::invalid_argument);
+  EXPECT_THROW(reg.expose("x", [] { return 0.0; }), std::invalid_argument);
+}
+
+TEST(Metrics, ProbesAreSampledAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::uint64_t n = 1;
+  reg.expose_counter("live", [&n] { return n; });
+  EXPECT_EQ(reg.snapshot().at("live").count, 1u);
+  n = 42;
+  EXPECT_EQ(reg.snapshot().at("live").count, 42u);
+}
+
+TEST(Metrics, SnapshotIsLexicographicallyOrderedAndTyped) {
+  MetricsRegistry reg;
+  reg.counter("b/count").inc(7);
+  reg.gauge("a/ratio").set(0.25);
+  reg.expose("c/probe", [] { return 1.25; });
+  const Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.size(), 3u);
+  auto it = s.begin();
+  EXPECT_EQ(it->first, "a/ratio");
+  EXPECT_FALSE(it->second.integral);
+  EXPECT_DOUBLE_EQ(it->second.value, 0.25);
+  ++it;
+  EXPECT_EQ(it->first, "b/count");
+  EXPECT_TRUE(it->second.integral);
+  EXPECT_EQ(it->second.count, 7u);
+  ++it;
+  EXPECT_EQ(it->first, "c/probe");
+}
+
+TEST(Metrics, HistogramFlattensToSummaryLeaves) {
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<Cycle>(i));
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.at("lat/count").count, 100u);
+  EXPECT_NEAR(s.at("lat/mean").value, 50.5, 1.0);
+  EXPECT_TRUE(s.at("lat/p50").integral);
+  EXPECT_GE(s.at("lat/p99").count, s.at("lat/p50").count);
+}
+
+TEST(Metrics, ExposedHistogramViewTracksOwner) {
+  MetricsRegistry reg;
+  LatencyHistogram h;
+  reg.expose_histogram("view", h);
+  EXPECT_EQ(reg.snapshot().at("view/count").count, 0u);
+  h.add(5);
+  h.add(9);
+  EXPECT_EQ(reg.snapshot().at("view/count").count, 2u);
+}
+
+TEST(Metrics, DefaultScopeIsInert) {
+  Scope s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(s.counter("x"), nullptr);
+  EXPECT_EQ(s.gauge("x"), nullptr);
+  EXPECT_EQ(s.histogram("x"), nullptr);
+  s.expose("x", [] { return 0.0; });          // No-op, must not crash.
+  s.expose_counter("x", [] { return 0ull; });
+  EXPECT_FALSE(s.sub("y").valid());
+}
+
+TEST(Metrics, ScopePrefixesPaths) {
+  MetricsRegistry reg;
+  Scope root(&reg, "mem");
+  root.sub("dram/ctrl00").counter("reads");
+  EXPECT_TRUE(reg.contains("mem/dram/ctrl00/reads"));
+}
+
+TEST(Metrics, IdxZeroPads) {
+  EXPECT_EQ(idx(0), "00");
+  EXPECT_EQ(idx(7), "07");
+  EXPECT_EQ(idx(123), "123");  // Wider values are not truncated.
+  EXPECT_EQ(idx(3, 3), "003");
+}
+
+// --------------------------------------------------------------- JSON write
+
+TEST(StatsJson, CanonicalSnapshotDocument) {
+  MetricsRegistry reg;
+  reg.counter("a/n").inc(3);
+  reg.gauge("a/x").set(0.5);
+  reg.counter("b").inc(1);
+  const std::string doc = json::snapshot_to_json(reg.snapshot());
+  EXPECT_EQ(doc,
+            "{\n"
+            "  \"a\": {\n"
+            "    \"n\": 3,\n"
+            "    \"x\": 0.5\n"
+            "  },\n"
+            "  \"b\": 1\n"
+            "}\n");
+}
+
+TEST(StatsJson, NumbersAreCanonical) {
+  EXPECT_EQ(json::number(std::uint64_t{12345}), "12345");
+  EXPECT_EQ(json::number(0.5), "0.5");
+  EXPECT_EQ(json::number(std::nan("")), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()), "null");
+  // %.17g round-trips any double.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json::number(v)), v);
+}
+
+TEST(StatsJson, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(StatsJson, IdenticalSnapshotsEmitIdenticalBytes) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("z/count").inc(9);
+    reg.gauge("a/value").set(1.0 / 3.0);
+    return json::snapshot_to_json(reg.snapshot());
+  };
+  EXPECT_EQ(build(), build());
+}
+
+// --------------------------------------------------------------- JSON parse
+
+TEST(StatsJson, ParseFlattensNestedDocument) {
+  const json::Flat f = json::parse_flat(
+      R"({"a": {"n": 3, "x": 0.5}, "s": "hi", "t": true, "z": null,
+          "arr": [1, 2.5]})");
+  EXPECT_EQ(f.at("a/n").num, 3.0);
+  EXPECT_TRUE(f.at("a/n").integral);
+  EXPECT_FALSE(f.at("a/x").integral);
+  EXPECT_EQ(f.at("s").str, "hi");
+  EXPECT_TRUE(f.at("t").boolean);
+  EXPECT_EQ(f.at("z").kind, json::Value::Kind::kNull);
+  EXPECT_EQ(f.at("arr/000").num, 1.0);
+  EXPECT_EQ(f.at("arr/001").num, 2.5);
+}
+
+TEST(StatsJson, ParseRoundTripsEmitterOutput) {
+  MetricsRegistry reg;
+  reg.counter("runs/total").inc(17);
+  reg.gauge("lat/avg").set(12.75);
+  const json::Flat f = json::parse_flat(json::snapshot_to_json(reg.snapshot()));
+  EXPECT_EQ(f.at("runs/total").num, 17.0);
+  EXPECT_TRUE(f.at("runs/total").integral);
+  EXPECT_EQ(f.at("lat/avg").num, 12.75);
+}
+
+TEST(StatsJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW(json::parse_flat("{"), std::runtime_error);
+  EXPECT_THROW(json::parse_flat("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(json::parse_flat("[1, 2"), std::runtime_error);
+  EXPECT_THROW(json::parse_flat("{\"a\": 1} trailing"), std::runtime_error);
+}
+
+// ----------------------------------------------------------------- statdiff
+
+json::Flat flat(const std::string& text) { return json::parse_flat(text); }
+
+TEST(StatDiff, IdenticalDocumentsHaveNoDiffs) {
+  const json::Flat a = flat(R"({"n": 3, "x": 0.5})");
+  EXPECT_TRUE(diff_stats(a, a, {}).empty());
+}
+
+TEST(StatDiff, IntegralLeavesCompareExactly) {
+  const json::Flat a = flat(R"({"count": 1000})");
+  const json::Flat b = flat(R"({"count": 1001})");
+  DiffOptions opts;
+  opts.default_rtol = 0.1;  // Default rtol must NOT soften integral leaves.
+  const auto diffs = diff_stats(a, b, opts);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].path, "count");
+  EXPECT_EQ(diffs[0].reason, "not-exact");
+}
+
+TEST(StatDiff, FloatLeavesUseRelativeTolerance) {
+  const json::Flat a = flat(R"({"ipc": 1.0})");
+  const json::Flat b = flat(R"({"ipc": 1.0000001})");
+  EXPECT_EQ(diff_stats(a, b, {}).size(), 1u);  // Exact by default.
+  DiffOptions opts;
+  opts.default_rtol = 1e-6;
+  EXPECT_TRUE(diff_stats(a, b, opts).empty());
+}
+
+TEST(StatDiff, RuleOverridesBySubstringLastWins) {
+  const json::Flat a = flat(R"({"mem": {"reads": 100}, "lat": {"avg": 10.0}})");
+  const json::Flat b = flat(R"({"mem": {"reads": 105}, "lat": {"avg": 10.4}})");
+  DiffOptions opts;
+  opts.rules.push_back({"mem/", 0.2});   // Integral leaf gains a tolerance.
+  opts.rules.push_back({"lat/avg", 0.1});
+  EXPECT_TRUE(diff_stats(a, b, opts).empty());
+  opts.rules.push_back({"mem/reads", 0.0});  // Last match wins: exact again.
+  EXPECT_EQ(diff_stats(a, b, opts).size(), 1u);
+}
+
+TEST(StatDiff, StructuralAndTypeDiffsAlwaysReported) {
+  const json::Flat a = flat(R"({"only_a": 1, "both": 2})");
+  const json::Flat b = flat(R"({"only_b": 1, "both": "two"})");
+  DiffOptions opts;
+  opts.default_rtol = 100.0;
+  const auto diffs = diff_stats(a, b, opts);
+  ASSERT_EQ(diffs.size(), 3u);  // missing x2 + type.
+  EXPECT_EQ(diffs[0].path, "both");
+  EXPECT_EQ(diffs[0].reason, "type");
+  EXPECT_EQ(diffs[1].reason, "missing");
+  EXPECT_EQ(diffs[2].reason, "missing");
+}
+
+TEST(StatDiff, InjectedPerturbationIsDetected) {
+  // The acceptance scenario behind the statdiff CLI: perturb one counter in
+  // an otherwise identical document and the diff must be non-empty.
+  MetricsRegistry reg;
+  reg.counter("mem/dram/ctrl00/reads_done").inc(500);
+  reg.gauge("run/ipc_per_core").set(1.2345);
+  const std::string base = json::snapshot_to_json(reg.snapshot());
+  reg.counter("mem/dram/ctrl00/reads_done").inc();  // The perturbation.
+  const std::string pert = json::snapshot_to_json(reg.snapshot());
+  DiffOptions opts;
+  opts.default_rtol = 1e-9;
+  const auto diffs = diff_stats(json::parse_flat(base), json::parse_flat(pert), opts);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].path, "mem/dram/ctrl00/reads_done");
+  EXPECT_FALSE(to_string(diffs[0]).empty());
+}
+
+TEST(StatDiff, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(relative_error(-1.0, 1.0), 2.0);
+}
+
+}  // namespace
+}  // namespace coaxial::obs

@@ -39,8 +39,24 @@ TEST(Runner, MixRequestAssignsPerCore) {
   r.warmup_instr = 1000;
   r.measure_instr = 3000;
   const RunResult res = run_one(r);
-  EXPECT_EQ(res.workload_name, "mix");
+  EXPECT_EQ(res.workload_name, "mix-0");  // Default mix_id indexes the name.
   EXPECT_GT(res.stats.ipc_per_core, 0.0);
+}
+
+TEST(Runner, MixIdNamesTheMix) {
+  RunRequest r;
+  r.config = sys::baseline_ddr();
+  r.workloads = {"lbm", "gcc"};
+  r.warmup_instr = 500;
+  r.measure_instr = 1500;
+  r.mix_id = 7;
+  EXPECT_EQ(run_one(r).workload_name, "mix-7");
+}
+
+TEST(Runner, SingleWorkloadIgnoresMixId) {
+  RunRequest r = homogeneous(sys::baseline_ddr(), "gcc", 500, 1500);
+  r.mix_id = 3;
+  EXPECT_EQ(run_one(r).workload_name, "gcc");
 }
 
 TEST(Runner, RunManyPreservesOrder) {

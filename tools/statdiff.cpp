@@ -1,0 +1,119 @@
+// statdiff: compare two coaxial stats JSON documents under per-metric
+// relative tolerances.
+//
+//   statdiff [--rtol X] [--rtol PATTERN=X] [-q] A.json B.json
+//
+// Integral leaves (counters, histogram counts, cycle percentiles) compare
+// exactly unless a rule matches them; non-integral leaves use the default
+// tolerance. --rtol PATTERN=X adds a substring rule (last match wins).
+//
+// Exit status: 0 = documents match, 1 = differences found, 2 = usage or
+// file/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/statdiff.hpp"
+#include "obs/stats_json.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: statdiff [--rtol X] [--rtol PATTERN=X] [-q] A.json B.json\n"
+               "  --rtol X          default relative tolerance for non-integral "
+               "leaves (default 0)\n"
+               "  --rtol PATTERN=X  tolerance for paths containing PATTERN "
+               "(applies to integral leaves too; last match wins)\n"
+               "  -q                print only the summary line\n";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coaxial;
+  obs::DiffOptions opts;
+  std::vector<std::string> files;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rtol") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.rfind('=');
+      char* end = nullptr;
+      if (eq == std::string::npos) {
+        opts.default_rtol = std::strtod(spec.c_str(), &end);
+        if (end == spec.c_str() || *end != '\0') {
+          std::cerr << "statdiff: bad tolerance '" << spec << "'\n";
+          return 2;
+        }
+      } else {
+        const std::string num = spec.substr(eq + 1);
+        const double rtol = std::strtod(num.c_str(), &end);
+        if (end == num.c_str() || *end != '\0') {
+          std::cerr << "statdiff: bad tolerance '" << spec << "'\n";
+          return 2;
+        }
+        opts.rules.push_back({spec.substr(0, eq), rtol});
+      }
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "statdiff: unknown option '" << arg << "'\n";
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    usage();
+    return 2;
+  }
+
+  obs::json::Flat docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!read_file(files[i], text)) {
+      std::cerr << "statdiff: cannot read '" << files[i] << "'\n";
+      return 2;
+    }
+    try {
+      docs[i] = obs::json::parse_flat(text);
+    } catch (const std::exception& e) {
+      std::cerr << "statdiff: " << files[i] << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<obs::Diff> diffs = obs::diff_stats(docs[0], docs[1], opts);
+  if (!quiet) {
+    for (const obs::Diff& d : diffs) std::cout << obs::to_string(d) << "\n";
+  }
+  std::cout << (diffs.empty() ? "statdiff: documents match"
+                              : "statdiff: " + std::to_string(diffs.size()) +
+                                    " difference(s)")
+            << " (" << files[0] << " vs " << files[1] << ")\n";
+  return diffs.empty() ? 0 : 1;
+}
