@@ -101,11 +101,11 @@ int main() {
     runs.push_back(std::move(r));
   }
   table.print();
-  if (report::write_line_chart_svg("fig02a_load_latency.svg",
-                                   "DDR5-4800 channel load-latency", xs,
+  const std::string svg = bench::out_path("fig02a_load_latency.svg");
+  if (report::write_line_chart_svg(svg, "DDR5-4800 channel load-latency", xs,
                                    {{"avg", avg_series}, {"p90", p90_series}},
                                    "achieved utilisation %", "read latency (ns)")) {
-    std::cout << "[svg] fig02a_load_latency.svg\n";
+    std::cout << "[svg] " << svg << "\n";
   }
   std::cout << "\nPaper reference: ~40 ns unloaded; avg 3x/4x at 50%/60% load; "
                "p90 4.7x/7.1x.\n";

@@ -61,10 +61,10 @@ int main() {
             << "%   (paper: 54% -> 34%)\n";
 
   bench::finish(table, "fig05_main_results.csv", results);
-  if (report::write_bar_chart_svg("fig05_speedup.svg",
-                                  "COAXIAL-4x speedup over DDR baseline", names,
+  const std::string svg = bench::out_path("fig05_speedup.svg");
+  if (report::write_bar_chart_svg(svg, "COAXIAL-4x speedup over DDR baseline", names,
                                   {{"speedup", speedups}}, /*reference=*/1.0)) {
-    std::cout << "[svg] fig05_speedup.svg\n";
+    std::cout << "[svg] " << svg << "\n";
   }
   return 0;
 }

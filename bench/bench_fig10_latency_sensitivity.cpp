@@ -23,28 +23,18 @@ int main() {
        with_port(17.5, "70ns")},
       names);
 
-  report::Table table({"workload", "10ns premium", "50ns premium", "70ns premium"});
-  std::vector<double> s10, s50, s70;
-  int losers50 = 0, losers70 = 0;
-  for (const auto& wl : names) {
-    const double base = results.at({"DDR-baseline", wl}).ipc_per_core;
-    const double v10 = results.at({"COAXIAL-4x/10ns", wl}).ipc_per_core / base;
-    const double v50 = results.at({"COAXIAL-4x/50ns", wl}).ipc_per_core / base;
-    const double v70 = results.at({"COAXIAL-4x/70ns", wl}).ipc_per_core / base;
-    s10.push_back(v10);
-    s50.push_back(v50);
-    s70.push_back(v70);
-    if (v50 < 1.0) ++losers50;
-    if (v70 < 1.0) ++losers70;
-    table.add_row({wl, report::num(v10), report::num(v50), report::num(v70)});
-  }
-  table.print();
+  const bench::SpeedupSeries s = bench::speedup_series(
+      results, names,
+      {{"10ns premium", "COAXIAL-4x/10ns", "DDR-baseline"},
+       {"50ns premium", "COAXIAL-4x/50ns", "DDR-baseline"},
+       {"70ns premium", "COAXIAL-4x/70ns", "DDR-baseline"}});
+  s.table.print();
 
-  std::cout << "\nGeomean speedup at 10/50/70 ns premium: " << report::num(geomean(s10))
-            << " / " << report::num(geomean(s50)) << " / " << report::num(geomean(s70))
+  std::cout << "\nGeomean speedup at 10/50/70 ns premium: " << report::num(s.geomean(0))
+            << " / " << report::num(s.geomean(1)) << " / " << report::num(s.geomean(2))
             << "x   (paper: 1.71 / 1.39 / 1.26)\n"
-            << "Workloads losing at 50ns: " << losers50 << "  (paper: 7); at 70ns: "
-            << losers70 << "  (paper: 10)\n";
-  bench::finish(table, "fig10_latency_sensitivity.csv", results);
+            << "Workloads losing at 50ns: " << s.below_parity(1)
+            << "  (paper: 7); at 70ns: " << s.below_parity(2) << "  (paper: 10)\n";
+  bench::finish(s.table, "fig10_latency_sensitivity.csv", results);
   return 0;
 }

@@ -11,7 +11,8 @@ int main() {
 
   auto with_cores = [](sys::SystemConfig c, std::uint32_t active) {
     c.uarch.active_cores = active;
-    c.name += "/" + std::to_string(active);
+    c.name += '/';
+    c.name += std::to_string(active);
     return c;
   };
 
@@ -24,27 +25,21 @@ int main() {
   const auto names = workload::workload_names();
   const auto results = bench::run_matrix(configs, names);
 
-  report::Table table({"workload", "1 core", "4 cores", "8 cores", "12 cores"});
-  std::vector<std::vector<double>> speedups(core_counts.size());
-  for (const auto& wl : names) {
-    std::vector<std::string> row = {wl};
-    for (std::size_t i = 0; i < core_counts.size(); ++i) {
-      const std::string n = std::to_string(core_counts[i]);
-      const double base = results.at({"DDR-baseline/" + n, wl}).ipc_per_core;
-      const double coax = results.at({"COAXIAL-4x/" + n, wl}).ipc_per_core;
-      speedups[i].push_back(coax / base);
-      row.push_back(report::num(coax / base));
-    }
-    table.add_row(row);
+  std::vector<bench::SpeedupColumn> cols;
+  for (std::uint32_t n : core_counts) {
+    const std::string tag = std::to_string(n);
+    cols.push_back({tag + (n == 1 ? " core" : " cores"), "COAXIAL-4x/" + tag,
+                    "DDR-baseline/" + tag});
   }
-  table.print();
+  const bench::SpeedupSeries s = bench::speedup_series(results, names, cols);
+  s.table.print();
 
   std::cout << "\nGeomean speedup by active cores:\n";
   for (std::size_t i = 0; i < core_counts.size(); ++i) {
-    std::cout << "  " << core_counts[i] << " cores: " << report::num(geomean(speedups[i]))
+    std::cout << "  " << core_counts[i] << " cores: " << report::num(s.geomean(i))
               << "x\n";
   }
   std::cout << "(paper: 0.73x at 1 core; ~1x at 4; 1.17x at 8; 1.39x at 12)\n";
-  bench::finish(table, "fig11_core_utilization.csv", results);
+  bench::finish(s.table, "fig11_core_utilization.csv", results);
   return 0;
 }

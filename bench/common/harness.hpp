@@ -2,12 +2,13 @@
 //
 // Budgets come from COAXIAL_INSTR / COAXIAL_WARMUP (per core, measurement /
 // warmup). Each harness prints the paper element's rows to stdout and drops
-// a CSV in the working directory; when COAXIAL_STATS_JSON is set (non-empty)
-// it additionally drops the full per-run metrics tree as
-// "<csv stem>.stats.json" (schema coaxial-stats-v1, see DESIGN.md).
+// a CSV under out/ (created on demand, gitignored); when COAXIAL_STATS_JSON
+// is set (non-empty) it additionally drops the full per-run metrics tree as
+// "out/<csv stem>.stats.json" (schema coaxial-stats-v1, see DESIGN.md).
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/stats.hpp"
 #include "obs/stats_json.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -82,6 +84,14 @@ inline bool stats_json_enabled() {
   return v != nullptr && v[0] != '\0';
 }
 
+/// Output artifact path: "fig05.csv" -> "out/fig05.csv", creating out/ on
+/// first use so benches never litter the repository root.
+inline std::string out_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);  // Best-effort.
+  return (std::filesystem::path("out") / name).string();
+}
+
 /// "fig05_main_results.csv" -> "fig05_main_results.stats.json".
 inline std::string stats_json_name(const std::string& csv_name) {
   const std::size_t dot = csv_name.rfind('.');
@@ -92,15 +102,21 @@ inline std::string stats_json_name(const std::string& csv_name) {
 inline void emit_stats_json(const std::vector<sim::RunResult>& runs,
                             const std::string& csv_name) {
   if (!stats_json_enabled()) return;
-  const std::string name = stats_json_name(csv_name);
-  if (sim::write_stats_json(runs, name)) {
-    std::cout << "[json] " << name << "\n";
+  const std::string path = out_path(stats_json_name(csv_name));
+  // COAXIAL_STATS_HOST_SECONDS=1 adds per-run host wall-clock so A/B timing
+  // (e.g. scheduler on/off) needs no external stopwatch. Opt-in because wall
+  // clock is non-deterministic and would break byte-identical dumps.
+  sim::StatsJsonOptions opts;
+  opts.include_host_seconds = env_flag("COAXIAL_STATS_HOST_SECONDS");
+  if (sim::write_stats_json(runs, path, opts)) {
+    std::cout << "[json] " << path << "\n";
   }
 }
 
 inline void finish(const report::Table& table, const std::string& csv_name) {
-  if (table.write_csv(csv_name)) {
-    std::cout << "\n[csv] " << csv_name << "\n";
+  const std::string path = out_path(csv_name);
+  if (table.write_csv(path)) {
+    std::cout << "\n[csv] " << path << "\n";
   }
 }
 
@@ -122,6 +138,52 @@ inline void finish(const report::Table& table, const std::string& csv_name,
   std::vector<sim::RunResult> runs = a.runs;
   runs.insert(runs.end(), b.runs.begin(), b.runs.end());
   emit_stats_json(runs, csv_name);
+}
+
+// ------------------------------------------------------- speedup sweeps
+//
+// Several figures share the same shape: per-workload IPC of one or more
+// configurations normalised to a (possibly per-column) baseline, one table
+// row per workload, plus geomean / regression summaries per column.
+
+/// One table column of a speedup sweep: `config` normalised to `baseline`.
+struct SpeedupColumn {
+  std::string label;
+  std::string config;
+  std::string baseline;
+};
+
+struct SpeedupSeries {
+  report::Table table;
+  std::vector<std::vector<double>> columns;  ///< [column][workload].
+
+  double geomean(std::size_t col) const { return coaxial::geomean(columns[col]); }
+  /// Workloads slower than their baseline ("losers") in a column.
+  int below_parity(std::size_t col) const {
+    int n = 0;
+    for (double v : columns[col]) n += v < 1.0 ? 1 : 0;
+    return n;
+  }
+};
+
+inline SpeedupSeries speedup_series(const MatrixResults& results,
+                                    const std::vector<std::string>& workloads,
+                                    const std::vector<SpeedupColumn>& cols) {
+  std::vector<std::string> header = {"workload"};
+  for (const SpeedupColumn& c : cols) header.push_back(c.label);
+  SpeedupSeries out{report::Table(header),
+                    std::vector<std::vector<double>>(cols.size())};
+  for (const std::string& wl : workloads) {
+    std::vector<std::string> row = {wl};
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const double v = results.at({cols[i].config, wl}).ipc_per_core /
+                       results.at({cols[i].baseline, wl}).ipc_per_core;
+      out.columns[i].push_back(v);
+      row.push_back(report::num(v));
+    }
+    out.table.add_row(row);
+  }
+  return out;
 }
 
 }  // namespace coaxial::bench

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, run the full test suite, verify the
+# golden stats document against the checked-in baseline with statdiff, and
+# smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
+# golden ctest labels.
+#
+# Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== configure + build (${BUILD_DIR}) ==="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DCOAXIAL_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "=== ctest ==="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "=== golden statdiff check ==="
+# Re-run the pinned golden scenario set and diff against the committed
+# baseline: integral leaves exact, float leaves within 1e-9 relative.
+"${BUILD_DIR}/tools/golden_run" "${BUILD_DIR}/golden_current.json"
+"${BUILD_DIR}/tools/statdiff" --rtol 1e-9 \
+  tests/golden/baseline.json "${BUILD_DIR}/golden_current.json"
+
+echo "=== sanitizer build (ASan+UBSan) ==="
+SAN_DIR="${BUILD_DIR}-asan"
+cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
+cmake --build "${SAN_DIR}" -j "${JOBS}"
+# Invariant + golden labels drive every layer (cores, caches, DRAM, CXL,
+# scheduler) end to end under the sanitizers without rerunning all 570 tests.
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden"
+
+echo "=== CI OK ==="

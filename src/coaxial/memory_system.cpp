@@ -53,6 +53,7 @@ DirectDdrMemory::DirectDdrMemory(std::uint32_t channels, const dram::Timing& tim
     ctrls_.push_back(std::make_unique<dram::Controller>(
         timing, geometry, 64, 64, scope.sub("dram/ctrl" + obs::idx(i))));
   }
+  ctrl_wake_.assign(n_sub, 0);
   if (scope.valid()) register_aggregates(scope, *this);
 }
 
@@ -66,17 +67,29 @@ void DirectDdrMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t 
   const bool ok = ctrls_[sub]->enqueue(local, is_write, now, token);
   assert(ok && "caller must check can_accept first");
   (void)ok;
+  ctrl_wake_[sub] = now;  // New work (or a forwarded completion) to process.
 }
 
-void DirectDdrMemory::tick(Cycle now) {
-  for (auto& c : ctrls_) {
-    c->tick(now);
-    auto& done = c->completions();
+Cycle DirectDdrMemory::tick(Cycle now) {
+  Cycle wake = kNoCycle;
+  for (std::size_t i = 0; i < ctrls_.size(); ++i) {
+    if (!force_tick_ && ctrl_wake_[i] > now) {
+      // Controller is provably inert until its cached wake cycle; skipping
+      // it cannot change results (its constraint timestamps are frozen and
+      // it has no pending completions).
+      wake = std::min(wake, ctrl_wake_[i]);
+      continue;
+    }
+    dram::Controller& c = *ctrls_[i];
+    ctrl_wake_[i] = c.tick(now);
+    wake = std::min(wake, ctrl_wake_[i]);
+    auto& done = c.completions();
     for (const auto& comp : done) {
       out_.push_back({comp.token, comp.done, comp.service, comp.queue_delay, 0, 0});
     }
     done.clear();
   }
+  return wake;
 }
 
 MemorySnapshot DirectDdrMemory::snapshot() const {
@@ -128,6 +141,7 @@ CxlMemory::CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
     ctrls_.push_back(std::make_unique<dram::Controller>(
         timing, geometry, 64, 64, scope.sub("dram/ctrl" + obs::idx(i))));
   }
+  sub_wake_.assign(n_sub, 0);
   if (scope.valid()) register_aggregates(scope, *this);
 }
 
@@ -171,10 +185,19 @@ void CxlMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token)
     msg.token = slot;
   }
   device_ingress_[sub].push_back(msg);
+  // The sub-channel must be processed when the message lands on the device.
+  sub_wake_[sub] = std::min(sub_wake_[sub], msg.arrival);
 }
 
-void CxlMemory::tick(Cycle now) {
+Cycle CxlMemory::tick(Cycle now) {
+  Cycle wake = kNoCycle;
   for (std::uint32_t sub = 0; sub < subchannels(); ++sub) {
+    if (!force_tick_ && sub_wake_[sub] > now) {
+      // No ingress arrival and no controller deadline before the cached
+      // wake: the sub-channel is inert and produces no completions.
+      wake = std::min(wake, sub_wake_[sub]);
+      continue;
+    }
     dram::Controller& ctrl = *ctrls_[sub];
     auto& ingress = device_ingress_[sub];
     // Admit delivered messages into the DRAM controller in FIFO order.
@@ -188,7 +211,16 @@ void CxlMemory::tick(Cycle now) {
       ctrl.enqueue(msg.local_line, msg.is_write, now, msg.token);
       ingress.pop_front();
     }
-    ctrl.tick(now);
+    const Cycle ctrl_wake = ctrl.tick(now);
+    Cycle sw = ctrl_wake;
+    if (!ingress.empty()) {
+      // A blocked-but-arrived head retries when the controller next acts
+      // (queue slots free only on CAS issue); a future head at its arrival.
+      const Cycle arrival = ingress.front().arrival;
+      if (arrival > now) sw = std::min(sw, arrival);
+    }
+    sub_wake_[sub] = sw;
+    wake = std::min(wake, sw);
 
     const std::uint32_t ch = sub / subchannels_per_device_;
     auto& done = ctrl.completions();
@@ -234,7 +266,15 @@ void CxlMemory::tick(Cycle now) {
       pending[i] = pending.back();
       pending.pop_back();
     }
+    // Responses still parked: wake at their ready cycle, or — if ready but
+    // the RX pipe is out of credit — at the cycle the credit frees (exact:
+    // rx_busy_until_ only moves on sends, which happen in this loop).
+    for (const PendingResponse& p : pending) {
+      const Cycle at = p.ready > now ? p.ready : links_[ch]->rx_credit_cycle(now);
+      wake = std::min(wake, std::max(at, now + 1));
+    }
   }
+  return wake;
 }
 
 MemorySnapshot CxlMemory::snapshot() const {

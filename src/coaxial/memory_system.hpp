@@ -69,8 +69,16 @@ class MemorySystem {
   /// Issue an access. Reads echo `token` in a completion; writes are posted.
   virtual void access(Addr line, bool is_write, Cycle now, std::uint64_t token) = 0;
 
-  /// Advance controllers/devices by one cycle.
-  virtual void tick(Cycle now) = 0;
+  /// Advance controllers/devices by one cycle. Returns the earliest future
+  /// cycle at which any internal component could act (conservative lower
+  /// bound); the caller need not tick again before then unless it issues a
+  /// new access in the meantime.
+  virtual Cycle tick(Cycle now) = 0;
+
+  /// Disable the per-sub-channel wake caching so every tick() advances
+  /// every controller (the pre-scheduler reference behaviour, used by the
+  /// event-driven-vs-forced equivalence test).
+  virtual void set_force_tick(bool force) = 0;
 
   /// Completions produced since the last drain (caller takes ownership).
   virtual std::vector<MemCompletion>& completions() = 0;
@@ -99,7 +107,8 @@ class DirectDdrMemory final : public MemorySystem {
 
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
-  void tick(Cycle now) override;
+  Cycle tick(Cycle now) override;
+  void set_force_tick(bool force) override { force_tick_ = force; }
   std::vector<MemCompletion>& completions() override { return out_; }
   std::uint32_t ports() const override { return channels_; }
   std::uint32_t port_of(Addr line) const override {
@@ -116,7 +125,9 @@ class DirectDdrMemory final : public MemorySystem {
  private:
   std::uint32_t channels_;
   std::vector<std::unique_ptr<dram::Controller>> ctrls_;
+  std::vector<Cycle> ctrl_wake_;  ///< Next cycle each controller could act.
   std::vector<MemCompletion> out_;
+  bool force_tick_ = false;
 };
 
 /// COAXIAL: `cxl_channels` x8 CXL links, each to a Type-3 device hosting
@@ -132,7 +143,8 @@ class CxlMemory final : public MemorySystem {
 
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
-  void tick(Cycle now) override;
+  Cycle tick(Cycle now) override;
+  void set_force_tick(bool force) override { force_tick_ = force; }
   std::vector<MemCompletion>& completions() override { return out_; }
   std::uint32_t ports() const override { return cxl_channels_; }
   std::uint32_t port_of(Addr line) const override {
@@ -181,7 +193,9 @@ class CxlMemory final : public MemorySystem {
   std::vector<std::unique_ptr<link::CxlLink>> links_;              // per CXL channel
   std::vector<std::unique_ptr<dram::Controller>> ctrls_;           // per sub-channel
   std::vector<std::deque<DeviceMsg>> device_ingress_;              // per sub-channel
+  std::vector<Cycle> sub_wake_;  // next cycle each sub-channel could act
   std::vector<std::vector<PendingResponse>> pending_responses_;    // per CXL channel
+  bool force_tick_ = false;
   std::vector<MemCompletion> out_;
   std::vector<InflightRead> inflight_;  // slot-addressed by internal id
   std::vector<std::uint32_t> free_slots_;

@@ -24,6 +24,12 @@ inline double env_double(const char* name, double fallback) {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+/// True when `name` is set to a non-empty value other than "0".
+inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
 /// Instruction budget per core for benchmark runs (paper: 200M).
 inline std::uint64_t bench_instr_budget() { return env_u64("COAXIAL_INSTR", 400'000); }
 

@@ -28,9 +28,57 @@ Core::Core(std::uint32_t id, const sys::MicroarchConfig& cfg, workload::Generato
       rob_(cfg.rob_entries) {}
 
 void Core::tick(Cycle now, MemoryPort& port) {
+  // Cycles the scheduler skipped still accrue fetch credit. Replay the
+  // per-cycle accumulation (rather than multiplying) because repeated FP
+  // adds are order-dependent and the bucket must stay bit-identical to a
+  // tick-every-cycle run; once the bucket is full, further adds are no-ops.
+  const double cap = static_cast<double>(cfg_.fetch_width) * 2.0;
+  for (Cycle gap = now - last_tick_; gap > 1 && fetch_credit_ < cap; --gap) {
+    fetch_credit_ = std::min(fetch_credit_ + max_ipc_, cap);
+  }
+  last_tick_ = now;
   retire(now);
   replay(now, port);
   fetch(now, port);
+}
+
+Cycle Core::next_wake(Cycle now) const {
+  Cycle wake = kNoCycle;
+  // Retirement: the head's completion cycle is known (pending loads keep
+  // done_cycle == kNoCycle; on_load_complete re-arms the wake instead).
+  if (rob_count_ > 0) {
+    const Cycle done = rob_[rob_head_].done_cycle;
+    if (done != kNoCycle) wake = std::min(wake, std::max(done, now + 1));
+  }
+  // Stalled issue stream: the front entry gates everything behind it.
+  if (!pending_.empty()) {
+    const PendingIssue& p = pending_.front();
+    const RobEntry& dep = rob_[p.dep_slot == kNoSlot ? 0 : p.dep_slot];
+    const bool dep_live = p.dep_slot != kNoSlot && dep.seq == p.dep_seq;
+    if (dep_live && dep.done_cycle == kNoCycle) {
+      // Producer still in flight: on_load_complete re-arms the wake.
+    } else if (dep_live && dep.done_cycle > now) {
+      wake = std::min(wake, dep.done_cycle);
+    } else if (p.is_store && store_buffer_used_ >= cfg_.store_buffer) {
+      // Store buffer full: on_store_complete re-arms the wake.
+    } else {
+      wake = std::min(wake, now + 1);  // Issueable (or retrying) next cycle.
+    }
+  }
+  // Fetch: count credit-accrual cycles until the bucket reaches one token.
+  // The same min(add, cap) sequence is replayed by tick()'s catch-up, so
+  // waking exactly then reproduces the bucket bit-for-bit.
+  if (max_ipc_ > 0 && !rob_full() && pending_.size() < kPendingBound) {
+    const double cap = static_cast<double>(cfg_.fetch_width) * 2.0;
+    double credit = fetch_credit_;
+    Cycle k = 0;
+    do {
+      credit = std::min(credit + max_ipc_, cap);
+      ++k;
+    } while (credit < 1.0 && k < 64);
+    wake = std::min(wake, now + k);
+  }
+  return wake;
 }
 
 void Core::retire(Cycle now) {

@@ -46,8 +46,17 @@ class Core {
   /// Convenience: wrap a synthetic generator.
   Core(std::uint32_t id, const sys::MicroarchConfig& cfg, workload::Generator generator);
 
-  /// One cycle: retire, replay stalled issues, fetch/dispatch.
+  /// One cycle: retire, replay stalled issues, fetch/dispatch. `now` need
+  /// not be consecutive with the previous tick: skipped cycles are replayed
+  /// for their only per-cycle side effect (fetch-credit accrual) so an
+  /// event-driven run is bit-identical to a tick-every-cycle run.
   void tick(Cycle now, MemoryPort& port);
+
+  /// Earliest future cycle at which tick() could make progress, given the
+  /// state after the tick at `now` — or kNoCycle if the core is fully
+  /// blocked on a callback (load data, store-buffer release), in which case
+  /// the caller must re-arm the wake-up when the callback fires.
+  Cycle next_wake(Cycle now) const;
 
   /// Load data arrived: complete the ROB slot encoded in `waiter`.
   void on_load_complete(std::uint64_t waiter, Cycle now);
@@ -120,6 +129,7 @@ class Core {
   std::uint64_t last_load_seq_ = 0;
 
   double fetch_credit_ = 0.0;  ///< Token bucket enforcing the IPC ceiling.
+  Cycle last_tick_ = 0;        ///< For credit catch-up over skipped cycles.
   std::uint64_t retired_ = 0;
 };
 

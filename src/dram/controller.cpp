@@ -84,10 +84,10 @@ bool Controller::enqueue(Addr local_line, bool is_write, Cycle now, std::uint64_
   return true;
 }
 
-void Controller::tick(Cycle now) {
+Cycle Controller::tick(Cycle now) {
   if (now >= next_refresh_) refresh_pending_ = true;
   if (refresh_pending_) {
-    if (try_refresh(now)) return;
+    if (try_refresh(now)) return now + 1;
     // While waiting to close banks for refresh we still allow CAS commands
     // below, so in-flight row hits drain naturally; ACTs are suppressed by
     // try_prep's refresh check.
@@ -96,7 +96,7 @@ void Controller::tick(Cycle now) {
     // Nothing to schedule; opportunistically close idled rows so the next
     // burst starts from precharged banks (adaptive open-page).
     if (open_banks_ > 0) idle_precharge(now);
-    return;
+    return compute_wake(now);
   }
 
   // Write-drain watermark policy (DRAMsim3-style): drain once the write
@@ -113,13 +113,96 @@ void Controller::tick(Cycle now) {
   }
 
   if (draining_writes_) {
-    if (try_issue(write_q_, /*is_write=*/true, now)) return;
-    if (try_issue(read_q_, /*is_write=*/false, now)) return;
+    if (try_issue(write_q_, /*is_write=*/true, now)) return now + 1;
+    if (try_issue(read_q_, /*is_write=*/false, now)) return now + 1;
   } else {
-    if (try_issue(read_q_, /*is_write=*/false, now)) return;
-    if (try_issue(write_q_, /*is_write=*/true, now)) return;
+    if (try_issue(read_q_, /*is_write=*/false, now)) return now + 1;
+    if (try_issue(write_q_, /*is_write=*/true, now)) return now + 1;
   }
   idle_precharge(now);
+  return compute_wake(now);
+}
+
+Cycle Controller::cas_ready_cycle(const Request& req, bool is_write, Cycle now) const {
+  const Geometry& g = amap_.geometry();
+  const Bank& b = banks_[req.coord.flat_bank_all(g)];
+  Cycle t = std::max(now + 1, is_write ? b.next_wr : b.next_rd);
+  t = std::max(t, next_cas_rank_[req.coord.rank]);
+  const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
+                         req.coord.bank_group;
+  t = std::max(t, next_cas_group_[rg]);
+  if (g.ranks > 1 && req.coord.rank != last_cas_rank_) {
+    t = std::max(t, last_cas_end_ + timing_.cs);
+  }
+  if (is_write) {
+    t = std::max(t, next_wr_bus_);
+  } else {
+    t = std::max(t, std::max(next_rd_bus_, next_rd_after_wr_group_[rg]));
+  }
+  return t;
+}
+
+Cycle Controller::prep_ready_cycle(const Request& req, Cycle now) const {
+  const Geometry& g = amap_.geometry();
+  const Bank& b = banks_[req.coord.flat_bank_all(g)];
+  if (b.open && b.row != req.coord.row) return std::max(now + 1, b.next_pre);
+  if (!b.open) {
+    const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
+                           req.coord.bank_group;
+    Cycle t = std::max(now + 1, b.next_act);
+    t = std::max(t, std::max(next_act_rank_[req.coord.rank], next_act_group_[rg]));
+    const FawWindow& faw = faw_[req.coord.rank];
+    if (faw.acts[faw.pos] != 0) t = std::max(t, faw.acts[faw.pos] + timing_.faw);
+    return t;
+  }
+  return kNoCycle;  // Open on the right row: the CAS candidate covers it.
+}
+
+Cycle Controller::compute_wake(Cycle now) const {
+  // Every constraint that gated an issue this cycle is a timestamp frozen
+  // until the controller acts again, so the min over all candidates is a
+  // sound wake-up: nothing can become issueable earlier.
+  Cycle wake = kNoCycle;
+  if (refresh_pending_) {
+    // Blocked on closing banks (or on their PRE/ACT timing) for refresh.
+    bool any_open = false;
+    for (const Bank& b : banks_) {
+      if (!b.open) continue;
+      any_open = true;
+      wake = std::min(wake, std::max(now + 1, b.next_pre));
+    }
+    if (!any_open) {
+      Cycle ready = now + 1;
+      for (const Bank& b : banks_) ready = std::max(ready, b.next_act);
+      wake = std::min(wake, ready);
+    }
+  } else {
+    wake = std::min(wake, std::max(now + 1, next_refresh_));
+  }
+  const auto queue_candidates = [&](const std::vector<Request>& q, bool is_write) {
+    const std::size_t window = std::min(q.size(), kScanWindow);
+    for (std::size_t i = 0; i < window; ++i) {
+      const Request& req = q[i];
+      const Bank& b = banks_[req.coord.flat_bank_all(amap_.geometry())];
+      if (b.row_hit(req.coord.row)) {
+        wake = std::min(wake, cas_ready_cycle(req, is_write, now));
+      } else if (!refresh_pending_) {
+        wake = std::min(wake, prep_ready_cycle(req, now));
+      }
+    }
+  };
+  queue_candidates(read_q_, /*is_write=*/false);
+  queue_candidates(write_q_, /*is_write=*/true);
+  if (timing_.idle_precharge != 0 && open_banks_ > 0) {
+    for (std::uint32_t i = 0; i < banks_.size(); ++i) {
+      const Bank& b = banks_[i];
+      if (!b.open) continue;
+      const Cycle eligible =
+          std::max(b.next_pre, bank_last_use_[i] + timing_.idle_precharge);
+      wake = std::min(wake, std::max(now + 1, eligible));
+    }
+  }
+  return wake;
 }
 
 void Controller::idle_precharge(Cycle now) {

@@ -70,7 +70,12 @@ class Controller {
   bool enqueue(Addr local_line, bool is_write, Cycle now, std::uint64_t token);
 
   /// Advance one cycle: refresh management + at most one command issue.
-  void tick(Cycle now);
+  /// Returns the earliest future cycle at which the controller could act
+  /// again (command issue, refresh deadline, idle-row precharge). The bound
+  /// is conservative (never later than the true next action), so callers
+  /// may skip ticking until then without changing any decision — the basis
+  /// of the event-driven System loop.
+  Cycle tick(Cycle now);
 
   /// Read completions produced since the last drain (in completion order).
   std::vector<Completion>& completions() { return completions_; }
@@ -108,6 +113,13 @@ class Controller {
   void issue_cas(Request& req, bool is_write, Cycle now);
   bool try_prep(Request& req, Cycle now);
   void idle_precharge(Cycle now);
+
+  // Wake-cycle lower bounds for the event-driven loop: when could the
+  // command that tick() just declined become issueable? Mirrors of
+  // cas_ready / try_prep over the same frozen constraint timestamps.
+  Cycle compute_wake(Cycle now) const;
+  Cycle cas_ready_cycle(const Request& req, bool is_write, Cycle now) const;
+  Cycle prep_ready_cycle(const Request& req, Cycle now) const;
 
   Timing timing_;
   AddressMap amap_;

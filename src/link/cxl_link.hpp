@@ -49,6 +49,12 @@ class CxlLink {
   bool can_send_tx(Cycle now) const { return backlog(tx_busy_until_, now) < max_backlog_; }
   bool can_send_rx(Cycle now) const { return backlog(rx_busy_until_, now) < max_backlog_; }
 
+  /// Earliest cycle (>= now) at which the direction has a free credit. The
+  /// backlog only decays with time between sends, so this is exact until
+  /// the next send — the event-driven loop uses it to skip blocked cycles.
+  Cycle tx_credit_cycle(Cycle now) const { return credit_cycle(tx_busy_until_, now); }
+  Cycle rx_credit_cycle(Cycle now) const { return credit_cycle(rx_busy_until_, now); }
+
   /// Send CPU->device. Returns the cycle the message is delivered.
   Cycle send_tx(std::uint32_t bytes, Cycle now) {
     return send(tx_busy_until_, tx_stats_, cfg_.tx_goodput_gbps, bytes, now);
@@ -85,6 +91,11 @@ class CxlLink {
  private:
   static Cycle backlog(Cycle busy_until, Cycle now) {
     return busy_until > now ? busy_until - now : 0;
+  }
+
+  Cycle credit_cycle(Cycle busy_until, Cycle now) const {
+    if (backlog(busy_until, now) < max_backlog_) return now;
+    return busy_until - max_backlog_ + 1;  // backlog >= max implies this > now.
   }
 
   void register_direction(const obs::Scope& s, const DirectionStats& st) {

@@ -1,5 +1,6 @@
 #include "sim/runner.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
@@ -34,7 +35,10 @@ RunResult run_one(const RunRequest& request) {
   }
 
   System system(request.config, per_core, request.seed);
+  const auto wall_start = std::chrono::steady_clock::now();
   system.run(request.warmup_instr, request.measure_instr);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
 
   RunResult result;
   result.config_name = request.config.name;
@@ -44,9 +48,21 @@ RunResult run_one(const RunRequest& request) {
   result.seed = request.seed;
   result.warmup_instr = request.warmup_instr;
   result.measure_instr = request.measure_instr;
+  result.host_seconds = wall.count();
   result.stats = system.stats();
   result.metrics = system.metrics().snapshot();
   return result;
+}
+
+std::vector<RunRequest> golden_requests() {
+  // Small budgets keep the golden test fast while still exercising both
+  // topologies (direct DDR and CXL-attached) plus the asymmetric-lane
+  // variant. Changing this set invalidates tests/golden/baseline.json.
+  return {
+      homogeneous(sys::baseline_ddr(), "canneal", 500, 2000, /*seed=*/7),
+      homogeneous(sys::coaxial_4x(), "lbm", 500, 2000, /*seed=*/7),
+      homogeneous(sys::coaxial_asym(), "stream-copy", 500, 2000, /*seed=*/7),
+  };
 }
 
 std::vector<RunResult> run_many(const std::vector<RunRequest>& requests,
@@ -64,7 +80,7 @@ std::vector<RunResult> run_many(const std::vector<RunRequest>& requests,
 
 namespace {
 
-void write_run(obs::json::Writer& w, const RunResult& r) {
+void write_run(obs::json::Writer& w, const RunResult& r, const StatsJsonOptions& opts) {
   w.begin_object();
   w.key("config");
   w.value(r.config_name);
@@ -76,6 +92,12 @@ void write_run(obs::json::Writer& w, const RunResult& r) {
   w.value(r.warmup_instr);
   w.key("measure_instr");
   w.value(r.measure_instr);
+  if (opts.include_host_seconds) {
+    // Host timing is non-deterministic; emitting it by default would break
+    // the byte-identical guarantee the determinism/golden tests rely on.
+    w.key("host_seconds");
+    w.value(r.host_seconds);
+  }
   w.key("metrics");
   obs::json::write_snapshot(w, r.metrics);
   w.end_object();
@@ -83,27 +105,29 @@ void write_run(obs::json::Writer& w, const RunResult& r) {
 
 }  // namespace
 
-std::string stats_json(const std::vector<RunResult>& results) {
+std::string stats_json(const std::vector<RunResult>& results,
+                       const StatsJsonOptions& options) {
   obs::json::Writer w;
   w.begin_object();
   w.key("schema");
   w.value("coaxial-stats-v1");
   w.key("runs");
   w.begin_array();
-  for (const RunResult& r : results) write_run(w, r);
+  for (const RunResult& r : results) write_run(w, r, options);
   w.end_array();
   w.end_object();
   return w.str();
 }
 
-std::string stats_json(const RunResult& result) {
-  return stats_json(std::vector<RunResult>{result});
+std::string stats_json(const RunResult& result, const StatsJsonOptions& options) {
+  return stats_json(std::vector<RunResult>{result}, options);
 }
 
-bool write_stats_json(const std::vector<RunResult>& results, const std::string& path) {
+bool write_stats_json(const std::vector<RunResult>& results, const std::string& path,
+                      const StatsJsonOptions& options) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
-  const std::string doc = stats_json(results);
+  const std::string doc = stats_json(results, options);
   const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
   return std::fclose(f) == 0 && ok;
 }

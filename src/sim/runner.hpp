@@ -29,6 +29,7 @@ struct RunResult {
   std::uint64_t seed = 0;
   std::uint64_t warmup_instr = 0;
   std::uint64_t measure_instr = 0;
+  double host_seconds = 0;  ///< Host wall-clock spent inside System::run().
   RunStats stats;
   obs::Snapshot metrics;  ///< Full registry snapshot taken after run().
 };
@@ -46,13 +47,28 @@ RunRequest homogeneous(const sys::SystemConfig& cfg, const std::string& workload
                        std::uint64_t warmup, std::uint64_t measure,
                        std::uint64_t seed = 42);
 
+/// The (config, workload) triplet pinned by tests/golden/baseline.json.
+/// Shared by the golden-regression test and tools/golden_run so both always
+/// describe the same runs.
+std::vector<RunRequest> golden_requests();
+
+/// Optional fields of the stats JSON document. Everything that is not
+/// deterministic (host timing) is opt-in so the default document stays
+/// byte-identical for identical runs.
+struct StatsJsonOptions {
+  bool include_host_seconds = false;  ///< Emit per-run `host_seconds`.
+};
+
 /// Canonical JSON stats document ("coaxial-stats-v1") for one run or a batch.
 /// Byte-identical for identical runs — the determinism and golden-regression
 /// tests compare these documents directly.
-std::string stats_json(const RunResult& result);
-std::string stats_json(const std::vector<RunResult>& results);
+std::string stats_json(const RunResult& result, const StatsJsonOptions& options = {});
+std::string stats_json(const std::vector<RunResult>& results,
+                       const StatsJsonOptions& options = {});
 
-/// Write `stats_json(results)` to `path`. Returns false on I/O failure.
-bool write_stats_json(const std::vector<RunResult>& results, const std::string& path);
+/// Write `stats_json(results, options)` to `path`. Returns false on I/O
+/// failure.
+bool write_stats_json(const std::vector<RunResult>& results, const std::string& path,
+                      const StatsJsonOptions& options = {});
 
 }  // namespace coaxial::sim

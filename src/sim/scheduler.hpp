@@ -1,0 +1,126 @@
+// Deterministic discrete-event scheduler: the wake-up spine of the system.
+//
+// Components implement Schedulable and register wake-ups; the System event
+// pump asks for the next populated cycle, jumps `now` straight to it, and
+// dispatches everything due. Entries are ordered by (cycle, priority, seq):
+// the sequence number is a per-scheduler monotonic counter, so ties at the
+// same (cycle, priority) always dispatch in registration order — identical
+// on every platform and independent of heap internals.
+//
+// Cancellation is lazy: cancel() tombstones the token and the entry is
+// discarded when it surfaces, keeping both operations O(log n).
+//
+// Note: this heap carries only component wake-ups, which are idempotent
+// ("run your cycle handler at cycle T"). Payload events (cache fills, NoC
+// arrivals, memory ops) stay on the System's own event queue, whose legacy
+// same-cycle ordering is results-affecting and therefore preserved as-is.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace coaxial::sim {
+
+/// A component that can be woken at a scheduled cycle. Wake-ups are
+/// level-triggered: being woken with nothing to do must be harmless.
+class Schedulable {
+ public:
+  virtual ~Schedulable() = default;
+  virtual void on_wake(Cycle now) = 0;
+};
+
+class Scheduler {
+ public:
+  using Token = std::uint64_t;
+  static constexpr Token kNoToken = 0;
+
+  /// Register a wake-up for `who` at `cycle`. Lower `priority` dispatches
+  /// first within a cycle; equal (cycle, priority) dispatch in registration
+  /// order. Returns a token usable with cancel().
+  Token schedule(Cycle cycle, std::uint32_t priority, Schedulable* who) {
+    const Token token = ++last_token_;
+    heap_.push(Entry{cycle, priority, token, who});
+    ++live_;
+    ++n_scheduled_;
+    return token;
+  }
+
+  /// Drop a still-pending wake-up. The token must not have been dispatched
+  /// or cancelled already (callers track liveness; see System::WakeSlot).
+  void cancel(Token token) {
+    if (token == kNoToken) return;
+    cancelled_.insert(token);
+    --live_;
+    ++n_cancelled_;
+  }
+
+  /// Earliest cycle holding a live entry, or kNoCycle if none.
+  Cycle next_cycle() {
+    prune();
+    return heap_.empty() ? kNoCycle : heap_.top().cycle;
+  }
+
+  /// Pop and dispatch every live entry with cycle <= now, including entries
+  /// registered at <= now by the handlers themselves (same-cycle chaining).
+  /// Returns the number of entries dispatched.
+  std::size_t dispatch_due(Cycle now) {
+    std::size_t n = 0;
+    for (;;) {
+      prune();
+      if (heap_.empty() || heap_.top().cycle > now) break;
+      const Entry e = heap_.top();
+      heap_.pop();
+      --live_;
+      ++n_dispatched_;
+      ++n;
+      e.who->on_wake(now);
+    }
+    return n;
+  }
+
+  bool empty() {
+    prune();
+    return heap_.empty();
+  }
+  std::size_t live() const { return live_; }
+  std::uint64_t scheduled() const { return n_scheduled_; }
+  std::uint64_t dispatched() const { return n_dispatched_; }
+  std::uint64_t cancelled() const { return n_cancelled_; }
+
+ private:
+  struct Entry {
+    Cycle cycle = 0;
+    std::uint32_t priority = 0;
+    Token token = kNoToken;
+    Schedulable* who = nullptr;
+    bool operator>(const Entry& o) const {
+      if (cycle != o.cycle) return cycle > o.cycle;
+      if (priority != o.priority) return priority > o.priority;
+      return token > o.token;
+    }
+  };
+
+  /// Discard tombstoned entries sitting on top of the heap.
+  void prune() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().token);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<Token> cancelled_;
+  Token last_token_ = kNoToken;
+  std::size_t live_ = 0;
+  std::uint64_t n_scheduled_ = 0;
+  std::uint64_t n_dispatched_ = 0;
+  std::uint64_t n_cancelled_ = 0;
+};
+
+}  // namespace coaxial::sim

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+
+#include "common/env.hpp"
 
 namespace coaxial::sim {
 
@@ -76,6 +79,19 @@ void System::build_shared_structures() {
   stream_table_.assign(u.cores,
                        std::vector<Addr>(std::max(1u, u.prefetch_streams), ~Addr{0}));
   stream_victim_.assign(u.cores, 0);
+
+  // Wake-up spine hooks. core_hooks_ is sized once here and never grows:
+  // the scheduler holds raw pointers into it.
+  events_hook_.sys = this;
+  events_hook_.kind = 0;
+  pump_hook_.sys = this;
+  pump_hook_.kind = 1;
+  core_hooks_.resize(u.cores);
+  core_slots_.resize(u.cores);
+  for (std::uint32_t c = 0; c < u.cores; ++c) {
+    core_hooks_[c].sys = this;
+    core_hooks_[c].kind = kPrioCoreBase + c;
+  }
 }
 
 System::System(const sys::SystemConfig& cfg,
@@ -139,11 +155,66 @@ void System::maybe_free_joined_op(std::uint32_t id) {
   free_op(id);
 }
 
+// ---------------------------------------------------------- wake-up spine
+
+void System::Hook::on_wake(Cycle now) {
+  if (kind == 0) {
+    sys->wake_events(now);
+  } else if (kind == 1) {
+    sys->wake_pump(now);
+  } else {
+    sys->wake_core(kind - kPrioCoreBase, now);
+  }
+}
+
+void System::arm(WakeSlot& slot, Hook& hook, std::uint32_t prio, Cycle cycle) {
+  // In forced mode the main loop drives every phase every cycle itself.
+  if (tick_every_cycle_ || cycle == kNoCycle) return;
+  if (slot.token != Scheduler::kNoToken) {
+    if (slot.at <= cycle) return;  // An earlier wake-up already covers this.
+    sched_.cancel(slot.token);
+  }
+  slot.token = sched_.schedule(cycle, prio, &hook);
+  slot.at = cycle;
+}
+
+void System::wake_events(Cycle now) {
+  events_slot_ = WakeSlot{};
+  // The drain consumes same-cycle events pushed by its own handlers, so
+  // schedule() must not re-arm the slot for those (it would fire a second,
+  // redundant drain this cycle and leak the slot's dedupe invariant).
+  in_events_drain_ = true;
+  while (!events_.empty() && events_.top().cycle <= now) {
+    const Event ev = events_.top();
+    events_.pop();
+    handle_event(ev);
+  }
+  in_events_drain_ = false;
+  if (!events_.empty()) {
+    arm(events_slot_, events_hook_, kPrioEvents, events_.top().cycle);
+  }
+}
+
+void System::wake_pump(Cycle now) {
+  pump_slot_ = WakeSlot{};
+  pump_memory(now);  // Re-arms the slot from the memory system's own bound.
+}
+
+void System::wake_core(std::uint32_t c, Cycle now) {
+  core_slots_[c] = WakeSlot{};
+  cores_[c]->tick(now, *this);
+  arm(core_slots_[c], core_hooks_[c], kPrioCoreBase + c, cores_[c]->next_wake(now));
+}
+
 // ------------------------------------------------------------- event plumbing
 
 void System::schedule(Cycle cycle, EventKind kind, std::uint32_t a, Addr line,
                       std::uint64_t aux) {
   events_.push(Event{cycle, kind, a, line, aux});
+  if (in_events_drain_ && cycle <= now_) return;  // Active drain consumes it.
+  // Events landing at or before the current cycle outside the drain phase
+  // are handled at the next cycle's drain, exactly as the legacy loop did.
+  arm(events_slot_, events_hook_, kPrioEvents, std::max(cycle, now_ + 1));
 }
 
 void System::handle_event(const Event& ev) {
@@ -160,8 +231,11 @@ void System::handle_event(const Event& ev) {
       if (memory_->can_accept(op.line, /*is_write=*/false, ev.cycle)) {
         op.t_mem_issued = ev.cycle;
         memory_->access(op.line, /*is_write=*/false, ev.cycle, ev.a);
+        // The memory system has new work: make sure the pump runs this
+        // cycle so controllers see it on the legacy schedule.
+        arm(pump_slot_, pump_hook_, kPrioPump, now_);
       } else {
-        pending_mem_.push_back({ev.a, PendingStage::kNeedAdmission});
+        park_pending_mem(ev.a, PendingStage::kNeedAdmission, ev.cycle);
       }
       break;
     }
@@ -323,7 +397,7 @@ void System::handle_llc_result(Cycle t, std::uint32_t op_id) {
     return;
   }
   if (mshr.full()) {
-    pending_mem_.push_back({op_id, PendingStage::kNeedLlcMshr});
+    park_pending_mem(op_id, PendingStage::kNeedLlcMshr, t);
     return;
   }
   mshr.on_miss(op.line, op_id);
@@ -434,6 +508,10 @@ void System::fill_l1(std::uint32_t c, Addr line, Cycle t) {
       cores_[c]->on_load_complete(waiter, t);
     }
   }
+  // Waiter callbacks happen in the event-drain phase; the core's own phase
+  // is later in the same cycle, so it can react immediately (legacy cores
+  // ticked every cycle and saw completions the cycle they landed).
+  arm(core_slots_[c], core_hooks_[c], kPrioCoreBase + c, now_);
 }
 
 void System::l2_victim(std::uint32_t /*core*/, const cache::Eviction& ev, Cycle t) {
@@ -446,14 +524,23 @@ void System::l2_victim(std::uint32_t /*core*/, const cache::Eviction& ev, Cycle 
 }
 
 void System::llc_victim(std::uint32_t /*slice*/, const cache::Eviction& ev, Cycle /*t*/) {
-  if (ev.dirty) pending_wb_.push_back(ev.line);
+  if (!ev.dirty) return;
+  pending_wb_.push_back(ev.line);
+  arm(pump_slot_, pump_hook_, kPrioPump, now_);  // Issue the WB this cycle.
+}
+
+void System::park_pending_mem(std::uint32_t op_id, PendingStage stage, Cycle /*t*/) {
+  pending_mem_.push_back({op_id, stage});
+  // The pump retries parked ops every cycle, starting this one (parks only
+  // happen in the event-drain phase, which precedes the pump).
+  arm(pump_slot_, pump_hook_, kPrioPump, now_);
 }
 
 // --------------------------------------------------------------- main loop
 
 void System::pump_memory(Cycle now) {
   // Drain memory completions into arrival events (NoC: port -> core).
-  memory_->tick(now);
+  const Cycle mem_wake = memory_->tick(now);
   auto& comps = memory_->completions();
   for (const auto& c : comps) {
     const std::uint32_t op_id = static_cast<std::uint32_t>(c.token);
@@ -468,6 +555,7 @@ void System::pump_memory(Cycle now) {
   comps.clear();
 
   // Retry parked ops (oldest first) and writebacks.
+  bool issued = false;
   std::size_t kept = 0;
   for (std::size_t i = 0; i < pending_mem_.size(); ++i) {
     PendingMem p = pending_mem_[i];
@@ -489,6 +577,7 @@ void System::pump_memory(Cycle now) {
         op.t_mem_issued = now;
         memory_->access(op.line, /*is_write=*/false, now, p.op);
         done = true;
+        issued = true;
       }
     }
     if (!done) pending_mem_[kept++] = p;
@@ -500,11 +589,20 @@ void System::pump_memory(Cycle now) {
     const Addr line = pending_wb_[i];
     if (memory_->can_accept(line, /*is_write=*/true, now)) {
       memory_->access(line, /*is_write=*/true, now, 0);
+      issued = true;
     } else {
       pending_wb_[kept++] = line;
     }
   }
   pending_wb_.resize(kept);
+
+  // Self-schedule: the memory system's own bound, tightened to the very
+  // next cycle when new work just entered it or parked ops must retry.
+  Cycle wake = mem_wake;
+  if (issued || !pending_mem_.empty() || !pending_wb_.empty()) {
+    wake = std::min(wake, now + 1);
+  }
+  arm(pump_slot_, pump_hook_, kPrioPump, wake);
 }
 
 void System::reset_window_stats() {
@@ -545,6 +643,11 @@ void System::collect_window_stats() {
   stats_.lat_p99_ns = cycles_to_ns(l2_miss_hist_->percentile(0.99));
   stats_.mem = snapshot_delta(memory_->snapshot(), snap_at_window_);
   stats_.calm = calm_delta(calm_->stats(), stats_.calm);
+  // Scheduler activity is whole-run (warmup included): skipping happens
+  // during warmup too and that is part of the wall-clock story.
+  stats_.sched_events = sched_.dispatched();
+  stats_.sched_cycles_dispatched = sched_cycles_dispatched_;
+  stats_.sched_cycles_skipped = sched_cycles_skipped_;
 }
 
 void System::publish_run_metrics() {
@@ -592,6 +695,15 @@ void System::publish_run_metrics() {
   cs.counter("false_positives")->set(stats_.calm.false_positives);
   cs.counter("true_negatives")->set(stats_.calm.true_negatives);
   cs.counter("false_negatives")->set(stats_.calm.false_negatives);
+  // Scheduler telemetry is opt-in: registering it unconditionally would
+  // change the metrics tree shape and break golden-baseline comparisons.
+  if (env_flag("COAXIAL_SCHED_STATS")) {
+    const obs::Scope sc(&metrics_, "sim/sched");
+    sc.counter("events_dispatched")->set(stats_.sched_events);
+    sc.counter("cycles_dispatched")->set(stats_.sched_cycles_dispatched);
+    sc.counter("cycles_skipped")->set(stats_.sched_cycles_skipped);
+    sc.gauge("skip_ratio")->set(stats_.sched_skip_ratio());
+  }
 }
 
 void System::prewarm_caches(std::uint64_t seed) {
@@ -653,7 +765,13 @@ void System::prewarm_caches(std::uint64_t seed) {
   for (auto& cache : llc_) cache->reset_stats();
 }
 
+void System::set_tick_every_cycle(bool v) {
+  tick_every_cycle_ = v;
+  memory_->set_force_tick(v);
+}
+
 void System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr) {
+  if (env_flag("COAXIAL_TICK_EVERY_CYCLE")) set_tick_every_cycle(true);
   prewarm_caches(seed_);
   const std::uint32_t active = cfg_.uarch.active_cores;
   auto all_reached = [&](std::uint64_t target) {
@@ -663,15 +781,40 @@ void System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr) {
     return true;
   };
 
-  auto step = [&] {
-    ++now_;
-    while (!events_.empty() && events_.top().cycle <= now_) {
-      const Event ev = events_.top();
-      events_.pop();
-      handle_event(ev);
+  if (!tick_every_cycle_) {
+    // Prime the spine: the pump and every active core get an initial
+    // wake-up; everything after that is self- or callback-scheduled.
+    arm(pump_slot_, pump_hook_, kPrioPump, now_ + 1);
+    for (std::uint32_t c = 0; c < active; ++c) {
+      arm(core_slots_[c], core_hooks_[c], kPrioCoreBase + c, now_ + 1);
     }
-    pump_memory(now_);
-    for (std::uint32_t c = 0; c < active; ++c) cores_[c]->tick(now_, *this);
+  }
+
+  auto step = [&] {
+    if (tick_every_cycle_) {
+      // Reference loop: advance every phase every cycle.
+      ++now_;
+      while (!events_.empty() && events_.top().cycle <= now_) {
+        const Event ev = events_.top();
+        events_.pop();
+        handle_event(ev);
+      }
+      pump_memory(now_);
+      for (std::uint32_t c = 0; c < active; ++c) cores_[c]->tick(now_, *this);
+      return;
+    }
+    // Event-driven loop: jump straight to the next populated cycle and
+    // dispatch its due wake-ups in phase order (events, pump, cores).
+    const Cycle next = sched_.next_cycle();
+    if (next == kNoCycle) {
+      // Every in-flight chain ends in a wake-up or callback; an empty
+      // scheduler with unfinished cores means a lost wake-up (a bug).
+      throw std::logic_error("System: scheduler drained before cores finished");
+    }
+    sched_cycles_skipped_ += next - now_ - 1;
+    now_ = next;
+    ++sched_cycles_dispatched_;
+    sched_.dispatch_due(now_);
   };
 
   // Warmup phase.

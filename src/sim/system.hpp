@@ -22,6 +22,7 @@
 #include "core/core.hpp"
 #include "noc/mesh.hpp"
 #include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
 
@@ -49,6 +50,18 @@ struct RunStats {
   std::uint64_t llc_hits = 0;
   std::uint64_t llc_misses = 0;
   std::uint64_t prefetches = 0;  ///< Stream prefetches issued in the window.
+
+  // Scheduler activity over the whole run (warmup + measurement): wake-up
+  // events dispatched, cycles actually simulated vs skipped outright. All
+  // zero in forced tick-every-cycle mode.
+  std::uint64_t sched_events = 0;
+  std::uint64_t sched_cycles_dispatched = 0;
+  std::uint64_t sched_cycles_skipped = 0;
+  double sched_skip_ratio() const {
+    const double total =
+        static_cast<double>(sched_cycles_dispatched + sched_cycles_skipped);
+    return total == 0 ? 0.0 : static_cast<double>(sched_cycles_skipped) / total;
+  }
 
   // Demand L2-miss latency percentiles over the window (ns).
   double lat_p50_ns = 0;
@@ -125,6 +138,16 @@ class System : public core::MemoryPort {
   /// `measure_instr` more instructions.
   void run(std::uint64_t warmup_instr, std::uint64_t measure_instr);
 
+  /// Disable idle-cycle skipping: advance every component every cycle (the
+  /// pre-scheduler reference loop). Call before run(). Also selectable via
+  /// the COAXIAL_TICK_EVERY_CYCLE environment variable; used by the
+  /// event-driven-vs-forced equivalence test and for A/B timing.
+  void set_tick_every_cycle(bool v);
+  bool tick_every_cycle() const { return tick_every_cycle_; }
+
+  /// The wake-up scheduler (for tests; counters also land in RunStats).
+  const Scheduler& scheduler() const { return sched_; }
+
   const RunStats& stats() const { return stats_; }
   const sys::SystemConfig& config() const { return cfg_; }
 
@@ -192,6 +215,43 @@ class System : public core::MemoryPort {
     Cycle mem_cxl_queue = 0;
   };
 
+  /// Ops parked for memory admission, with the resource they wait on.
+  enum class PendingStage : std::uint8_t { kNeedLlcMshr, kNeedAdmission };
+  struct PendingMem {
+    std::uint32_t op = 0;
+    PendingStage stage = PendingStage::kNeedAdmission;
+  };
+
+  // ---- wake-up spine (discrete-event loop; see DESIGN.md) ----
+  //
+  // Each simulated cycle has three phases, encoded as scheduler priorities
+  // so a dispatched cycle replays them in the legacy order: payload events
+  // drain first, then the memory pump, then cores in index order.
+  static constexpr std::uint32_t kPrioEvents = 0;
+  static constexpr std::uint32_t kPrioPump = 1;
+  static constexpr std::uint32_t kPrioCoreBase = 2;
+
+  /// Adapter binding a scheduler entry to one of the System's phase
+  /// handlers: kind 0 = payload-event drain, 1 = memory pump, 2+c = core c.
+  struct Hook final : Schedulable {
+    System* sys = nullptr;
+    std::uint32_t kind = 0;
+    void on_wake(Cycle now) override;
+  };
+
+  /// At most one pending scheduler entry per hook; arm() dedupes (keeps the
+  /// earlier of the armed and requested cycles) and the wake handler clears
+  /// the slot on dispatch.
+  struct WakeSlot {
+    Scheduler::Token token = Scheduler::kNoToken;
+    Cycle at = kNoCycle;
+  };
+
+  void arm(WakeSlot& slot, Hook& hook, std::uint32_t prio, Cycle cycle);
+  void wake_events(Cycle now);
+  void wake_pump(Cycle now);
+  void wake_core(std::uint32_t c, Cycle now);
+
   void schedule(Cycle cycle, EventKind kind, std::uint32_t a, Addr line = 0,
                 std::uint64_t aux = 0);
   void handle_event(const Event& ev);
@@ -205,7 +265,7 @@ class System : public core::MemoryPort {
   void fill_llc_from_memory(std::uint32_t op_id, Cycle t);
   void l2_victim(std::uint32_t core, const cache::Eviction& ev, Cycle t);
   void llc_victim(std::uint32_t slice, const cache::Eviction& ev, Cycle t);
-  void attempt_mem_issue(std::uint32_t op_id, Cycle t);
+  void park_pending_mem(std::uint32_t op_id, PendingStage stage, Cycle t);
   void pump_memory(Cycle now);
   std::uint32_t alloc_op();
   void free_op(std::uint32_t id);
@@ -239,18 +299,27 @@ class System : public core::MemoryPort {
   std::unique_ptr<calm::Decider> calm_;
   std::vector<std::uint32_t> port_tile_;  ///< NoC tile of each memory port.
 
-  /// Ops parked for memory admission, with the resource they wait on.
-  enum class PendingStage : std::uint8_t { kNeedLlcMshr, kNeedAdmission };
-  struct PendingMem {
-    std::uint32_t op = 0;
-    PendingStage stage = PendingStage::kNeedAdmission;
-  };
-
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::vector<MemOp> ops_;
   std::vector<std::uint32_t> free_ops_;
   std::vector<PendingMem> pending_mem_;  ///< Ops awaiting memory admission.
   std::vector<Addr> pending_wb_;         ///< LLC dirty victims awaiting issue.
+
+  // Wake-up spine state. The legacy payload-event heap (events_) keeps its
+  // cycle-only ordering — same-cycle pop order there is results-affecting —
+  // while the scheduler carries idempotent component wake-ups only.
+  Scheduler sched_;
+  bool tick_every_cycle_ = false;
+  bool in_events_drain_ = false;
+  Hook events_hook_;
+  Hook pump_hook_;
+  std::vector<Hook> core_hooks_;  ///< Sized at construction; never grows
+                                  ///< (the scheduler keeps raw pointers).
+  WakeSlot events_slot_;
+  WakeSlot pump_slot_;
+  std::vector<WakeSlot> core_slots_;
+  std::uint64_t sched_cycles_dispatched_ = 0;
+  std::uint64_t sched_cycles_skipped_ = 0;
 
   Cycle now_ = 0;
   Cycle window_start_ = 0;

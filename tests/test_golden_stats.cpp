@@ -32,17 +32,8 @@ namespace {
 
 const char* kGoldenPath = COAXIAL_GOLDEN_DIR "/baseline.json";
 
-/// The golden scenario set. Small budgets keep the test fast while still
-/// exercising both topologies (direct DDR and CXL-attached) plus the
-/// asymmetric-lane variant.
-std::vector<RunRequest> golden_requests() {
-  return {
-      homogeneous(sys::baseline_ddr(), "canneal", 500, 2000, /*seed=*/7),
-      homogeneous(sys::coaxial_4x(), "lbm", 500, 2000, /*seed=*/7),
-      homogeneous(sys::coaxial_asym(), "stream-copy", 500, 2000, /*seed=*/7),
-  };
-}
-
+// The golden scenario set lives in sim::golden_requests() so this test and
+// the tools/golden_run CLI always describe the same runs.
 std::string run_golden_document() {
   return stats_json(run_many(golden_requests(), 1));
 }

@@ -1,0 +1,40 @@
+// golden_run: emit the canonical golden-scenario stats document.
+//
+//   golden_run [OUT.json]
+//
+// Runs the exact (config, workload) set pinned by tests/golden/baseline.json
+// (sim::golden_requests(), shared with tests/test_golden_stats.cpp) and
+// writes the coaxial-stats-v1 document to OUT.json, or stdout when no path
+// is given. scripts/ci.sh diffs the output against the checked-in baseline
+// with statdiff.
+//
+// Exit status: 0 = document written, 1 = I/O failure, 2 = usage error.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coaxial;
+  if (argc > 2) {
+    std::cerr << "usage: golden_run [OUT.json]\n";
+    return 2;
+  }
+  // Single-threaded, like the golden test: run order must not matter for the
+  // document bytes, but keeping the reference path identical removes even
+  // scheduling noise from the comparison.
+  const std::string doc = sim::stats_json(sim::run_many(sim::golden_requests(), 1));
+  if (argc == 2) {
+    std::FILE* f = std::fopen(argv[1], "wb");
+    if (f == nullptr ||
+        std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+        std::fclose(f) != 0) {
+      std::cerr << "golden_run: cannot write " << argv[1] << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  std::cout << doc;
+  return 0;
+}
