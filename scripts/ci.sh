@@ -2,7 +2,7 @@
 # CI entry point: configure, build, run the full test suite, verify the
 # golden stats document against the checked-in baseline with statdiff, and
 # smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
-# golden ctest labels.
+# golden + fabric ctest labels.
 #
 # Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
 set -euo pipefail
@@ -29,8 +29,9 @@ echo "=== sanitizer build (ASan+UBSan) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}"
-# Invariant + golden labels drive every layer (cores, caches, DRAM, CXL,
-# scheduler) end to end under the sanitizers without rerunning all 570 tests.
-ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden"
+# Invariant + golden + fabric labels drive every layer (cores, caches, DRAM,
+# CXL, switched fabric, scheduler) end to end under the sanitizers without
+# rerunning all 600+ tests.
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric"
 
 echo "=== CI OK ==="

@@ -11,13 +11,13 @@ std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory(obs::Scope scope) c
   }
   const link::LaneConfig lanes =
       asym_lanes ? link::LaneConfig::x8_asym(cxl_port_ns) : link::LaneConfig::x8(cxl_port_ns);
-  return std::make_unique<mem::CxlMemory>(cxl_channels, ddr_per_device, lanes, dram_timing,
-                                          dram_geometry, scope);
+  return std::make_unique<mem::CxlMemory>(fabric, cxl_channels, ddr_per_device, lanes,
+                                          dram_timing, dram_geometry, scope);
 }
 
 double SystemConfig::peak_memory_gbps() const {
   const std::uint32_t ddr =
-      topology == Topology::kDirectDdr ? ddr_channels : cxl_channels * ddr_per_device;
+      topology == Topology::kDirectDdr ? ddr_channels : cxl_devices() * ddr_per_device;
   return ddr * dram::kChannelPeakGBps;
 }
 
@@ -55,6 +55,25 @@ SystemConfig coaxial_asym() {
   SystemConfig c = coaxial_base("COAXIAL-asym", 4, 1);
   c.ddr_per_device = 2;
   c.asym_lanes = true;
+  return c;
+}
+
+SystemConfig coaxial_star(std::uint32_t devices, std::uint32_t host_links) {
+  SystemConfig c = coaxial_base(
+      ("COAXIAL-star" + std::to_string(devices) + "x" + std::to_string(host_links)).c_str(),
+      host_links, 1);
+  c.fabric = fabric::FabricConfig::star(devices, host_links);
+  c.fabric.interleave = fabric::Interleave::kPage;
+  return c;
+}
+
+SystemConfig coaxial_tree(std::uint32_t devices, std::uint32_t host_links,
+                          std::uint32_t leaf_switches) {
+  SystemConfig c = coaxial_base(
+      ("COAXIAL-tree" + std::to_string(devices) + "x" + std::to_string(host_links)).c_str(),
+      host_links, 1);
+  c.fabric = fabric::FabricConfig::tree(devices, host_links, leaf_switches);
+  c.fabric.interleave = fabric::Interleave::kPage;
   return c;
 }
 

@@ -16,6 +16,7 @@
 #include "coaxial/memory_system.hpp"
 #include "dram/timing.hpp"
 #include "common/units.hpp"
+#include "fabric/topology.hpp"
 #include "link/lane_config.hpp"
 
 namespace coaxial::sys {
@@ -68,6 +69,12 @@ struct SystemConfig {
   bool asym_lanes = false;
   double cxl_port_ns = 12.5;            ///< 12.5 => 50 ns premium; 17.5 => 70 ns.
 
+  /// CXL fabric beyond the root ports: direct point-to-point by default;
+  /// star/tree presets put switches (and a cross-device interleaving
+  /// policy) between `cxl_channels` root ports and `fabric.devices`
+  /// Type-3 devices.
+  fabric::FabricConfig fabric;
+
   calm::CalmConfig calm;
 
   /// DRAM substrate knobs (timings, geometry, permutation interleave,
@@ -81,6 +88,12 @@ struct SystemConfig {
 
   /// Aggregate DRAM-side peak bandwidth (GB/s).
   double peak_memory_gbps() const;
+
+  /// Type-3 device count the fabric resolves to (== cxl_channels when
+  /// direct or unset).
+  std::uint32_t cxl_devices() const {
+    return fabric.devices != 0 ? fabric.devices : cxl_channels;
+  }
 };
 
 /// Table II/III configurations, scaled to the simulated 12-core slice.
@@ -90,6 +103,17 @@ SystemConfig coaxial_2x();
 SystemConfig coaxial_4x();   ///< "COAXIAL" without qualifier.
 SystemConfig coaxial_5x();   ///< Iso-pin variant (17% extra die area).
 SystemConfig coaxial_asym();
+
+/// Switched COAXIAL: `devices` Type-3 devices behind one shared CXL switch
+/// reached through `host_links` x8 root ports (scales device count past the
+/// pin budget at a 2x25 ns per-hop premium). Per-page cross-device
+/// interleaving keeps spatial locality device-local.
+SystemConfig coaxial_star(std::uint32_t devices = 8, std::uint32_t host_links = 4);
+
+/// Two-level switched fabric: root ports -> spine switch -> `leaf_switches`
+/// leaf switches -> `devices` devices (two hop premiums each way).
+SystemConfig coaxial_tree(std::uint32_t devices = 8, std::uint32_t host_links = 4,
+                          std::uint32_t leaf_switches = 2);
 
 /// All five evaluated configurations in Table II order.
 std::vector<SystemConfig> all_configs();

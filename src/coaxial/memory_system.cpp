@@ -121,19 +121,23 @@ dram::ControllerStats DirectDdrMemory::aggregate_dram_stats() const {
 CxlMemory::CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
                      const link::LaneConfig& lanes, const dram::Timing& timing,
                      const dram::Geometry& geometry, obs::Scope scope)
-    : cxl_channels_(cxl_channels),
-      ddr_per_device_(ddr_per_device),
+    : CxlMemory(fabric::FabricConfig::direct(), cxl_channels, ddr_per_device, lanes,
+                timing, geometry, scope) {}
+
+CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels,
+                     std::uint32_t ddr_per_device, const link::LaneConfig& lanes,
+                     const dram::Timing& timing, const dram::Geometry& geometry,
+                     obs::Scope scope)
+    : ddr_per_device_(ddr_per_device),
       subchannels_per_device_(ddr_per_device * 2),
-      lane_cfg_(lanes) {
-  fixed_read_overhead_ = 4 * lane_cfg_.port_latency_cycles() +
-                         serialization_cycles(lane_cfg_.tx_goodput_gbps, link::kReadRequestBytes) +
-                         lane_cfg_.rx_line_cycles();
-  links_.reserve(cxl_channels_);
-  pending_responses_.resize(cxl_channels_);
-  for (std::uint32_t i = 0; i < cxl_channels_; ++i) {
-    links_.push_back(std::make_unique<link::CxlLink>(
-        lane_cfg_, 512, scope.sub("cxl/link" + obs::idx(i))));
-  }
+      lane_cfg_(lanes),
+      fabric_(std::make_unique<fabric::Fabric>(fab, cxl_channels, lanes, scope)),
+      router_(fab.interleave, fabric_->devices(), ddr_per_device * 2, fab.page_lines,
+              fab.contiguous_lines) {
+  n_devices_ = fabric_->devices();
+  fixed_read_overhead_ = fabric_->unloaded_tx_cycles(link::kReadRequestBytes) +
+                         fabric_->unloaded_rx_cycles(link::kReadResponseBytes);
+  pending_responses_.resize(n_devices_);
   const std::uint32_t n_sub = subchannels();
   ctrls_.reserve(n_sub);
   device_ingress_.resize(n_sub);
@@ -142,6 +146,7 @@ CxlMemory::CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
         timing, geometry, 64, 64, scope.sub("dram/ctrl" + obs::idx(i))));
   }
   sub_wake_.assign(n_sub, 0);
+  fabric_tx_inflight_.assign(n_sub, 0);
   if (scope.valid()) register_aggregates(scope, *this);
 }
 
@@ -159,38 +164,100 @@ std::uint32_t CxlMemory::alloc_slot(std::uint64_t token) {
   return slot;
 }
 
+std::uint32_t CxlMemory::alloc_fmsg(const FabricTxMsg& msg) {
+  std::uint32_t m;
+  if (!free_fmsgs_.empty()) {
+    m = free_fmsgs_.back();
+    free_fmsgs_.pop_back();
+  } else {
+    m = static_cast<std::uint32_t>(fmsg_pool_.size());
+    fmsg_pool_.emplace_back();
+  }
+  fmsg_pool_[m] = msg;
+  return m;
+}
+
 bool CxlMemory::can_accept(Addr line, bool is_write, Cycle now) const {
-  const std::uint32_t sub = static_cast<std::uint32_t>(line % subchannels());
-  const std::uint32_t ch = sub / subchannels_per_device_;
-  if (!links_[ch]->can_send_tx(now)) return false;
+  const fabric::Router::Route r = router_.route(line);
+  if (!fabric_->can_send_tx(r.device, now)) return false;
   (void)is_write;
-  return device_ingress_[sub].size() < kDeviceIngressDepth;
+  // In-fabric messages already own an ingress slot so switched deliveries
+  // can never overshoot the device-side bound (always zero when direct).
+  return device_ingress_[r.sub].size() + fabric_tx_inflight_[r.sub] < kDeviceIngressDepth;
 }
 
 void CxlMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token) {
-  const std::uint32_t sub = static_cast<std::uint32_t>(line % subchannels());
-  const std::uint32_t ch = sub / subchannels_per_device_;
-  const Addr local = line / subchannels();
+  const fabric::Router::Route r = router_.route(line);
 
   DeviceMsg msg;
-  msg.local_line = local;
+  msg.local_line = r.local;
   msg.is_write = is_write;
+  std::uint32_t bytes = link::kWriteMessageBytes;
   if (is_write) {
-    msg.arrival = links_[ch]->send_tx(link::kWriteMessageBytes, now);
     msg.token = 0;
   } else {
     const std::uint32_t slot = alloc_slot(token);
     inflight_[slot].start = now;
-    msg.arrival = links_[ch]->send_tx(link::kReadRequestBytes, now);
     msg.token = slot;
+    bytes = link::kReadRequestBytes;
   }
-  device_ingress_[sub].push_back(msg);
-  // The sub-channel must be processed when the message lands on the device.
-  sub_wake_[sub] = std::min(sub_wake_[sub], msg.arrival);
+  if (fabric_->direct()) {
+    msg.arrival = fabric_->send_tx(r.device, bytes, now, 0);
+    device_ingress_[r.sub].push_back(msg);
+    // The sub-channel must be processed when the message lands on the device.
+    sub_wake_[r.sub] = std::min(sub_wake_[r.sub], msg.arrival);
+  } else {
+    // Park the request while it crosses the switched fabric; the delivery
+    // drained in tick() completes the enqueue into the device ingress.
+    const std::uint32_t m = alloc_fmsg({msg.local_line, msg.token, r.sub, is_write});
+    fabric_->send_tx(r.device, bytes, now, m);
+    ++fabric_tx_inflight_[r.sub];
+  }
+}
+
+void CxlMemory::finish_read(std::uint32_t slot, Cycle arrival) {
+  const InflightRead& info = inflight_[slot];
+  const double total = static_cast<double>(arrival - info.start);
+  const double dram_internal = static_cast<double>(info.dram_ready - info.dram_enqueue);
+  const double fixed = static_cast<double>(fixed_read_overhead_);
+  const double cxl_queue = std::max(0.0, total - dram_internal - fixed);
+  cxl_interface_sum_ += fixed;
+  cxl_queue_sum_ += cxl_queue;
+  dram_internal_sum_ += dram_internal;
+  ++reads_done_;
+
+  MemCompletion mc;
+  mc.token = slot_token_[slot];
+  mc.done = arrival;
+  mc.dram_service = info.dram_service;
+  // Device-side scheduling beyond the unloaded component counts as
+  // DRAM queuing; ingress/link/switch waits count as CXL queuing.
+  mc.dram_queue = info.dram_queue;
+  mc.cxl_interface = fixed_read_overhead_;
+  mc.cxl_queue = static_cast<Cycle>(cxl_queue);
+  out_.push_back(mc);
+  free_slots_.push_back(slot);
 }
 
 Cycle CxlMemory::tick(Cycle now) {
   Cycle wake = kNoCycle;
+  if (!fabric_->direct()) {
+    wake = fabric_->tick(now);
+    // Requests that finished crossing the fabric land in the device
+    // ingress; responses that reached the host complete their read.
+    for (const fabric::Delivery& d : fabric_->tx_deliveries()) {
+      const FabricTxMsg& fm = fmsg_pool_[static_cast<std::uint32_t>(d.payload)];
+      device_ingress_[fm.sub].push_back({d.arrival, fm.local_line, fm.token, fm.is_write});
+      sub_wake_[fm.sub] = std::min(sub_wake_[fm.sub], d.arrival);
+      --fabric_tx_inflight_[fm.sub];
+      free_fmsgs_.push_back(static_cast<std::uint32_t>(d.payload));
+    }
+    fabric_->tx_deliveries().clear();
+    for (const fabric::Delivery& d : fabric_->rx_deliveries()) {
+      finish_read(static_cast<std::uint32_t>(d.payload), d.arrival);
+    }
+    fabric_->rx_deliveries().clear();
+  }
   for (std::uint32_t sub = 0; sub < subchannels(); ++sub) {
     if (!force_tick_ && sub_wake_[sub] > now) {
       // No ingress arrival and no controller deadline before the cached
@@ -222,55 +289,42 @@ Cycle CxlMemory::tick(Cycle now) {
     sub_wake_[sub] = sw;
     wake = std::min(wake, sw);
 
-    const std::uint32_t ch = sub / subchannels_per_device_;
+    const std::uint32_t dev = sub / subchannels_per_device_;
     auto& done = ctrl.completions();
     for (const auto& comp : done) {
-      pending_responses_[ch].push_back(
+      pending_responses_[dev].push_back(
           {comp.done, comp.token, comp.service, comp.queue_delay});
     }
     done.clear();
   }
 
-  // Ship ready responses back over each channel's RX pipe.
-  for (std::uint32_t ch = 0; ch < cxl_channels_; ++ch) {
-    auto& pending = pending_responses_[ch];
+  // Ship ready responses back into each device's return path.
+  for (std::uint32_t dev = 0; dev < n_devices_; ++dev) {
+    auto& pending = pending_responses_[dev];
     for (std::size_t i = 0; i < pending.size();) {
-      if (pending[i].ready > now || !links_[ch]->can_send_rx(now)) {
+      if (pending[i].ready > now || !fabric_->can_send_rx(dev, now)) {
         ++i;
         continue;
       }
       const std::uint32_t slot = static_cast<std::uint32_t>(pending[i].token);
-      const Cycle arrival = links_[ch]->send_rx(link::kReadResponseBytes, now);
-
-      const InflightRead& info = inflight_[slot];
-      const double total = static_cast<double>(arrival - info.start);
-      const double dram_internal = static_cast<double>(pending[i].ready - info.dram_enqueue);
-      const double fixed = static_cast<double>(fixed_read_overhead_);
-      const double cxl_queue = std::max(0.0, total - dram_internal - fixed);
-      cxl_interface_sum_ += fixed;
-      cxl_queue_sum_ += cxl_queue;
-      dram_internal_sum_ += dram_internal;
-      ++reads_done_;
-
-      MemCompletion mc;
-      mc.token = slot_token_[slot];
-      mc.done = arrival;
-      mc.dram_service = pending[i].dram_service;
-      // Device-side scheduling beyond the unloaded component counts as
-      // DRAM queuing; ingress/link waits count as CXL queuing.
-      mc.dram_queue = pending[i].dram_queue;
-      mc.cxl_interface = fixed_read_overhead_;
-      mc.cxl_queue = static_cast<Cycle>(cxl_queue);
-      out_.push_back(mc);
-      free_slots_.push_back(slot);
+      InflightRead& info = inflight_[slot];
+      info.dram_ready = pending[i].ready;
+      info.dram_service = pending[i].dram_service;
+      info.dram_queue = pending[i].dram_queue;
+      const Cycle arrival =
+          fabric_->send_rx(dev, link::kReadResponseBytes, now, slot);
+      // Direct links deliver analytically at send time; switched responses
+      // finish when the fabric drains them at the host.
+      if (arrival != kNoCycle) finish_read(slot, arrival);
       pending[i] = pending.back();
       pending.pop_back();
     }
     // Responses still parked: wake at their ready cycle, or — if ready but
-    // the RX pipe is out of credit — at the cycle the credit frees (exact:
-    // rx_busy_until_ only moves on sends, which happen in this loop).
+    // the return path is out of credit — at the cycle the credit frees
+    // (exact for direct links: rx_busy_until_ only moves on sends, which
+    // happen in this loop; conservative next-cycle retry through switches).
     for (const PendingResponse& p : pending) {
-      const Cycle at = p.ready > now ? p.ready : links_[ch]->rx_credit_cycle(now);
+      const Cycle at = p.ready > now ? p.ready : fabric_->rx_credit_cycle(dev, now);
       wake = std::min(wake, std::max(at, now + 1));
     }
   }
@@ -295,7 +349,7 @@ MemorySnapshot CxlMemory::snapshot() const {
 
 void CxlMemory::reset_stats() {
   for (auto& c : ctrls_) c->reset_stats();
-  for (auto& l : links_) l->reset_stats();
+  fabric_->reset_stats();
   cxl_interface_sum_ = 0;
   cxl_queue_sum_ = 0;
   dram_internal_sum_ = 0;

@@ -16,6 +16,8 @@
 
 #include "common/units.hpp"
 #include "dram/controller.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/router.hpp"
 #include "link/cxl_link.hpp"
 #include "obs/metrics.hpp"
 
@@ -130,10 +132,15 @@ class DirectDdrMemory final : public MemorySystem {
   bool force_tick_ = false;
 };
 
-/// COAXIAL: `cxl_channels` x8 CXL links, each to a Type-3 device hosting
-/// `ddr_per_device` DDR5 channels (1 normally, 2 for COAXIAL-asym).
+/// COAXIAL: Type-3 devices hosting `ddr_per_device` DDR5 channels each
+/// (1 normally, 2 for COAXIAL-asym), reached through a fabric::Fabric —
+/// direct x8 CXL links by default, or switched star/tree topologies with
+/// more devices than root ports. Cross-device placement is delegated to a
+/// fabric::Router (per-line by default; per-page / contiguous for the
+/// switched configs).
 class CxlMemory final : public MemorySystem {
  public:
+  /// Legacy direct wiring: `cxl_channels` x8 links, one device per link.
   /// `scope`, when valid, registers per-link metrics under `cxl/linkNN`,
   /// per-sub-channel controller metrics under `dram/ctrlNN`, and aggregate
   /// read/write/bandwidth probes.
@@ -141,28 +148,41 @@ class CxlMemory final : public MemorySystem {
             const link::LaneConfig& lanes, const dram::Timing& timing = {},
             const dram::Geometry& geometry = {}, obs::Scope scope = {});
 
+  /// General form: topology and interleaving from `fab` (zero counts
+  /// inherit `cxl_channels`). Switched fabrics additionally register
+  /// per-switch/per-port metrics under `fabric/*`.
+  CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels,
+            std::uint32_t ddr_per_device, const link::LaneConfig& lanes,
+            const dram::Timing& timing = {}, const dram::Geometry& geometry = {},
+            obs::Scope scope = {});
+
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
   Cycle tick(Cycle now) override;
   void set_force_tick(bool force) override { force_tick_ = force; }
   std::vector<MemCompletion>& completions() override { return out_; }
-  std::uint32_t ports() const override { return cxl_channels_; }
+  std::uint32_t ports() const override { return fabric_->host_links(); }
   std::uint32_t port_of(Addr line) const override {
-    return static_cast<std::uint32_t>(line % subchannels()) / subchannels_per_device_;
+    return fabric_->root_port_of(router_.device_of(line));
   }
   MemorySnapshot snapshot() const override;
   void reset_stats() override;
   double peak_gbps() const override {
-    return static_cast<double>(cxl_channels_ * ddr_per_device_) * dram::kChannelPeakGBps;
+    return static_cast<double>(n_devices_ * ddr_per_device_) * dram::kChannelPeakGBps;
   }
   dram::ControllerStats aggregate_dram_stats() const override;
 
-  std::uint32_t subchannels() const {
-    return cxl_channels_ * subchannels_per_device_;
+  std::uint32_t devices() const { return n_devices_; }
+  std::uint32_t subchannels() const { return n_devices_ * subchannels_per_device_; }
+  const fabric::Fabric& fabric() const { return *fabric_; }
+  /// Direct-topology accessor for the per-channel link (legacy tests/benches).
+  const link::CxlLink& channel_link(std::uint32_t i) const {
+    return fabric_->direct_link(i);
   }
-  const link::CxlLink& channel_link(std::uint32_t i) const { return *links_[i]; }
 
-  /// Fixed unloaded read overhead of the CXL path, in cycles (≈52.5 ns x8).
+  /// Fixed unloaded read overhead of the CXL path, in cycles (≈52.5 ns for
+  /// a direct x8 link; switched topologies add 2 switch-port traversals
+  /// plus one re-serialisation per hop each way).
   Cycle read_interface_cycles() const { return fixed_read_overhead_; }
 
  private:
@@ -182,24 +202,40 @@ class CxlMemory final : public MemorySystem {
     Cycle start = 0;
     Cycle device_arrival = 0;
     Cycle dram_enqueue = 0;
+    // DRAM-side results, staged here while the response crosses a switched
+    // fabric (the direct path reads them straight off PendingResponse).
+    Cycle dram_ready = 0;
+    Cycle dram_service = 0;
+    Cycle dram_queue = 0;
+  };
+  /// Request payload parked while a message crosses a switched fabric.
+  struct FabricTxMsg {
+    Addr local_line = 0;
+    std::uint64_t token = 0;
+    std::uint32_t sub = 0;
+    bool is_write = false;
   };
 
-  std::uint32_t cxl_channels_;
   std::uint32_t ddr_per_device_;
   std::uint32_t subchannels_per_device_;
+  std::uint32_t n_devices_ = 0;
   link::LaneConfig lane_cfg_;
   Cycle fixed_read_overhead_ = 0;
 
-  std::vector<std::unique_ptr<link::CxlLink>> links_;              // per CXL channel
+  std::unique_ptr<fabric::Fabric> fabric_;
+  fabric::Router router_;
   std::vector<std::unique_ptr<dram::Controller>> ctrls_;           // per sub-channel
   std::vector<std::deque<DeviceMsg>> device_ingress_;              // per sub-channel
   std::vector<Cycle> sub_wake_;  // next cycle each sub-channel could act
-  std::vector<std::vector<PendingResponse>> pending_responses_;    // per CXL channel
+  std::vector<std::uint32_t> fabric_tx_inflight_;  // per sub-channel, switched only
+  std::vector<std::vector<PendingResponse>> pending_responses_;    // per device
   bool force_tick_ = false;
   std::vector<MemCompletion> out_;
   std::vector<InflightRead> inflight_;  // slot-addressed by internal id
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint64_t> slot_token_;
+  std::vector<FabricTxMsg> fmsg_pool_;  // switched-fabric request cookies
+  std::vector<std::uint32_t> free_fmsgs_;
 
   // Read-latency decomposition accumulators (see MemorySnapshot).
   double cxl_interface_sum_ = 0;
@@ -208,6 +244,10 @@ class CxlMemory final : public MemorySystem {
   std::uint64_t reads_done_ = 0;
 
   std::uint32_t alloc_slot(std::uint64_t token);
+  std::uint32_t alloc_fmsg(const FabricTxMsg& msg);
+  /// Emit the completion + latency decomposition for a read whose response
+  /// reaches the host at `arrival` (identical math on both fabric shapes).
+  void finish_read(std::uint32_t slot, Cycle arrival);
 };
 
 }  // namespace coaxial::mem

@@ -1,0 +1,199 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace coaxial::fabric {
+
+Fabric::Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
+               const link::LaneConfig& lanes, obs::Scope scope)
+    : cfg_(resolve(cfg, default_channels)), topo_(Topology::build(cfg_)), lanes_(lanes) {
+  if (direct()) {
+    direct_links_.reserve(topo_.n_devices);
+    for (std::uint32_t i = 0; i < topo_.n_devices; ++i) {
+      direct_links_.push_back(std::make_unique<link::CxlLink>(
+          lanes_, cfg_.switch_max_backlog_cycles, scope.sub("cxl/link" + obs::idx(i))));
+    }
+    return;
+  }
+
+  const Cycle P = lanes_.port_latency_cycles();
+  const Cycle S = cfg_.switch_port_cycles();
+  const Cycle backlog = cfg_.switch_max_backlog_cycles;
+  const std::uint32_t depth = cfg_.switch_queue_depth;
+  const bool tree = cfg_.kind == TopologyKind::kTree;
+  hops_ = tree ? 2 : 1;
+  devs_per_leaf_ = tree ? topo_.n_devices / cfg_.leaf_switches : topo_.n_devices;
+
+  const obs::Scope fs = scope.sub("fabric");
+  if (fs.valid()) {
+    const obs::Scope topo = fs.sub("topology");
+    topo.expose_counter("devices", [this] { return std::uint64_t{topo_.n_devices}; });
+    topo.expose_counter("host_links", [this] { return std::uint64_t{topo_.host_links}; });
+    topo.expose_counter("switches", [this] { return std::uint64_t{topo_.n_switches}; });
+  }
+
+  // Injection pipes: host root ports (down) and device uplinks (up). Each
+  // crosses one link port (P) and one switch ingress port (S).
+  host_tx_.reserve(topo_.host_links);
+  for (std::uint32_t l = 0; l < topo_.host_links; ++l) {
+    host_tx_.push_back(std::make_unique<link::SerialPipe>(lanes_.tx_goodput_gbps, P + S,
+                                                          backlog));
+    host_tx_.back()->register_stats(fs.sub("host" + obs::idx(l) + "/tx"));
+  }
+  dev_up_.reserve(topo_.n_devices);
+  for (std::uint32_t d = 0; d < topo_.n_devices; ++d) {
+    dev_up_.push_back(std::make_unique<link::SerialPipe>(lanes_.rx_goodput_gbps, P + S,
+                                                         backlog));
+    dev_up_.back()->register_stats(fs.sub("dev" + obs::idx(d) + "/up"));
+  }
+
+  // Root switch planes. The egress pipe models the segment it drives:
+  // switch->device is S+P, switch->switch is 2S.
+  const Cycle root_down_fixed = tree ? 2 * S : S + P;
+  root_down_ = std::make_unique<Switch>(topo_.host_links,
+                                        tree ? cfg_.leaf_switches : topo_.n_devices,
+                                        lanes_.tx_goodput_gbps, root_down_fixed, backlog,
+                                        depth, fs.sub("sw00/down"));
+  root_up_ = std::make_unique<Switch>(tree ? cfg_.leaf_switches : topo_.n_devices,
+                                      topo_.host_links, lanes_.rx_goodput_gbps, S + P,
+                                      backlog, depth, fs.sub("sw00/up"));
+  if (tree) {
+    for (std::uint32_t i = 0; i < cfg_.leaf_switches; ++i) {
+      const std::string tag = "sw" + obs::idx(1 + i);
+      leaf_down_.push_back(std::make_unique<Switch>(1u, devs_per_leaf_,
+                                                    lanes_.tx_goodput_gbps, S + P, backlog,
+                                                    depth, fs.sub(tag + "/down")));
+      leaf_up_.push_back(std::make_unique<Switch>(devs_per_leaf_, 1u,
+                                                  lanes_.rx_goodput_gbps, 2 * S, backlog,
+                                                  depth, fs.sub(tag + "/up")));
+    }
+  }
+}
+
+bool Fabric::can_send_tx(std::uint32_t dev, Cycle now) const {
+  if (direct()) return direct_links_[dev]->can_send_tx(now);
+  const std::uint32_t port = topo_.root_port_of(dev);
+  return host_tx_[port]->can_send(now) && root_down_->can_enqueue(port);
+}
+
+Cycle Fabric::send_tx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
+                      std::uint64_t payload) {
+  if (direct()) return direct_links_[dev]->send_tx(bytes, now);
+  const std::uint32_t port = topo_.root_port_of(dev);
+  const Cycle ready = host_tx_[port]->send(bytes, now);
+  root_down_->enqueue(port, {ready, dev, bytes, payload});
+  return kNoCycle;
+}
+
+bool Fabric::can_send_rx(std::uint32_t dev, Cycle now) const {
+  if (direct()) return direct_links_[dev]->can_send_rx(now);
+  if (!dev_up_[dev]->can_send(now)) return false;
+  return cfg_.kind == TopologyKind::kTree
+             ? leaf_up_[leaf_of(dev)]->can_enqueue(leaf_port_of(dev))
+             : root_up_->can_enqueue(dev);
+}
+
+Cycle Fabric::send_rx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
+                      std::uint64_t payload) {
+  if (direct()) return direct_links_[dev]->send_rx(bytes, now);
+  const Cycle ready = dev_up_[dev]->send(bytes, now);
+  const FabricMsg msg{ready, dev, bytes, payload};
+  if (cfg_.kind == TopologyKind::kTree) {
+    leaf_up_[leaf_of(dev)]->enqueue(leaf_port_of(dev), msg);
+  } else {
+    root_up_->enqueue(dev, msg);
+  }
+  return kNoCycle;
+}
+
+Cycle Fabric::rx_credit_cycle(std::uint32_t dev, Cycle now) const {
+  if (direct()) return direct_links_[dev]->rx_credit_cycle(now);
+  if (can_send_rx(dev, now)) return now;
+  // Blocked on the uplink pipe: its credit cycle is exact. Blocked on a
+  // full switch ingress queue: retry next cycle (it drains via ticks).
+  const Cycle at = dev_up_[dev]->credit_cycle(now);
+  return at > now ? at : now + 1;
+}
+
+Cycle Fabric::tick(Cycle now) {
+  if (direct()) return kNoCycle;
+  Cycle wake = kNoCycle;
+  const bool tree = cfg_.kind == TopologyKind::kTree;
+
+  // Down plane, downstream order: root first so its output lands in leaf
+  // ingress before the leaves compute their wake bounds.
+  if (tree) {
+    wake = std::min(
+        wake, root_down_->tick(
+                  now, [this](const FabricMsg& m) { return leaf_of(m.dest); },
+                  [this](std::uint32_t out) { return leaf_down_[out]->can_enqueue(0); },
+                  [this](std::uint32_t out, const FabricMsg& m, Cycle arrival) {
+                    leaf_down_[out]->enqueue(0, {arrival, m.dest, m.bytes, m.payload});
+                  }));
+    for (auto& leaf : leaf_down_) {
+      wake = std::min(
+          wake, leaf->tick(
+                    now, [this](const FabricMsg& m) { return leaf_port_of(m.dest); },
+                    [](std::uint32_t) { return true; },
+                    [this](std::uint32_t, const FabricMsg& m, Cycle arrival) {
+                      tx_out_.push_back({arrival, m.dest, m.payload});
+                    }));
+    }
+  } else {
+    wake = std::min(
+        wake, root_down_->tick(
+                  now, [](const FabricMsg& m) { return m.dest; },
+                  [](std::uint32_t) { return true; },
+                  [this](std::uint32_t, const FabricMsg& m, Cycle arrival) {
+                    tx_out_.push_back({arrival, m.dest, m.payload});
+                  }));
+  }
+
+  // Up plane, downstream order: leaves feed the root, the root delivers.
+  if (tree) {
+    for (std::uint32_t i = 0; i < leaf_up_.size(); ++i) {
+      wake = std::min(
+          wake, leaf_up_[i]->tick(
+                    now, [](const FabricMsg&) { return 0u; },
+                    [this, i](std::uint32_t) { return root_up_->can_enqueue(i); },
+                    [this, i](std::uint32_t, const FabricMsg& m, Cycle arrival) {
+                      root_up_->enqueue(i, {arrival, m.dest, m.bytes, m.payload});
+                    }));
+    }
+  }
+  wake = std::min(
+      wake, root_up_->tick(
+                now, [this](const FabricMsg& m) { return topo_.root_port_of(m.dest); },
+                [](std::uint32_t) { return true; },
+                [this](std::uint32_t, const FabricMsg& m, Cycle arrival) {
+                  rx_out_.push_back({arrival, m.dest, m.payload});
+                }));
+  return wake;
+}
+
+Cycle Fabric::unloaded_tx_cycles(std::uint32_t bytes) const {
+  if (direct()) return direct_links_[0]->unloaded_one_way(bytes, lanes_.tx_goodput_gbps);
+  const Cycle ser = serialization_cycles(lanes_.tx_goodput_gbps, bytes);
+  return (hops_ + 1) * ser + 2 * lanes_.port_latency_cycles() +
+         2 * hops_ * cfg_.switch_port_cycles();
+}
+
+Cycle Fabric::unloaded_rx_cycles(std::uint32_t bytes) const {
+  if (direct()) return direct_links_[0]->unloaded_one_way(bytes, lanes_.rx_goodput_gbps);
+  const Cycle ser = serialization_cycles(lanes_.rx_goodput_gbps, bytes);
+  return (hops_ + 1) * ser + 2 * lanes_.port_latency_cycles() +
+         2 * hops_ * cfg_.switch_port_cycles();
+}
+
+void Fabric::reset_stats() {
+  for (auto& l : direct_links_) l->reset_stats();
+  for (auto& p : host_tx_) p->reset_stats();
+  for (auto& p : dev_up_) p->reset_stats();
+  if (root_down_) root_down_->reset_stats();
+  if (root_up_) root_up_->reset_stats();
+  for (auto& s : leaf_down_) s->reset_stats();
+  for (auto& s : leaf_up_) s->reset_stats();
+}
+
+}  // namespace coaxial::fabric

@@ -1,0 +1,113 @@
+// The routed host<->device fabric: topology + links + switches.
+//
+// One Fabric instance replaces the implicit one-CxlLink-per-device wiring
+// in coaxial::CxlMemory. Direct topologies are a thin pass-through over
+// real CxlLink objects (registered at the legacy `cxl/linkNN` metric paths,
+// so golden stats are byte-identical); switched topologies route messages
+// through per-plane Switch nodes and surface deliveries asynchronously via
+// tick(). One code path serves both shapes at the call site:
+//
+//   if (fabric.can_send_tx(dev, now)) fabric.send_tx(dev, bytes, now, cookie);
+//   ... fabric.tick(now); drain tx_deliveries()/rx_deliveries() ...
+//
+// Latency model per segment (P = link port traversal, S = switch port
+// traversal, both fixed): host<->switch and switch<->device segments cost
+// P+S / S+P on top of their store-and-forward serialisation; a
+// switch<->switch segment costs 2S. An unloaded one-way trip through k
+// switches is therefore (k+1) serialisations + 2P + 2kS — each switch hop
+// adds exactly two port traversals plus one re-serialisation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fabric/switch.hpp"
+#include "fabric/topology.hpp"
+#include "link/cxl_link.hpp"
+#include "link/lane_config.hpp"
+#include "obs/metrics.hpp"
+
+namespace coaxial::fabric {
+
+/// A message that finished crossing the fabric during tick(). `arrival` may
+/// be in the future (store-and-forward delivery time of the final segment).
+struct Delivery {
+  Cycle arrival = 0;
+  std::uint32_t device = 0;
+  std::uint64_t payload = 0;
+};
+
+class Fabric {
+ public:
+  /// `cfg` is resolved against `default_channels` (zero counts inherit it).
+  /// `scope`, when valid, registers direct links at `cxl/linkNN` and
+  /// switched-plane metrics under `fabric/*`.
+  Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
+         const link::LaneConfig& lanes, obs::Scope scope = {});
+
+  bool direct() const { return topo_.n_switches == 0; }
+  std::uint32_t devices() const { return topo_.n_devices; }
+  std::uint32_t host_links() const { return topo_.host_links; }
+  std::uint32_t root_port_of(std::uint32_t dev) const { return topo_.root_port_of(dev); }
+  const Topology& topology() const { return topo_; }
+  const FabricConfig& config() const { return cfg_; }
+
+  // ------------------------------------------------ host -> device (down)
+  bool can_send_tx(std::uint32_t dev, Cycle now) const;
+  /// Direct: returns the device-arrival cycle (classic analytic link).
+  /// Switched: enqueues into the fabric and returns kNoCycle — the arrival
+  /// surfaces through tx_deliveries() during a later tick().
+  Cycle send_tx(std::uint32_t dev, std::uint32_t bytes, Cycle now, std::uint64_t payload);
+
+  // ------------------------------------------------ device -> host (up)
+  bool can_send_rx(std::uint32_t dev, Cycle now) const;
+  Cycle send_rx(std::uint32_t dev, std::uint32_t bytes, Cycle now, std::uint64_t payload);
+  /// Earliest cycle (>= now) the device's return-path injection point could
+  /// have a free credit again.
+  Cycle rx_credit_cycle(std::uint32_t dev, Cycle now) const;
+
+  /// Advance the switched planes (downstream order, so a hop's output lands
+  /// in the next hop's ingress before that hop computes its wake). Fills
+  /// tx_deliveries()/rx_deliveries(); returns a conservative wake bound.
+  /// Direct fabrics have no buffered state and return kNoCycle.
+  Cycle tick(Cycle now);
+  std::vector<Delivery>& tx_deliveries() { return tx_out_; }
+  std::vector<Delivery>& rx_deliveries() { return rx_out_; }
+
+  /// Unloaded one-way latency for a message of `bytes` (uniform across
+  /// devices by construction): per-hop serialisation plus all fixed port
+  /// traversals.
+  Cycle unloaded_tx_cycles(std::uint32_t bytes) const;
+  Cycle unloaded_rx_cycles(std::uint32_t bytes) const;
+
+  /// Direct-mode access to the underlying per-channel link (legacy API).
+  const link::CxlLink& direct_link(std::uint32_t i) const { return *direct_links_[i]; }
+
+  void reset_stats();
+
+ private:
+  std::uint32_t leaf_of(std::uint32_t dev) const { return dev / devs_per_leaf_; }
+  std::uint32_t leaf_port_of(std::uint32_t dev) const { return dev % devs_per_leaf_; }
+
+  FabricConfig cfg_;
+  Topology topo_;
+  link::LaneConfig lanes_;
+  std::uint32_t hops_ = 0;           ///< Switches on every host<->device path.
+  std::uint32_t devs_per_leaf_ = 1;  ///< Devices per last-level switch.
+
+  // Direct pass-through.
+  std::vector<std::unique_ptr<link::CxlLink>> direct_links_;
+
+  // Switched planes. Injection pipes live at the sender (host / device);
+  // every later segment's pipe is the egress of the switch that drives it.
+  std::vector<std::unique_ptr<link::SerialPipe>> host_tx_;  ///< Host root-port egress.
+  std::vector<std::unique_ptr<link::SerialPipe>> dev_up_;   ///< Device uplink egress.
+  std::unique_ptr<Switch> root_down_, root_up_;
+  std::vector<std::unique_ptr<Switch>> leaf_down_, leaf_up_;
+
+  std::vector<Delivery> tx_out_, rx_out_;
+};
+
+}  // namespace coaxial::fabric

@@ -1,0 +1,140 @@
+#include "fabric/topology.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace coaxial::fabric {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("fabric topology: " + what);
+}
+
+}  // namespace
+
+FabricConfig resolve(FabricConfig cfg, std::uint32_t default_channels) {
+  if (cfg.kind == TopologyKind::kDirect) {
+    // A direct fabric is the legacy wiring: one device per root port.
+    const std::uint32_t n = cfg.devices ? cfg.devices : default_channels;
+    cfg.devices = n;
+    cfg.host_links = n;
+    return cfg;
+  }
+  if (cfg.devices == 0) cfg.devices = default_channels;
+  if (cfg.host_links == 0) cfg.host_links = default_channels;
+  return cfg;
+}
+
+std::uint32_t Topology::hops(std::uint32_t dev) const {
+  std::uint32_t n = 0;
+  std::int32_t at = nodes[device_node(dev)].parent;
+  while (at >= 0 && nodes[static_cast<std::size_t>(at)].kind == NodeKind::kSwitch) {
+    ++n;
+    at = nodes[static_cast<std::size_t>(at)].parent;
+  }
+  return n;
+}
+
+Topology Topology::build(const FabricConfig& cfg) {
+  if (cfg.devices == 0) fail("no devices");
+  if (cfg.host_links == 0) fail("no host links");
+
+  Topology t;
+  t.host_links = cfg.host_links;
+  t.n_devices = cfg.devices;
+  switch (cfg.kind) {
+    case TopologyKind::kDirect:
+      if (cfg.devices != cfg.host_links) {
+        fail("direct fabric needs one host link per device");
+      }
+      t.n_switches = 0;
+      break;
+    case TopologyKind::kStar:
+      t.n_switches = 1;
+      break;
+    case TopologyKind::kTree:
+      if (cfg.leaf_switches == 0) fail("tree fabric needs at least one leaf switch");
+      if (cfg.devices % cfg.leaf_switches != 0) {
+        fail("tree fabric needs devices divisible by leaf switches");
+      }
+      t.n_switches = 1 + cfg.leaf_switches;
+      break;
+  }
+  if (cfg.switched() && cfg.host_links > cfg.devices) {
+    fail("switched fabric with more host links than devices");
+  }
+
+  t.nodes.resize(1 + t.n_switches + t.n_devices);
+  t.nodes[0] = {NodeKind::kHost, -1};
+  for (std::uint32_t s = 0; s < t.n_switches; ++s) {
+    // Root switch hangs off the host; leaves hang off the root switch.
+    const std::int32_t parent = s == 0 ? 0 : static_cast<std::int32_t>(t.switch_node(0));
+    t.nodes[t.switch_node(s)] = {NodeKind::kSwitch, parent};
+  }
+  for (std::uint32_t d = 0; d < t.n_devices; ++d) {
+    std::int32_t parent = 0;  // Direct: straight to the host.
+    if (cfg.kind == TopologyKind::kStar) {
+      parent = static_cast<std::int32_t>(t.switch_node(0));
+    } else if (cfg.kind == TopologyKind::kTree) {
+      const std::uint32_t per_leaf = cfg.devices / cfg.leaf_switches;
+      parent = static_cast<std::int32_t>(t.switch_node(1 + d / per_leaf));
+    }
+    t.nodes[t.device_node(d)] = {NodeKind::kDevice, parent};
+  }
+  t.validate();
+  return t;
+}
+
+void Topology::validate() const {
+  if (nodes.size() != std::size_t{1} + n_switches + n_devices) {
+    fail("node count does not match declared shape");
+  }
+  if (nodes.empty() || nodes[0].kind != NodeKind::kHost || nodes[0].parent != -1) {
+    fail("node 0 must be the parentless host");
+  }
+  if (host_links == 0) fail("no host links");
+  if (n_devices == 0) fail("no devices");
+
+  std::vector<std::uint32_t> children(nodes.size(), 0);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (n.kind == NodeKind::kHost) fail("multiple hosts");
+    const bool expect_switch = i < std::size_t{1} + n_switches;
+    if (expect_switch != (n.kind == NodeKind::kSwitch)) {
+      fail("nodes must be ordered host, switches, devices");
+    }
+    if (n.parent < 0 || static_cast<std::size_t>(n.parent) >= nodes.size()) {
+      fail("dangling port: parent out of range");
+    }
+    if (nodes[static_cast<std::size_t>(n.parent)].kind == NodeKind::kDevice) {
+      fail("devices are leaves and cannot be parents");
+    }
+    ++children[static_cast<std::size_t>(n.parent)];
+  }
+  // Every device must reach the host; the walk is bounded by the node
+  // count, so exceeding it means the parent edges form a cycle.
+  for (std::uint32_t d = 0; d < n_devices; ++d) {
+    std::int32_t at = nodes[device_node(d)].parent;
+    std::size_t steps = 0;
+    while (at > 0) {
+      if (++steps > nodes.size()) fail("cycle in parent edges");
+      at = nodes[static_cast<std::size_t>(at)].parent;
+    }
+    if (at != 0) fail("device cannot reach the host");
+  }
+  for (std::uint32_t s = 0; s < n_switches; ++s) {
+    // A switch nobody hangs off has dangling downstream ports; it can also
+    // hide a parent cycle among switches, which the device walk misses.
+    if (children[switch_node(s)] == 0) fail("dangling switch with no children");
+    std::int32_t at = nodes[switch_node(s)].parent;
+    std::size_t steps = 0;
+    while (at > 0) {
+      if (++steps > nodes.size()) fail("cycle in parent edges");
+      at = nodes[static_cast<std::size_t>(at)].parent;
+    }
+    if (at != 0) fail("switch cannot reach the host");
+  }
+}
+
+}  // namespace coaxial::fabric

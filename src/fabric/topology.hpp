@@ -1,0 +1,109 @@
+// CXL fabric topology descriptions (§IV-A scaled-out configurations).
+//
+// The fabric generalises the host<->device connection from N independent
+// point-to-point links into a routed tree: the host's root ports feed
+// either devices directly (kDirect, the paper's default wiring), a single
+// shared switch (kStar, more devices than root ports), or a two-level
+// switch hierarchy (kTree, rack-scale fan-out). Topologies are described
+// by a small config struct, expanded into an explicit node graph, and
+// validated at construction — dangling switches, unreachable devices and
+// parent cycles are rejected with std::invalid_argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace coaxial::fabric {
+
+enum class TopologyKind : std::uint8_t { kDirect, kStar, kTree };
+
+/// Cross-device interleaving policy used by fabric::Router.
+enum class Interleave : std::uint8_t {
+  kLine,        ///< Stripe lines across all sub-channels (legacy wiring).
+  kPage,        ///< Stripe fixed-size pages round-robin across devices.
+  kContiguous,  ///< Carve the address space into contiguous per-device extents.
+};
+
+struct FabricConfig {
+  TopologyKind kind = TopologyKind::kDirect;
+  std::uint32_t devices = 0;     ///< Type-3 devices; 0 => one per host link.
+  std::uint32_t host_links = 0;  ///< Root ports; 0 => one per device.
+  std::uint32_t leaf_switches = 2;  ///< Second-level switches (kTree only).
+
+  /// Per switch-port traversal latency; every switch hop costs two
+  /// traversals (ingress + egress), 2x25 ns by default. Overridable for
+  /// Fig. 10-style latency sweeps.
+  double switch_port_ns = 25.0;
+  std::uint32_t switch_queue_depth = 64;  ///< Per-ingress-port message bound.
+  Cycle switch_max_backlog_cycles = 512;  ///< Egress serialisation backlog bound.
+
+  Interleave interleave = Interleave::kLine;
+  std::uint32_t page_lines = 64;  ///< kPage granularity (64 lines = 4 KiB).
+  std::uint64_t contiguous_lines = 1ull << 24;  ///< kContiguous extent (1 GiB).
+
+  Cycle switch_port_cycles() const { return ns_to_cycles(switch_port_ns); }
+  bool switched() const { return kind != TopologyKind::kDirect; }
+
+  /// Presets. Counts of 0 inherit the memory system's channel count.
+  static FabricConfig direct() { return {}; }
+  static FabricConfig star(std::uint32_t devices, std::uint32_t host_links) {
+    FabricConfig c;
+    c.kind = TopologyKind::kStar;
+    c.devices = devices;
+    c.host_links = host_links;
+    return c;
+  }
+  static FabricConfig tree(std::uint32_t devices, std::uint32_t host_links,
+                           std::uint32_t leaf_switches = 2) {
+    FabricConfig c;
+    c.kind = TopologyKind::kTree;
+    c.devices = devices;
+    c.host_links = host_links;
+    c.leaf_switches = leaf_switches;
+    return c;
+  }
+};
+
+/// Fill in defaulted (zero) device / host-link counts: a direct fabric gets
+/// one device per host link; switched fabrics default both to
+/// `default_channels` when unset.
+FabricConfig resolve(FabricConfig cfg, std::uint32_t default_channels);
+
+/// Explicit, validated node graph expanded from a FabricConfig. Node 0 is
+/// the host; switches follow in breadth-first order (root switch first),
+/// then devices. Every non-host node names its upstream parent; the
+/// downstream routing tables are derived from the parent edges.
+struct Topology {
+  enum class NodeKind : std::uint8_t { kHost, kSwitch, kDevice };
+  struct Node {
+    NodeKind kind = NodeKind::kDevice;
+    std::int32_t parent = -1;  ///< Upstream node index (host: -1).
+  };
+
+  std::vector<Node> nodes;
+  std::uint32_t host_links = 0;
+  std::uint32_t n_switches = 0;
+  std::uint32_t n_devices = 0;
+
+  std::uint32_t switch_node(std::uint32_t s) const { return 1 + s; }
+  std::uint32_t device_node(std::uint32_t d) const { return 1 + n_switches + d; }
+
+  /// Host root port a device's traffic enters and leaves through. Static
+  /// modulo assignment keeps return routing deterministic.
+  std::uint32_t root_port_of(std::uint32_t dev) const { return dev % host_links; }
+
+  /// Number of switches on the host->device path.
+  std::uint32_t hops(std::uint32_t dev) const;
+
+  /// Expand a (resolved) config into a validated topology.
+  static Topology build(const FabricConfig& cfg);
+
+  /// Structural validation: exactly one host at index 0, parents in range
+  /// and acyclic, every device reaches the host, no childless (dangling)
+  /// switch, devices are leaves. Throws std::invalid_argument.
+  void validate() const;
+};
+
+}  // namespace coaxial::fabric

@@ -1,30 +1,23 @@
 // Full-duplex CXL channel model.
 //
-// Each direction is an independent store-and-forward serialising pipe: a
-// message occupies the pipe for its serialisation time (size / goodput) in
-// FIFO order, then spends two fixed port traversals (egress + ingress,
-// 12.5 ns each by default) before arriving at the far side. Because the
-// pipe is FIFO, delivery times can be computed analytically at send time —
-// no per-cycle ticking. Backpressure is modelled by refusing new messages
-// when the accumulated serialisation backlog exceeds a queue bound.
+// Each direction is an independent store-and-forward serialising pipe
+// (link::SerialPipe): a message occupies the pipe for its serialisation
+// time (size / goodput) in FIFO order, then spends two fixed port
+// traversals (egress + ingress, 12.5 ns each by default) before arriving
+// at the far side. Because the pipe is FIFO, delivery times can be
+// computed analytically at send time — no per-cycle ticking. Backpressure
+// is modelled by refusing new messages when the accumulated serialisation
+// backlog exceeds a queue bound.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 
 #include "common/units.hpp"
 #include "link/lane_config.hpp"
+#include "link/serial_pipe.hpp"
 #include "obs/metrics.hpp"
 
 namespace coaxial::link {
-
-struct DirectionStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t busy_cycles = 0;   ///< Cycles the serialiser was occupied.
-  double queue_delay_sum = 0.0;    ///< Cycles messages waited for the pipe.
-};
 
 class CxlLink {
  public:
@@ -32,41 +25,39 @@ class CxlLink {
   /// flit-credit / queue-occupancy invariant counters at construction.
   explicit CxlLink(const LaneConfig& cfg, Cycle max_backlog_cycles = 512,
                    obs::Scope scope = {})
-      : cfg_(cfg), max_backlog_(max_backlog_cycles) {
+      : cfg_(cfg),
+        tx_(cfg.tx_goodput_gbps, 2 * cfg.port_latency_cycles(), max_backlog_cycles),
+        rx_(cfg.rx_goodput_gbps, 2 * cfg.port_latency_cycles(), max_backlog_cycles) {
     if (scope.valid()) {
-      register_direction(scope.sub("tx"), tx_stats_);
-      register_direction(scope.sub("rx"), rx_stats_);
+      tx_.register_stats(scope.sub("tx"));
+      rx_.register_stats(scope.sub("rx"));
       const obs::Scope inv = scope.sub("invariants");
-      inv.expose_counter("violations", [this] { return invariant_violations_; });
+      inv.expose_counter("violations", [this] { return invariant_violations(); });
       inv.expose_counter("occupancy_high_water",
-                         [this] { return static_cast<std::uint64_t>(max_backlog_seen_); });
+                         [this] { return static_cast<std::uint64_t>(occupancy_high_water()); });
       inv.expose_counter("occupancy_bound",
-                         [this] { return static_cast<std::uint64_t>(max_backlog_); });
+                         [this] { return static_cast<std::uint64_t>(tx_.max_backlog()); });
     }
   }
 
   /// True if the direction's backlog leaves room for another message.
-  bool can_send_tx(Cycle now) const { return backlog(tx_busy_until_, now) < max_backlog_; }
-  bool can_send_rx(Cycle now) const { return backlog(rx_busy_until_, now) < max_backlog_; }
+  bool can_send_tx(Cycle now) const { return tx_.can_send(now); }
+  bool can_send_rx(Cycle now) const { return rx_.can_send(now); }
 
   /// Earliest cycle (>= now) at which the direction has a free credit. The
   /// backlog only decays with time between sends, so this is exact until
   /// the next send — the event-driven loop uses it to skip blocked cycles.
-  Cycle tx_credit_cycle(Cycle now) const { return credit_cycle(tx_busy_until_, now); }
-  Cycle rx_credit_cycle(Cycle now) const { return credit_cycle(rx_busy_until_, now); }
+  Cycle tx_credit_cycle(Cycle now) const { return tx_.credit_cycle(now); }
+  Cycle rx_credit_cycle(Cycle now) const { return rx_.credit_cycle(now); }
 
   /// Send CPU->device. Returns the cycle the message is delivered.
-  Cycle send_tx(std::uint32_t bytes, Cycle now) {
-    return send(tx_busy_until_, tx_stats_, cfg_.tx_goodput_gbps, bytes, now);
-  }
+  Cycle send_tx(std::uint32_t bytes, Cycle now) { return tx_.send(bytes, now); }
 
   /// Send device->CPU. Returns the cycle the message is delivered.
-  Cycle send_rx(std::uint32_t bytes, Cycle now) {
-    return send(rx_busy_until_, rx_stats_, cfg_.rx_goodput_gbps, bytes, now);
-  }
+  Cycle send_rx(std::uint32_t bytes, Cycle now) { return rx_.send(bytes, now); }
 
-  const DirectionStats& tx_stats() const { return tx_stats_; }
-  const DirectionStats& rx_stats() const { return rx_stats_; }
+  const DirectionStats& tx_stats() const { return tx_.stats(); }
+  const DirectionStats& rx_stats() const { return rx_.stats(); }
   const LaneConfig& config() const { return cfg_; }
 
   /// Fixed (unloaded) one-way latency component for a message of `bytes`:
@@ -76,79 +67,26 @@ class CxlLink {
   }
 
   void reset_stats() {
-    tx_stats_ = {};
-    rx_stats_ = {};
+    tx_.reset_stats();
+    rx_.reset_stats();
   }
 
   /// Invariant-check state: violations of the credit/occupancy protocol
   /// (a send admitted while the direction's backlog had no credit left, or
   /// a non-causal delivery time). Always zero when callers gate on
   /// can_send_tx/can_send_rx.
-  std::uint64_t invariant_violations() const { return invariant_violations_; }
+  std::uint64_t invariant_violations() const { return tx_.violations() + rx_.violations(); }
   /// Highest serialisation backlog observed across both directions.
-  Cycle occupancy_high_water() const { return max_backlog_seen_; }
+  Cycle occupancy_high_water() const {
+    return tx_.occupancy_high_water() > rx_.occupancy_high_water()
+               ? tx_.occupancy_high_water()
+               : rx_.occupancy_high_water();
+  }
 
  private:
-  static Cycle backlog(Cycle busy_until, Cycle now) {
-    return busy_until > now ? busy_until - now : 0;
-  }
-
-  Cycle credit_cycle(Cycle busy_until, Cycle now) const {
-    if (backlog(busy_until, now) < max_backlog_) return now;
-    return busy_until - max_backlog_ + 1;  // backlog >= max implies this > now.
-  }
-
-  void register_direction(const obs::Scope& s, const DirectionStats& st) {
-    s.expose_counter("messages", [&st] { return st.messages; });
-    s.expose_counter("bytes", [&st] { return st.bytes; });
-    s.expose_counter("busy_cycles", [&st] { return st.busy_cycles; });
-    s.expose("queue_delay_sum", [&st] { return st.queue_delay_sum; });
-  }
-
-  void check_violation(const char* what) {
-    ++invariant_violations_;
-#if defined(COAXIAL_ASSERT_TIMING)
-    std::fprintf(stderr, "CXL link invariant violated: %s\n", what);
-    std::abort();
-#else
-    (void)what;
-#endif
-  }
-
-  Cycle send(Cycle& busy_until, DirectionStats& st, double goodput, std::uint32_t bytes,
-             Cycle now) {
-    // Flit-credit conservation: admission requires a free credit, i.e. the
-    // accumulated backlog must be under the bound at send time. A violation
-    // means a caller bypassed can_send_tx/can_send_rx.
-    if (backlog(busy_until, now) >= max_backlog_) check_violation("send without credit");
-    const Cycle ser = serialization_cycles(goodput, bytes);
-    const Cycle start = busy_until > now ? busy_until : now;
-    busy_until = start + ser;
-    const Cycle occupancy = backlog(busy_until, now);
-    if (occupancy > max_backlog_seen_) max_backlog_seen_ = occupancy;
-    // Queue-occupancy bound: admitting one message may overshoot the bound
-    // by at most that message's own serialisation time.
-    if (occupancy > max_backlog_ + ser) check_violation("occupancy bound exceeded");
-    ++st.messages;
-    st.bytes += bytes;
-    st.busy_cycles += ser;
-    st.queue_delay_sum += static_cast<double>(start - now);
-    const Cycle delivered = busy_until + 2 * cfg_.port_latency_cycles();
-    if (delivered <= now) check_violation("non-causal delivery");
-    return delivered;
-  }
-
   LaneConfig cfg_;
-  Cycle max_backlog_;
-  Cycle tx_busy_until_ = 0;
-  Cycle rx_busy_until_ = 0;
-  DirectionStats tx_stats_;
-  DirectionStats rx_stats_;
-  std::uint64_t invariant_violations_ = 0;
-  Cycle max_backlog_seen_ = 0;
+  SerialPipe tx_;
+  SerialPipe rx_;
 };
-
-/// Utilisation of one direction over `elapsed` cycles, in [0, 1].
-double direction_utilization(const DirectionStats& st, Cycle elapsed);
 
 }  // namespace coaxial::link

@@ -1,0 +1,123 @@
+// Analytic store-and-forward serialising pipe — the per-direction core of
+// every fabric segment (CXL root-port links and switch egress ports alike).
+//
+// A message occupies the pipe for its serialisation time (size / goodput)
+// in FIFO order, then spends a fixed latency (port traversals) before
+// arriving at the far side. Because the pipe is FIFO, delivery times are
+// computed analytically at send time — no per-cycle ticking. Backpressure
+// is modelled by refusing new messages once the accumulated serialisation
+// backlog exceeds a queue bound, with an exact credit-free cycle so the
+// event-driven scheduler can skip blocked cycles.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace coaxial::link {
+
+struct DirectionStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t busy_cycles = 0;   ///< Cycles the serialiser was occupied.
+  double queue_delay_sum = 0.0;    ///< Cycles messages waited for the pipe.
+};
+
+class SerialPipe {
+ public:
+  SerialPipe(double goodput_gbps, Cycle fixed_latency_cycles, Cycle max_backlog_cycles)
+      : goodput_(goodput_gbps), fixed_latency_(fixed_latency_cycles),
+        max_backlog_(max_backlog_cycles) {}
+
+  /// True if the backlog leaves room for another message.
+  bool can_send(Cycle now) const { return backlog(now) < max_backlog_; }
+
+  /// Earliest cycle (>= now) at which the pipe has a free credit. The
+  /// backlog only decays with time between sends, so this is exact until
+  /// the next send.
+  Cycle credit_cycle(Cycle now) const {
+    if (backlog(now) < max_backlog_) return now;
+    return busy_until_ - max_backlog_ + 1;  // backlog >= max implies this > now.
+  }
+
+  /// Send a message. Returns the cycle it is delivered at the far side.
+  Cycle send(std::uint32_t bytes, Cycle now) {
+    // Flit-credit conservation: admission requires a free credit, i.e. the
+    // accumulated backlog must be under the bound at send time. A violation
+    // means a caller bypassed can_send().
+    if (backlog(now) >= max_backlog_) check_violation("send without credit");
+    const Cycle ser = serialization_cycles(goodput_, bytes);
+    const Cycle start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + ser;
+    const Cycle occupancy = backlog(now);
+    if (occupancy > max_backlog_seen_) max_backlog_seen_ = occupancy;
+    // Queue-occupancy bound: admitting one message may overshoot the bound
+    // by at most that message's own serialisation time.
+    if (occupancy > max_backlog_ + ser) check_violation("occupancy bound exceeded");
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    stats_.busy_cycles += ser;
+    stats_.queue_delay_sum += static_cast<double>(start - now);
+    const Cycle delivered = busy_until_ + fixed_latency_;
+    if (delivered <= now) check_violation("non-causal delivery");
+    return delivered;
+  }
+
+  /// Fixed (unloaded) one-way latency for a message of `bytes`:
+  /// serialisation + the pipe's fixed latency.
+  Cycle unloaded_latency(std::uint32_t bytes) const {
+    return serialization_cycles(goodput_, bytes) + fixed_latency_;
+  }
+
+  /// Current serialisation backlog in cycles.
+  Cycle backlog(Cycle now) const { return busy_until_ > now ? busy_until_ - now : 0; }
+
+  const DirectionStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  double goodput_gbps() const { return goodput_; }
+  Cycle fixed_latency() const { return fixed_latency_; }
+  Cycle max_backlog() const { return max_backlog_; }
+
+  /// Violations of the credit/occupancy protocol (always zero when callers
+  /// gate on can_send()) and the highest backlog observed.
+  std::uint64_t violations() const { return violations_; }
+  Cycle occupancy_high_water() const { return max_backlog_seen_; }
+
+  /// Register the pipe's traffic counters under `s`. The pipe must outlive
+  /// the registry and stay at a stable address (the probes capture `this`).
+  void register_stats(const obs::Scope& s) const {
+    const DirectionStats& st = stats_;
+    s.expose_counter("messages", [&st] { return st.messages; });
+    s.expose_counter("bytes", [&st] { return st.bytes; });
+    s.expose_counter("busy_cycles", [&st] { return st.busy_cycles; });
+    s.expose("queue_delay_sum", [&st] { return st.queue_delay_sum; });
+  }
+
+ private:
+  void check_violation(const char* what) {
+    ++violations_;
+#if defined(COAXIAL_ASSERT_TIMING)
+    std::fprintf(stderr, "serial pipe invariant violated: %s\n", what);
+    std::abort();
+#else
+    (void)what;
+#endif
+  }
+
+  double goodput_;
+  Cycle fixed_latency_;
+  Cycle max_backlog_;
+  Cycle busy_until_ = 0;
+  DirectionStats stats_;
+  std::uint64_t violations_ = 0;
+  Cycle max_backlog_seen_ = 0;
+};
+
+/// Utilisation of one direction over `elapsed` cycles, in [0, 1].
+double direction_utilization(const DirectionStats& st, Cycle elapsed);
+
+}  // namespace coaxial::link

@@ -20,10 +20,39 @@ std::string render(const json::Value& v) {
 
 }  // namespace
 
+bool is_glob(const std::string& pattern) {
+  return pattern.find_first_of("*?") != std::string::npos;
+}
+
+bool glob_match(const std::string& pattern, const std::string& path) {
+  // Classic two-pointer matcher with backtracking to the last `*`.
+  std::size_t p = 0, s = 0;
+  std::size_t star = std::string::npos, star_s = 0;
+  while (s < path.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == path[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_s = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
 double DiffOptions::rtol_for(const std::string& path, bool integral) const {
   double tol = integral ? 0.0 : default_rtol;
   for (const DiffRule& rule : rules) {
-    if (path.find(rule.pattern) != std::string::npos) tol = rule.rtol;
+    const bool matches = is_glob(rule.pattern)
+                             ? glob_match(rule.pattern, path)
+                             : path.find(rule.pattern) != std::string::npos;
+    if (matches) tol = rule.rtol;
   }
   return tol;
 }

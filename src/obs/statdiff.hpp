@@ -6,8 +6,9 @@
 // tolerance; strings and booleans must match exactly; structural
 // differences (a path present on one side only, or with different types)
 // always count as diffs. Per-metric overrides select by substring match on
-// the path — the last matching rule wins, so specific rules can follow a
-// broad default.
+// the path, or by glob when the pattern contains `*` / `?` (so one rule
+// like `fabric/*/queue_delay_sum` covers a whole metric subtree) — the
+// last matching rule wins, so specific rules can follow a broad default.
 //
 // Shared by the `statdiff` CLI (tools/statdiff.cpp) and the golden test.
 #pragma once
@@ -20,9 +21,19 @@
 namespace coaxial::obs {
 
 struct DiffRule {
-  std::string pattern;  ///< Substring of the metric path.
+  /// Substring of the metric path, or a glob over the full path when it
+  /// contains `*` (any run, including `/`) or `?` (any one character).
+  std::string pattern;
   double rtol = 0.0;
 };
+
+/// True if `pattern` is interpreted as a glob (contains `*` or `?`).
+bool is_glob(const std::string& pattern);
+
+/// Glob match of `pattern` against the full `path`. `*` matches any run of
+/// characters including `/` (subtree rules stay one-liners); `?` matches
+/// exactly one character. Linear-time two-pointer matcher, no regex.
+bool glob_match(const std::string& pattern, const std::string& path);
 
 struct DiffOptions {
   /// Relative tolerance applied to non-integral numeric leaves with no

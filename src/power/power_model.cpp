@@ -11,9 +11,12 @@ PowerBreakdown compute_power(const sys::SystemConfig& cfg,
 
   b.core_w = params.core_l1_l2_w;
 
+  // DDR channels live on the Type-3 devices, so a switched fabric scales
+  // them with the device count; CXL interface power below stays tied to
+  // the host's root-port lanes (the switch draws from the rack budget).
   const std::uint32_t slice_ddr_channels = cfg.topology == sys::Topology::kDirectDdr
                                                ? cfg.ddr_channels
-                                               : cfg.cxl_channels * cfg.ddr_per_device;
+                                               : cfg.cxl_devices() * cfg.ddr_per_device;
   const double full_ddr_channels = slice_ddr_channels * scale;
   b.ddr_mc_w = full_ddr_channels * params.ddr_mc_phy_w;
 

@@ -131,6 +131,7 @@ const WorkloadParams& find_workload(const std::string& name) {
   for (const auto& w : all_workloads()) {
     if (w.name == name) return w;
   }
+  if (name == interleave_stress().name) return interleave_stress();
   throw std::out_of_range("unknown workload: " + name);
 }
 
@@ -139,6 +140,35 @@ std::vector<std::string> workload_names() {
   names.reserve(all_workloads().size());
   for (const auto& w : all_workloads()) names.push_back(w.name);
   return names;
+}
+
+const WorkloadParams& interleave_stress() {
+  static const WorkloadParams preset = [] {
+    // Mostly-sequential strided scans over a 256 MB cold tier with little
+    // hot/mid reuse: nearly every memory op misses the LLC and lands on a
+    // different page, so the per-page fabric router fans concurrent
+    // requests out across all devices.
+    const Shape s = {"xdev-stride", "FABRIC",
+                     /*seq=*/0.75, /*p_hot=*/0.10, /*p_mid=*/0.05,
+                     /*store=*/0.30, /*dep=*/0.05, /*max_ipc=*/2.0,
+                     /*ipc=*/0.20, /*mpki=*/70,
+                     /*mid_kb=*/512, /*hot_kb=*/64, /*cold_kb=*/262144,
+                     /*burst=*/0.3};
+    WorkloadParams p = make(s);
+    p.streams = 16;  // Many live streams => many pages touched at once.
+    return p;
+  }();
+  return preset;
+}
+
+std::vector<WorkloadParams> interleave_stress_mix(std::uint32_t cores) {
+  const char* rotation[] = {"xdev-stride", "stream-add", "mcf", "pagerank"};
+  std::vector<WorkloadParams> mix;
+  mix.reserve(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    mix.push_back(find_workload(rotation[c % std::size(rotation)]));
+  }
+  return mix;
 }
 
 std::vector<std::vector<std::string>> make_mixes(std::uint32_t count, std::uint32_t cores,

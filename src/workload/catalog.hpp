@@ -24,4 +24,17 @@ std::vector<std::string> workload_names();
 std::vector<std::vector<std::string>> make_mixes(std::uint32_t count, std::uint32_t cores,
                                                  std::uint64_t seed);
 
+/// Cross-device interleave stress ("xdev-stride"): a catalog-external preset
+/// whose huge cold footprint, many concurrent streams and high miss rate
+/// scatter outstanding misses across pages — under the fabric's per-page
+/// interleaving every device behind a switch is hit in parallel. Kept out of
+/// all_workloads() so catalog sampling (make_mixes) and the Table IV shape
+/// checks are unchanged; find_workload resolves it by name.
+const WorkloadParams& interleave_stress();
+
+/// A `cores`-wide heterogeneous mix for the fabric benches: xdev-stride
+/// rotated with the catalog's most bandwidth- and latency-sensitive
+/// workloads, so switch ports see both bulk streams and dependent reads.
+std::vector<WorkloadParams> interleave_stress_mix(std::uint32_t cores);
+
 }  // namespace coaxial::workload

@@ -96,6 +96,57 @@ TEST(CxlLink, BackpressureKicksInAtBacklogBound) {
   EXPECT_TRUE(link.can_send_rx(now + 1000));
 }
 
+TEST(CxlLink, SaturationRefusalThenCreditRetryDrainsFifo) {
+  CxlLink link(LaneConfig::x8(), /*max_backlog_cycles=*/48);
+  const Cycle t0 = 1000;
+  const Cycle ser = 6;  // 64 B at 26 GB/s.
+  int sent = 0;
+  while (link.can_send_rx(t0)) {
+    link.send_rx(kLineBytes, t0);
+    ++sent;
+  }
+  EXPECT_EQ(sent, 8);  // 8 x 6 cycles of backlog reaches the 48-cycle bound.
+  EXPECT_FALSE(link.can_send_rx(t0));
+
+  // The advertised credit cycle is exact: one message's worth of backlog
+  // decays after a single cycle, and the retry is admitted there.
+  const Cycle credit = link.rx_credit_cycle(t0);
+  EXPECT_EQ(credit, t0 + 1);
+  EXPECT_TRUE(link.can_send_rx(credit));
+  const Cycle arrival = link.send_rx(kLineBytes, credit);
+  // FIFO: the retried message serialises behind the entire parked backlog.
+  EXPECT_EQ(arrival, t0 + 9 * ser + 60);
+
+  // Accounting stays consistent through saturation: busy time is exactly
+  // messages x serialisation, queue delay is the sum of FIFO waits.
+  const DirectionStats& st = link.rx_stats();
+  EXPECT_EQ(st.messages, 9u);
+  EXPECT_EQ(st.bytes, 9u * kLineBytes);
+  EXPECT_EQ(st.busy_cycles, 9u * ser);
+  // Message i of the burst waited i*ser at t0; the retry waited 47 cycles
+  // (48 cycles of backlog minus the one cycle that decayed).
+  EXPECT_DOUBLE_EQ(st.queue_delay_sum, (6 + 12 + 18 + 24 + 30 + 36 + 42) + 47.0);
+  EXPECT_EQ(link.invariant_violations(), 0u);
+  // Admission may overshoot the bound by at most the message's own
+  // serialisation time: 47 remaining + 6 new = 53.
+  EXPECT_EQ(link.occupancy_high_water(), 53u);
+
+  // Once the pipe drains the link is unloaded again, with no extra waits.
+  EXPECT_TRUE(link.can_send_rx(arrival + 1000));
+  EXPECT_EQ(link.send_rx(kLineBytes, arrival + 1000), arrival + 1000 + ser + 60);
+  EXPECT_DOUBLE_EQ(link.rx_stats().queue_delay_sum, 215.0);
+}
+
+TEST(SerialPipe, CreditCycleIsFirstSendableCycle) {
+  SerialPipe pipe(/*goodput=*/26.0, /*fixed=*/60, /*max_backlog=*/30);
+  const Cycle t0 = 500;
+  while (pipe.can_send(t0)) pipe.send(kLineBytes, t0);
+  const Cycle credit = pipe.credit_cycle(t0);
+  for (Cycle c = t0; c < credit; ++c) EXPECT_FALSE(pipe.can_send(c));
+  EXPECT_TRUE(pipe.can_send(credit));
+  EXPECT_EQ(pipe.violations(), 0u);
+}
+
 TEST(CxlLink, StatsTrackBytesAndMessages) {
   CxlLink link(LaneConfig::x8());
   link.send_rx(64, 10);

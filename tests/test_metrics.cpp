@@ -236,6 +236,47 @@ TEST(StatDiff, RuleOverridesBySubstringLastWins) {
   EXPECT_EQ(diff_stats(a, b, opts).size(), 1u);
 }
 
+TEST(StatDiff, GlobMatcher) {
+  EXPECT_FALSE(is_glob("fabric/"));
+  EXPECT_TRUE(is_glob("fabric/*"));
+  EXPECT_TRUE(is_glob("sw?0"));
+
+  EXPECT_TRUE(glob_match("fabric/*", "fabric/sw00/down/out01/bytes"));
+  EXPECT_TRUE(glob_match("fabric/*/queue_delay_sum",
+                         "fabric/sw00/down/out01/queue_delay_sum"));
+  EXPECT_TRUE(glob_match("*/out?" "?/bytes", "fabric/sw01/up/out03/bytes"));
+  EXPECT_TRUE(glob_match("*", "anything/at/all"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+
+  // Globs anchor to the FULL path (unlike substring rules).
+  EXPECT_FALSE(glob_match("sw00/*", "fabric/sw00/down/out00/bytes"));
+  EXPECT_FALSE(glob_match("fabric/*/bytes", "fabric/sw00/down/out00/messages"));
+  EXPECT_FALSE(glob_match("out?" "?/bytes", "out1/bytes"));
+  EXPECT_FALSE(glob_match("a*b", "acd"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+}
+
+TEST(StatDiff, GlobRuleCoversFabricSubtreeWithOneLine) {
+  // The fabric use case: one glob rule rtol-softens every switch-plane
+  // queue_delay_sum while the sibling byte counters stay exact.
+  const json::Flat a = flat(R"({"fabric": {
+      "sw00": {"down": {"out00": {"bytes": 640, "queue_delay_sum": 100.0}}},
+      "sw01": {"up": {"out01": {"bytes": 320, "queue_delay_sum": 50.0}}}}})");
+  const json::Flat b = flat(R"({"fabric": {
+      "sw00": {"down": {"out00": {"bytes": 640, "queue_delay_sum": 104.0}}},
+      "sw01": {"up": {"out01": {"bytes": 321, "queue_delay_sum": 51.0}}}}})");
+  DiffOptions opts;
+  opts.rules.push_back({"fabric/*/queue_delay_sum", 0.05});
+  const auto diffs = diff_stats(a, b, opts);
+  ASSERT_EQ(diffs.size(), 1u);  // Only the perturbed byte counter survives.
+  EXPECT_EQ(diffs[0].path, "fabric/sw01/up/out01/bytes");
+
+  // Last-match-wins interacts with globs like with substrings.
+  opts.rules.push_back({"fabric/sw01/*", 0.0});
+  EXPECT_EQ(diff_stats(a, b, opts).size(), 2u);
+}
+
 TEST(StatDiff, StructuralAndTypeDiffsAlwaysReported) {
   const json::Flat a = flat(R"({"only_a": 1, "both": 2})");
   const json::Flat b = flat(R"({"only_b": 1, "both": "two"})");

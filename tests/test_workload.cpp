@@ -49,6 +49,25 @@ TEST(Catalog, MixesAreDeterministicAndSized) {
   EXPECT_NE(make_mixes(10, 12, 8), a);  // Different seed differs.
 }
 
+TEST(Catalog, InterleaveStressIsCatalogExternal) {
+  // The fabric stress preset resolves by name but must NOT join the Table IV
+  // catalog (that would perturb make_mixes sampling and the suite counts).
+  const WorkloadParams& p = interleave_stress();
+  EXPECT_EQ(p.name, "xdev-stride");
+  EXPECT_EQ(find_workload("xdev-stride").name, p.name);
+  EXPECT_EQ(all_workloads().size(), 35u);
+  for (const auto& w : all_workloads()) EXPECT_NE(w.name, p.name);
+  // Miss-heavy and wide: the point is many pages in flight at once.
+  EXPECT_GE(p.mem_fraction, 0.05);
+  EXPECT_EQ(p.streams, 16u);
+
+  const auto mix = interleave_stress_mix(12);
+  EXPECT_EQ(mix.size(), 12u);
+  EXPECT_EQ(mix[0].name, "xdev-stride");
+  EXPECT_EQ(mix[4].name, "xdev-stride");  // Rotation wraps every 4 cores.
+  EXPECT_EQ(mix[1].name, "stream-add");
+}
+
 class PerWorkload : public ::testing::TestWithParam<std::string> {
  protected:
   const WorkloadParams& params() { return find_workload(GetParam()); }

@@ -5,7 +5,9 @@
 //
 // Integral leaves (counters, histogram counts, cycle percentiles) compare
 // exactly unless a rule matches them; non-integral leaves use the default
-// tolerance. --rtol PATTERN=X adds a substring rule (last match wins).
+// tolerance. --rtol PATTERN=X adds a substring rule, or a glob over the
+// full path when PATTERN contains `*` / `?` — so one rule such as
+// `fabric/*/queue_delay_sum=0.05` covers a whole subtree (last match wins).
 //
 // Exit status: 0 = documents match, 1 = differences found, 2 = usage or
 // file/parse error.
@@ -27,8 +29,9 @@ void usage() {
   std::cerr << "usage: statdiff [--rtol X] [--rtol PATTERN=X] [-q] A.json B.json\n"
                "  --rtol X          default relative tolerance for non-integral "
                "leaves (default 0)\n"
-               "  --rtol PATTERN=X  tolerance for paths containing PATTERN "
-               "(applies to integral leaves too; last match wins)\n"
+               "  --rtol PATTERN=X  tolerance for paths containing PATTERN; a\n"
+               "                    PATTERN with * or ? glob-matches the full path\n"
+               "                    (applies to integral leaves too; last match wins)\n"
                "  -q                print only the summary line\n";
 }
 
