@@ -1,0 +1,80 @@
+// RAS slowdown-vs-BER curve: how much performance CXL link-layer retry
+// costs as the CRC bit-error rate rises (DESIGN.md §7).
+//
+// Sweeps the per-bit error rate on COAXIAL-4x under a memory-bound workload
+// with the default 100 ns replay premium. Every corrupted transmission
+// re-serialises the message and pays the premium, so IPC must fall
+// monotonically as the BER rises — the harness asserts it (the acceptance
+// gate for the RAS layer) and also reports the poison rate once the replay
+// budget starts losing messages.
+#include "bench/common/harness.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "sim/svg_plot.hpp"
+
+namespace {
+std::string sci(double v) {
+  std::ostringstream os;
+  os << v;  // Default formatting: "0", "0.0001", "3e-04" — stable and short.
+  return os.str();
+}
+}  // namespace
+
+int main() {
+  using namespace coaxial;
+  bench::announce("RAS fault sweep", "slowdown vs CXL link bit-error rate");
+
+  const std::vector<double> bers = {0.0, 1e-4, 3e-4, 1e-3, 3e-3};
+  const std::string workload = "mcf";
+  const bench::Budget b = bench::budget();
+
+  std::vector<sim::RunRequest> requests;
+  for (double ber : bers) {
+    sys::SystemConfig cfg = sys::coaxial_4x();
+    cfg.fault_plan = sys::ras_crc_noise(ber);
+    cfg.name = "COAXIAL-4x/ber=" + sci(ber);
+    requests.push_back(sim::homogeneous(cfg, workload, b.warmup, b.measure, 42));
+  }
+  const auto runs = sim::run_many(requests);
+
+  report::Table table({"bit_error_rate", "ipc_per_core", "slowdown", "crc_errors",
+                       "replays", "poisons_injected", "poisons_consumed"});
+  const double base_ipc = runs[0].stats.ipc_per_core;
+  std::vector<double> ipcs, slowdowns;
+  bool monotone = true;
+  for (std::size_t i = 0; i < bers.size(); ++i) {
+    const auto& r = runs[i];
+    const double ipc = r.stats.ipc_per_core;
+    ipcs.push_back(ipc);
+    slowdowns.push_back(base_ipc / ipc);
+    if (i > 0 && ipc > ipcs[i - 1] + 1e-12) monotone = false;
+    auto count = [&](const char* path) -> std::uint64_t {
+      const auto it = r.metrics.find(path);
+      return it == r.metrics.end() ? 0 : it->second.count;
+    };
+    table.add_row({sci(bers[i]), report::num(ipc, 4),
+                   report::num(base_ipc / ipc, 3),
+                   std::to_string(count("ras/crc_errors")),
+                   std::to_string(count("ras/replays")),
+                   std::to_string(count("ras/poisons_injected")),
+                   std::to_string(count("ras/poisons_consumed"))});
+  }
+  table.print();
+
+  std::cout << "\nIPC monotonically non-increasing with BER: "
+            << (monotone ? "holds" : "VIOLATED") << "\n";
+
+  bench::finish(table, "ras_ber_sweep.csv", runs);
+  std::vector<double> x;
+  for (double ber : bers) x.push_back(ber == 0.0 ? -12.0 : std::log10(ber));
+  const std::string svg = bench::out_path("ras_ber_sweep.svg");
+  if (report::write_line_chart_svg(svg, "Slowdown vs CXL link BER (COAXIAL-4x, mcf)",
+                                   x, {{"slowdown", slowdowns}},
+                                   "log10(bit error rate)", "slowdown vs fault-free")) {
+    std::cout << "[svg] " << svg << "\n";
+  }
+  return monotone ? 0 : 1;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the full test suite, verify the
-# golden stats document against the checked-in baseline with statdiff, and
-# smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
-# golden + fabric ctest labels.
+# golden stats document against the checked-in baseline with statdiff, run
+# the RAS fault-preset smoke (deterministic ras/* stats across two runs),
+# and smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
+# golden + fabric + ras ctest labels.
 #
 # Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
 set -euo pipefail
@@ -25,13 +26,32 @@ echo "=== golden statdiff check ==="
 "${BUILD_DIR}/tools/statdiff" --rtol 1e-9 \
   tests/golden/baseline.json "${BUILD_DIR}/golden_current.json"
 
+echo "=== RAS fault-preset smoke ==="
+# Run the BER sweep twice at a small budget and require the stats documents
+# to be byte-equivalent: ras/* leaves are pinned exact by a glob rule (the
+# fault streams are counter-based, so two runs must agree bit-for-bit) and
+# everything else gets the golden tolerance. Also assert the ras/* subtree
+# actually appeared.
+RAS_SMOKE="${BUILD_DIR}/ras_smoke"
+BENCH_RAS="$(cd "${BUILD_DIR}" && pwd)/bench/bench_ras"
+mkdir -p "${RAS_SMOKE}/a" "${RAS_SMOKE}/b"
+for side in a b; do
+  (cd "${RAS_SMOKE}/${side}" &&
+   COAXIAL_STATS_JSON=1 COAXIAL_INSTR=10000 COAXIAL_WARMUP=2000 \
+     "${BENCH_RAS}" > bench_ras.log)
+done
+grep -q '"ras"' "${RAS_SMOKE}/a/out/ras_ber_sweep.stats.json"
+"${BUILD_DIR}/tools/statdiff" --rtol 1e-9 --rtol 'ras/*=0' \
+  "${RAS_SMOKE}/a/out/ras_ber_sweep.stats.json" \
+  "${RAS_SMOKE}/b/out/ras_ber_sweep.stats.json"
+
 echo "=== sanitizer build (ASan+UBSan) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}"
-# Invariant + golden + fabric labels drive every layer (cores, caches, DRAM,
-# CXL, switched fabric, scheduler) end to end under the sanitizers without
-# rerunning all 600+ tests.
-ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric"
+# Invariant + golden + fabric + ras labels drive every layer (cores, caches,
+# DRAM, CXL, switched fabric, scheduler, fault injection) end to end under
+# the sanitizers without rerunning all 600+ tests.
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras"
 
 echo "=== CI OK ==="

@@ -105,13 +105,14 @@ bool Cache::write(Addr line) {
   return false;
 }
 
-std::optional<Eviction> Cache::fill(Addr line, bool dirty) {
+std::optional<Eviction> Cache::fill(Addr line, bool dirty, bool poisoned) {
   ++stats_.fills;
   if (Way* existing = find(line)) {
     // Duplicate fill (e.g. CALM race where LLC and memory both return):
-    // refresh recency, merge dirtiness, no eviction.
+    // refresh recency, merge dirtiness and poison, no eviction.
     touch(*existing);
     existing->dirty = existing->dirty || dirty;
+    existing->poisoned = existing->poisoned || poisoned;
     return std::nullopt;
   }
   Way* base = &array_[static_cast<std::size_t>(set_index(line)) * ways_];
@@ -132,9 +133,19 @@ std::optional<Eviction> Cache::fill(Addr line, bool dirty) {
   victim->valid = true;
   victim->tag = line;
   victim->dirty = dirty;
+  victim->poisoned = poisoned;
   victim->repl.value =
       policy_ == ReplacementPolicy::kSrrip ? kSrripInsert : ++tick_;
   return evicted;
+}
+
+bool Cache::poisoned(Addr line) const {
+  const Way* w = find(line);
+  return w != nullptr && w->poisoned;
+}
+
+void Cache::clear_poison(Addr line) {
+  if (Way* w = find(line)) w->poisoned = false;
 }
 
 void Cache::mark_dirty(Addr line) {
@@ -146,6 +157,7 @@ std::optional<Eviction> Cache::invalidate(Addr line) {
     Eviction ev{w->tag, w->dirty};
     w->valid = false;
     w->dirty = false;
+    w->poisoned = false;
     return ev;
   }
   return std::nullopt;

@@ -53,10 +53,18 @@ class Cache {
   /// Lookup for a write; marks the line dirty on hit, updates recency.
   bool write(Addr line);
 
-  /// Insert `line` (optionally dirty). Returns the victim if a valid line
-  /// was displaced. The caller decides what a dirty victim means (write
-  /// back to the next level or to memory).
-  std::optional<Eviction> fill(Addr line, bool dirty);
+  /// Insert `line` (optionally dirty, optionally carrying RAS poison).
+  /// Returns the victim if a valid line was displaced. The caller decides
+  /// what a dirty victim means (write back to the next level or to memory).
+  std::optional<Eviction> fill(Addr line, bool dirty, bool poisoned = false);
+
+  /// True if `line` is present and holds poisoned data. Pure query (no
+  /// recency update); callers typically scrub after recording the event.
+  bool poisoned(Addr line) const;
+
+  /// Clear the poison bit on `line` (machine-check recovery scrub). No-op
+  /// if the line is absent.
+  void clear_poison(Addr line);
 
   /// Mark an existing line dirty (e.g. store completing after an RFO fill).
   /// No-op if the line is absent.
@@ -79,6 +87,7 @@ class Cache {
     ReplState repl;  ///< Policy-specific metadata (see replacement.hpp).
     bool valid = false;
     bool dirty = false;
+    bool poisoned = false;  ///< RAS: data poisoned end-to-end (DESIGN.md §7).
   };
 
   std::uint32_t set_index(Addr line) const { return static_cast<std::uint32_t>(line) & set_mask_; }

@@ -12,7 +12,7 @@ std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory(obs::Scope scope) c
   const link::LaneConfig lanes =
       asym_lanes ? link::LaneConfig::x8_asym(cxl_port_ns) : link::LaneConfig::x8(cxl_port_ns);
   return std::make_unique<mem::CxlMemory>(fabric, cxl_channels, ddr_per_device, lanes,
-                                          dram_timing, dram_geometry, scope);
+                                          dram_timing, dram_geometry, scope, fault_plan);
 }
 
 double SystemConfig::peak_memory_gbps() const {
@@ -79,6 +79,39 @@ SystemConfig coaxial_tree(std::uint32_t devices, std::uint32_t host_links,
 
 std::vector<SystemConfig> all_configs() {
   return {baseline_ddr(), coaxial_5x(), coaxial_2x(), coaxial_4x(), coaxial_asym()};
+}
+
+ras::FaultPlan ras_crc_noise(double bit_error_rate) {
+  ras::FaultPlan p;
+  p.bit_error_rate = bit_error_rate;
+  return p;
+}
+
+ras::FaultPlan ras_flaky_device(std::uint32_t device) {
+  ras::FaultPlan p;
+  p.stall_period_cycles = 20'000;
+  p.stall_len_cycles = 2'000;
+  p.stall_device = device;
+  p.timeout_cycles = 4'000;
+  p.max_reissues = 4;
+  p.backoff_cap_cycles = 64'000;
+  return p;
+}
+
+ras::FaultPlan ras_downtrain(Cycle at_cycle) {
+  ras::FaultPlan p;
+  p.downtrain_at_cycle = at_cycle;
+  return p;
+}
+
+ras::FaultPlan ras_stress() {
+  ras::FaultPlan p = ras_flaky_device(0);
+  p.bit_error_rate = 3e-5;
+  p.burst_multiplier = 10.0;
+  p.burst_period_cycles = 50'000;
+  p.burst_len_cycles = 5'000;
+  p.downtrain_at_cycle = 100'000;
+  return p;
 }
 
 }  // namespace coaxial::sys

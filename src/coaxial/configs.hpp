@@ -18,6 +18,7 @@
 #include "common/units.hpp"
 #include "fabric/topology.hpp"
 #include "link/lane_config.hpp"
+#include "ras/fault_plan.hpp"
 
 namespace coaxial::sys {
 
@@ -82,6 +83,10 @@ struct SystemConfig {
   dram::Timing dram_timing;
   dram::Geometry dram_geometry;
 
+  /// RAS fault-injection plan (DESIGN.md §7). Inert by default; applies to
+  /// the CXL topologies only (direct-DDR has no serial links to fault).
+  ras::FaultPlan fault_plan;
+
   /// Construct the memory system this configuration describes. `scope`,
   /// when valid, is the registry subtree the memory system registers into.
   std::unique_ptr<mem::MemorySystem> make_memory(obs::Scope scope = {}) const;
@@ -117,5 +122,22 @@ SystemConfig coaxial_tree(std::uint32_t devices = 8, std::uint32_t host_links = 
 
 /// All five evaluated configurations in Table II order.
 std::vector<SystemConfig> all_configs();
+
+// ---- Named RAS fault presets (assign to SystemConfig::fault_plan) ----
+
+/// Uniform CRC bit-error noise on every fabric segment, absorbed by
+/// link-layer retry (poison only at extreme BER).
+ras::FaultPlan ras_crc_noise(double bit_error_rate = 1e-5);
+
+/// One device that periodically stops accepting requests; the host-side
+/// watchdog reissues timed-out reads with capped exponential backoff.
+ras::FaultPlan ras_flaky_device(std::uint32_t device = 0);
+
+/// A link that down-trains mid-run to half goodput (graceful degradation).
+ras::FaultPlan ras_downtrain(Cycle at_cycle = 100'000);
+
+/// Everything at once: bursty CRC noise, a flaky device, a mid-run
+/// down-train, and the watchdog — the bench/CI stress scenario.
+ras::FaultPlan ras_stress();
 
 }  // namespace coaxial::sys

@@ -120,20 +120,24 @@ dram::ControllerStats DirectDdrMemory::aggregate_dram_stats() const {
 
 CxlMemory::CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
                      const link::LaneConfig& lanes, const dram::Timing& timing,
-                     const dram::Geometry& geometry, obs::Scope scope)
+                     const dram::Geometry& geometry, obs::Scope scope,
+                     const ras::FaultPlan& plan)
     : CxlMemory(fabric::FabricConfig::direct(), cxl_channels, ddr_per_device, lanes,
-                timing, geometry, scope) {}
+                timing, geometry, scope, plan) {}
 
 CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels,
                      std::uint32_t ddr_per_device, const link::LaneConfig& lanes,
                      const dram::Timing& timing, const dram::Geometry& geometry,
-                     obs::Scope scope)
+                     obs::Scope scope, const ras::FaultPlan& plan)
     : ddr_per_device_(ddr_per_device),
       subchannels_per_device_(ddr_per_device * 2),
       lane_cfg_(lanes),
+      plan_(plan),
       fabric_(std::make_unique<fabric::Fabric>(fab, cxl_channels, lanes, scope)),
       router_(fab.interleave, fabric_->devices(), ddr_per_device * 2, fab.page_lines,
               fab.contiguous_lines) {
+  plan_.validate();
+  fabric_->arm_faults(plan_);
   n_devices_ = fabric_->devices();
   fixed_read_overhead_ = fabric_->unloaded_tx_cycles(link::kReadRequestBytes) +
                          fabric_->unloaded_rx_cycles(link::kReadResponseBytes);
@@ -197,26 +201,35 @@ void CxlMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token)
     msg.token = 0;
   } else {
     const std::uint32_t slot = alloc_slot(token);
-    inflight_[slot].start = now;
+    InflightRead& fl = inflight_[slot];
+    fl = InflightRead{};  // Slots are recycled; clear stale RAS state.
+    fl.start = now;
+    fl.device = r.device;
+    fl.sub = r.sub;
+    fl.local_line = r.local;
+    if (plan_.watchdog()) fl.deadline = now + plan_.timeout_cycles;
     msg.token = slot;
     bytes = link::kReadRequestBytes;
   }
   if (fabric_->direct()) {
-    msg.arrival = fabric_->send_tx(r.device, bytes, now, 0);
+    const link::SendResult sr = fabric_->send_tx(r.device, bytes, now, 0);
+    msg.arrival = sr.at;
+    msg.poisoned = sr.poisoned;
     device_ingress_[r.sub].push_back(msg);
     // The sub-channel must be processed when the message lands on the device.
     sub_wake_[r.sub] = std::min(sub_wake_[r.sub], msg.arrival);
   } else {
     // Park the request while it crosses the switched fabric; the delivery
     // drained in tick() completes the enqueue into the device ingress.
-    const std::uint32_t m = alloc_fmsg({msg.local_line, msg.token, r.sub, is_write});
+    const std::uint32_t m =
+        alloc_fmsg({msg.local_line, msg.token, r.sub, is_write, false});
     fabric_->send_tx(r.device, bytes, now, m);
     ++fabric_tx_inflight_[r.sub];
   }
 }
 
-void CxlMemory::finish_read(std::uint32_t slot, Cycle arrival) {
-  const InflightRead& info = inflight_[slot];
+void CxlMemory::finish_read(std::uint32_t slot, Cycle arrival, bool wire_poisoned) {
+  InflightRead& info = inflight_[slot];
   const double total = static_cast<double>(arrival - info.start);
   const double dram_internal = static_cast<double>(info.dram_ready - info.dram_enqueue);
   const double fixed = static_cast<double>(fixed_read_overhead_);
@@ -235,7 +248,10 @@ void CxlMemory::finish_read(std::uint32_t slot, Cycle arrival) {
   mc.dram_queue = info.dram_queue;
   mc.cxl_interface = fixed_read_overhead_;
   mc.cxl_queue = static_cast<Cycle>(cxl_queue);
+  mc.poisoned = wire_poisoned || info.req_poisoned;
   out_.push_back(mc);
+  info.deadline = kNoCycle;  // Stop the watchdog; the slot is free again.
+  info.dup_pending = false;
   free_slots_.push_back(slot);
 }
 
@@ -247,14 +263,15 @@ Cycle CxlMemory::tick(Cycle now) {
     // ingress; responses that reached the host complete their read.
     for (const fabric::Delivery& d : fabric_->tx_deliveries()) {
       const FabricTxMsg& fm = fmsg_pool_[static_cast<std::uint32_t>(d.payload)];
-      device_ingress_[fm.sub].push_back({d.arrival, fm.local_line, fm.token, fm.is_write});
+      device_ingress_[fm.sub].push_back(
+          {d.arrival, fm.local_line, fm.token, fm.is_write, d.poisoned, fm.dup});
       sub_wake_[fm.sub] = std::min(sub_wake_[fm.sub], d.arrival);
       --fabric_tx_inflight_[fm.sub];
       free_fmsgs_.push_back(static_cast<std::uint32_t>(d.payload));
     }
     fabric_->tx_deliveries().clear();
     for (const fabric::Delivery& d : fabric_->rx_deliveries()) {
-      finish_read(static_cast<std::uint32_t>(d.payload), d.arrival);
+      finish_read(static_cast<std::uint32_t>(d.payload), d.arrival, d.poisoned);
     }
     fabric_->rx_deliveries().clear();
   }
@@ -267,13 +284,30 @@ Cycle CxlMemory::tick(Cycle now) {
     }
     dram::Controller& ctrl = *ctrls_[sub];
     auto& ingress = device_ingress_[sub];
+    const std::uint32_t dev = sub / subchannels_per_device_;
+    // A stalled device freezes its ingress entirely (no admissions, no
+    // duplicate drops) — a pure function of `now`, so both scheduler modes
+    // agree; in-flight DRAM work keeps progressing.
+    const bool stalled = plan_.in_stall(now, dev);
     // Admit delivered messages into the DRAM controller in FIFO order.
-    while (!ingress.empty() && ingress.front().arrival <= now &&
-           ctrl.can_accept(ingress.front().is_write)) {
+    while (!stalled && !ingress.empty() && ingress.front().arrival <= now) {
       const DeviceMsg& msg = ingress.front();
+      if (msg.dup) {
+        // Watchdog duplicate: the original still owns the inflight slot and
+        // the DRAM request; absorb the duplicate here so nothing is ever
+        // serviced twice.
+        ++ras_dev_.dup_drops;
+        ingress.pop_front();
+        continue;
+      }
+      if (!ctrl.can_accept(msg.is_write)) break;
       if (!msg.is_write) {
         inflight_[msg.token].device_arrival = msg.arrival;
         inflight_[msg.token].dram_enqueue = now;
+        // A poisoned request still reads DRAM; the response carries poison.
+        if (msg.poisoned) inflight_[msg.token].req_poisoned = true;
+      } else if (msg.poisoned) {
+        ++ras_dev_.poisoned_writes;
       }
       ctrl.enqueue(msg.local_line, msg.is_write, now, msg.token);
       ingress.pop_front();
@@ -282,14 +316,18 @@ Cycle CxlMemory::tick(Cycle now) {
     Cycle sw = ctrl_wake;
     if (!ingress.empty()) {
       // A blocked-but-arrived head retries when the controller next acts
-      // (queue slots free only on CAS issue); a future head at its arrival.
+      // (queue slots free only on CAS issue); a future head at its arrival;
+      // a stall-blocked head when the stall window closes.
       const Cycle arrival = ingress.front().arrival;
-      if (arrival > now) sw = std::min(sw, arrival);
+      if (arrival > now) {
+        sw = std::min(sw, arrival);
+      } else if (stalled) {
+        sw = std::min(sw, plan_.stall_end(now, dev));
+      }
     }
     sub_wake_[sub] = sw;
     wake = std::min(wake, sw);
 
-    const std::uint32_t dev = sub / subchannels_per_device_;
     auto& done = ctrl.completions();
     for (const auto& comp : done) {
       pending_responses_[dev].push_back(
@@ -311,11 +349,11 @@ Cycle CxlMemory::tick(Cycle now) {
       info.dram_ready = pending[i].ready;
       info.dram_service = pending[i].dram_service;
       info.dram_queue = pending[i].dram_queue;
-      const Cycle arrival =
+      const link::SendResult sr =
           fabric_->send_rx(dev, link::kReadResponseBytes, now, slot);
       // Direct links deliver analytically at send time; switched responses
       // finish when the fabric drains them at the host.
-      if (arrival != kNoCycle) finish_read(slot, arrival);
+      if (sr.at != kNoCycle) finish_read(slot, sr.at, sr.poisoned);
       pending[i] = pending.back();
       pending.pop_back();
     }
@@ -327,6 +365,62 @@ Cycle CxlMemory::tick(Cycle now) {
       const Cycle at = p.ready > now ? p.ready : fabric_->rx_credit_cycle(dev, now);
       wake = std::min(wake, std::max(at, now + 1));
     }
+  }
+  if (plan_.watchdog()) wake = std::min(wake, pump_watchdog(now));
+  return wake;
+}
+
+Cycle CxlMemory::pump_watchdog(Cycle now) {
+  Cycle wake = kNoCycle;
+  for (std::uint32_t slot = 0; slot < inflight_.size(); ++slot) {
+    InflightRead& fl = inflight_[slot];
+    if (fl.deadline == kNoCycle) continue;  // Free slot or watchdog retired.
+    if (!fl.dup_pending && fl.deadline > now) {
+      wake = std::min(wake, fl.deadline);
+      continue;
+    }
+    if (!fl.dup_pending) {
+      fl.dup_pending = true;
+      ++ras_dev_.timeouts;
+    }
+    // Reissue a duplicate request when the tx plane and the device ingress
+    // have room; otherwise retry next cycle. Duplicates cost request
+    // bandwidth and an ingress slot but are dropped at admission, so the
+    // original (which is never cancelled) stays the only serviced copy.
+    const bool room = device_ingress_[fl.sub].size() + fabric_tx_inflight_[fl.sub] <
+                      kDeviceIngressDepth;
+    if (!room || !fabric_->can_send_tx(fl.device, now)) {
+      wake = std::min(wake, now + 1);
+      continue;
+    }
+    if (fabric_->direct()) {
+      const link::SendResult sr =
+          fabric_->send_tx(fl.device, link::kReadRequestBytes, now, 0);
+      device_ingress_[fl.sub].push_back(
+          {sr.at, fl.local_line, slot, false, sr.poisoned, true});
+      sub_wake_[fl.sub] = std::min(sub_wake_[fl.sub], sr.at);
+    } else {
+      const std::uint32_t m = alloc_fmsg({fl.local_line, slot, fl.sub, false, true});
+      fabric_->send_tx(fl.device, link::kReadRequestBytes, now, m);
+      ++fabric_tx_inflight_[fl.sub];
+    }
+    ++ras_dev_.backoff_retries;
+    fl.dup_pending = false;
+    ++fl.reissues;
+    if (fl.reissues >= plan_.max_reissues) {
+      fl.deadline = kNoCycle;  // Budget spent: trust the original to land.
+      continue;
+    }
+    // Exponential backoff, capped: timeout * 2^reissues (saturating).
+    Cycle backoff = plan_.backoff_cap_cycles;
+    if (fl.reissues < 63) {
+      const Cycle scaled = plan_.timeout_cycles << fl.reissues;
+      if ((scaled >> fl.reissues) == plan_.timeout_cycles && scaled < backoff) {
+        backoff = scaled;
+      }
+    }
+    fl.deadline = now + backoff;
+    wake = std::min(wake, fl.deadline);
   }
   return wake;
 }
@@ -350,6 +444,7 @@ MemorySnapshot CxlMemory::snapshot() const {
 void CxlMemory::reset_stats() {
   for (auto& c : ctrls_) c->reset_stats();
   fabric_->reset_stats();
+  ras_dev_ = {};
   cxl_interface_sum_ = 0;
   cxl_queue_sum_ = 0;
   dram_internal_sum_ = 0;
@@ -360,6 +455,12 @@ dram::ControllerStats CxlMemory::aggregate_dram_stats() const {
   dram::ControllerStats agg;
   for (const auto& c : ctrls_) accumulate(agg, c->stats());
   return agg;
+}
+
+ras::RasCounters CxlMemory::ras_counters() const {
+  ras::RasCounters c = fabric_->ras_counters();
+  c += ras_dev_;
+  return c;
 }
 
 }  // namespace coaxial::mem

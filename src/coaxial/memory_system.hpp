@@ -20,6 +20,7 @@
 #include "fabric/router.hpp"
 #include "link/cxl_link.hpp"
 #include "obs/metrics.hpp"
+#include "ras/fault_plan.hpp"
 
 namespace coaxial::mem {
 
@@ -32,6 +33,7 @@ struct MemCompletion {
   Cycle dram_queue = 0;
   Cycle cxl_interface = 0;  ///< Fixed port + serialisation component.
   Cycle cxl_queue = 0;      ///< Link/device queuing component.
+  bool poisoned = false;    ///< Data is poisoned (RAS replay budget exhausted).
 };
 
 /// Aggregated snapshot for reporting (averages are over completed reads).
@@ -97,6 +99,10 @@ class MemorySystem {
 
   /// DRAM activity counters for the power model (aggregated).
   virtual dram::ControllerStats aggregate_dram_stats() const = 0;
+
+  /// Aggregated RAS events (all-zero for topologies without fault support
+  /// or with faults disabled).
+  virtual ras::RasCounters ras_counters() const { return {}; }
 };
 
 /// Baseline: `channels` DDR5 channels (2 sub-channels each) on package pins.
@@ -146,15 +152,18 @@ class CxlMemory final : public MemorySystem {
   /// read/write/bandwidth probes.
   CxlMemory(std::uint32_t cxl_channels, std::uint32_t ddr_per_device,
             const link::LaneConfig& lanes, const dram::Timing& timing = {},
-            const dram::Geometry& geometry = {}, obs::Scope scope = {});
+            const dram::Geometry& geometry = {}, obs::Scope scope = {},
+            const ras::FaultPlan& plan = {});
 
   /// General form: topology and interleaving from `fab` (zero counts
   /// inherit `cxl_channels`). Switched fabrics additionally register
-  /// per-switch/per-port metrics under `fabric/*`.
+  /// per-switch/per-port metrics under `fabric/*`. A `plan` with faults
+  /// enabled arms CRC/replay/down-training on every fabric segment, device
+  /// stall windows, and the request-timeout watchdog (DESIGN.md §7).
   CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels,
             std::uint32_t ddr_per_device, const link::LaneConfig& lanes,
             const dram::Timing& timing = {}, const dram::Geometry& geometry = {},
-            obs::Scope scope = {});
+            obs::Scope scope = {}, const ras::FaultPlan& plan = {});
 
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
@@ -185,12 +194,17 @@ class CxlMemory final : public MemorySystem {
   /// plus one re-serialisation per hop each way).
   Cycle read_interface_cycles() const { return fixed_read_overhead_; }
 
+  const ras::FaultPlan& fault_plan() const { return plan_; }
+  ras::RasCounters ras_counters() const override;
+
  private:
   struct DeviceMsg {
     Cycle arrival = 0;
     Addr local_line = 0;
     std::uint64_t token = 0;
     bool is_write = false;
+    bool poisoned = false;  ///< Request corrupted beyond replay en route.
+    bool dup = false;       ///< Watchdog duplicate: dropped at admission.
   };
   struct PendingResponse {
     Cycle ready = 0;
@@ -207,6 +221,15 @@ class CxlMemory final : public MemorySystem {
     Cycle dram_ready = 0;
     Cycle dram_service = 0;
     Cycle dram_queue = 0;
+    // RAS state: the watchdog deadline (kNoCycle = unwatched/free slot),
+    // reissues so far, and the route needed to reissue a duplicate.
+    Cycle deadline = kNoCycle;
+    std::uint32_t reissues = 0;
+    bool dup_pending = false;   ///< Deadline expired, duplicate not yet sent.
+    bool req_poisoned = false;  ///< Request arrived poisoned; response inherits.
+    std::uint32_t device = 0;
+    std::uint32_t sub = 0;
+    Addr local_line = 0;
   };
   /// Request payload parked while a message crosses a switched fabric.
   struct FabricTxMsg {
@@ -214,6 +237,7 @@ class CxlMemory final : public MemorySystem {
     std::uint64_t token = 0;
     std::uint32_t sub = 0;
     bool is_write = false;
+    bool dup = false;
   };
 
   std::uint32_t ddr_per_device_;
@@ -221,6 +245,8 @@ class CxlMemory final : public MemorySystem {
   std::uint32_t n_devices_ = 0;
   link::LaneConfig lane_cfg_;
   Cycle fixed_read_overhead_ = 0;
+  ras::FaultPlan plan_;
+  ras::RasCounters ras_dev_;  ///< Device/watchdog events (timeouts, dups, ...).
 
   std::unique_ptr<fabric::Fabric> fabric_;
   fabric::Router router_;
@@ -247,7 +273,12 @@ class CxlMemory final : public MemorySystem {
   std::uint32_t alloc_fmsg(const FabricTxMsg& msg);
   /// Emit the completion + latency decomposition for a read whose response
   /// reaches the host at `arrival` (identical math on both fabric shapes).
-  void finish_read(std::uint32_t slot, Cycle arrival);
+  /// `wire_poisoned` marks poison picked up on the return path; the
+  /// completion is also poisoned when the request arrived poisoned.
+  void finish_read(std::uint32_t slot, Cycle arrival, bool wire_poisoned = false);
+  /// Timeout watchdog: reissue duplicate requests for expired reads with
+  /// capped exponential backoff. Returns a conservative wake bound.
+  Cycle pump_watchdog(Cycle now);
 };
 
 }  // namespace coaxial::mem

@@ -1,0 +1,74 @@
+// Shared config-validation helper: structured error messages for bad
+// configuration values, thrown as std::invalid_argument so callers can
+// surface them before any simulation state is built.
+//
+// Every check names the owning config struct and the offending field, so a
+// failure reads e.g.:
+//   link::LaneConfig: rx_goodput_gbps must be finite and > 0 (got nan)
+// Used by link::LaneConfig, fabric::FabricConfig and ras::FaultPlan; new
+// config structs should funnel their checks through the same helpers.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coaxial::validate {
+
+[[noreturn]] inline void fail(const char* owner, const char* field,
+                              const std::string& requirement,
+                              const std::string& got) {
+  std::ostringstream ss;
+  ss << owner << ": " << field << " " << requirement << " (got " << got << ")";
+  throw std::invalid_argument(ss.str());
+}
+
+inline std::string render(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+/// Strictly positive finite double (goodputs, multipliers, latencies that
+/// must not collapse a pipe to zero bandwidth). Rejects NaN, +-inf, 0 and
+/// negatives.
+inline void require_positive(const char* owner, const char* field, double v) {
+  if (!std::isfinite(v) || v <= 0.0)
+    fail(owner, field, "must be finite and > 0", render(v));
+}
+
+/// Finite, >= 0 double (latencies, premiums — zero is a legal model).
+inline void require_non_negative(const char* owner, const char* field, double v) {
+  if (!std::isfinite(v) || v < 0.0)
+    fail(owner, field, "must be finite and >= 0", render(v));
+}
+
+/// Finite double in [lo, hi] inclusive (probabilities, rates).
+inline void require_in_range(const char* owner, const char* field, double v,
+                             double lo, double hi) {
+  if (!(std::isfinite(v) && v >= lo && v <= hi)) {
+    std::ostringstream req;
+    req << "must be in [" << lo << ", " << hi << "]";
+    fail(owner, field, req.str(), render(v));
+  }
+}
+
+/// Non-zero unsigned count (queue bounds, retry budgets, periods).
+inline void require_nonzero(const char* owner, const char* field,
+                            std::uint64_t v) {
+  if (v == 0) fail(owner, field, "must be > 0", "0");
+}
+
+/// `field` strictly less than `bound_field` (window lengths vs periods).
+inline void require_less(const char* owner, const char* field, std::uint64_t v,
+                         const char* bound_field, std::uint64_t bound) {
+  if (v >= bound) {
+    std::ostringstream req;
+    req << "must be < " << bound_field << " (" << bound << ")";
+    fail(owner, field, req.str(), std::to_string(v));
+  }
+}
+
+}  // namespace coaxial::validate

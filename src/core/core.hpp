@@ -67,8 +67,17 @@ class Core {
   std::uint64_t retired() const { return retired_; }
   std::uint32_t id() const { return id_; }
 
+  /// RAS: the hierarchy handed this core poisoned data on a demand access.
+  /// The sim records the machine-check event and continues (the OS/firmware
+  /// would contain it); see DESIGN.md §7.
+  void record_machine_check() { ++machine_checks_; }
+  std::uint64_t machine_checks() const { return machine_checks_; }
+
   /// Reset the retirement counter (measurement-window boundary).
-  void reset_window() { retired_ = 0; }
+  void reset_window() {
+    retired_ = 0;
+    machine_checks_ = 0;
+  }
 
   /// Encode/decode waiter tokens (core id | kind | slot).
   static std::uint64_t make_load_waiter(std::uint32_t core, std::uint32_t slot) {
@@ -131,6 +140,7 @@ class Core {
   double fetch_credit_ = 0.0;  ///< Token bucket enforcing the IPC ceiling.
   Cycle last_tick_ = 0;        ///< For credit catch-up over skipped cycles.
   std::uint64_t retired_ = 0;
+  std::uint64_t machine_checks_ = 0;  ///< RAS poison-consumption events.
 };
 
 }  // namespace coaxial::core

@@ -8,11 +8,13 @@ namespace coaxial::fabric {
 Fabric::Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
                const link::LaneConfig& lanes, obs::Scope scope)
     : cfg_(resolve(cfg, default_channels)), topo_(Topology::build(cfg_)), lanes_(lanes) {
+  lanes_.validate();
   if (direct()) {
     direct_links_.reserve(topo_.n_devices);
     for (std::uint32_t i = 0; i < topo_.n_devices; ++i) {
+      const std::string tag = "cxl/link" + obs::idx(i);
       direct_links_.push_back(std::make_unique<link::CxlLink>(
-          lanes_, cfg_.switch_max_backlog_cycles, scope.sub("cxl/link" + obs::idx(i))));
+          lanes_, cfg_.switch_max_backlog_cycles, scope.sub(tag), tag));
     }
     return;
   }
@@ -37,14 +39,16 @@ Fabric::Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
   // crosses one link port (P) and one switch ingress port (S).
   host_tx_.reserve(topo_.host_links);
   for (std::uint32_t l = 0; l < topo_.host_links; ++l) {
+    const std::string tag = "fabric/host" + obs::idx(l) + "/tx";
     host_tx_.push_back(std::make_unique<link::SerialPipe>(lanes_.tx_goodput_gbps, P + S,
-                                                          backlog));
+                                                          backlog, tag));
     host_tx_.back()->register_stats(fs.sub("host" + obs::idx(l) + "/tx"));
   }
   dev_up_.reserve(topo_.n_devices);
   for (std::uint32_t d = 0; d < topo_.n_devices; ++d) {
+    const std::string tag = "fabric/dev" + obs::idx(d) + "/up";
     dev_up_.push_back(std::make_unique<link::SerialPipe>(lanes_.rx_goodput_gbps, P + S,
-                                                         backlog));
+                                                         backlog, tag));
     dev_up_.back()->register_stats(fs.sub("dev" + obs::idx(d) + "/up"));
   }
 
@@ -54,21 +58,47 @@ Fabric::Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
   root_down_ = std::make_unique<Switch>(topo_.host_links,
                                         tree ? cfg_.leaf_switches : topo_.n_devices,
                                         lanes_.tx_goodput_gbps, root_down_fixed, backlog,
-                                        depth, fs.sub("sw00/down"));
+                                        depth, fs.sub("sw00/down"), "fabric/sw00/down");
   root_up_ = std::make_unique<Switch>(tree ? cfg_.leaf_switches : topo_.n_devices,
                                       topo_.host_links, lanes_.rx_goodput_gbps, S + P,
-                                      backlog, depth, fs.sub("sw00/up"));
+                                      backlog, depth, fs.sub("sw00/up"), "fabric/sw00/up");
   if (tree) {
     for (std::uint32_t i = 0; i < cfg_.leaf_switches; ++i) {
       const std::string tag = "sw" + obs::idx(1 + i);
-      leaf_down_.push_back(std::make_unique<Switch>(1u, devs_per_leaf_,
-                                                    lanes_.tx_goodput_gbps, S + P, backlog,
-                                                    depth, fs.sub(tag + "/down")));
-      leaf_up_.push_back(std::make_unique<Switch>(devs_per_leaf_, 1u,
-                                                  lanes_.rx_goodput_gbps, 2 * S, backlog,
-                                                  depth, fs.sub(tag + "/up")));
+      leaf_down_.push_back(std::make_unique<Switch>(
+          1u, devs_per_leaf_, lanes_.tx_goodput_gbps, S + P, backlog, depth,
+          fs.sub(tag + "/down"), "fabric/" + tag + "/down"));
+      leaf_up_.push_back(std::make_unique<Switch>(
+          devs_per_leaf_, 1u, lanes_.rx_goodput_gbps, 2 * S, backlog, depth,
+          fs.sub(tag + "/up"), "fabric/" + tag + "/up"));
     }
   }
+}
+
+void Fabric::arm_faults(const ras::FaultPlan& plan) {
+  plan.validate();
+  if (!plan.link_faults()) return;
+  for (auto& l : direct_links_) l->arm_faults(plan);
+  for (auto& p : host_tx_) p->arm_faults(plan);
+  for (auto& p : dev_up_) p->arm_faults(plan);
+  if (root_down_) root_down_->arm_faults(plan);
+  if (root_up_) root_up_->arm_faults(plan);
+  for (auto& s : leaf_down_) s->arm_faults(plan);
+  for (auto& s : leaf_up_) s->arm_faults(plan);
+}
+
+ras::RasCounters Fabric::ras_counters() const {
+  ras::RasCounters c;
+  for (const auto& l : direct_links_) c += l->ras_counters();
+  for (const auto& p : host_tx_)
+    if (const ras::RasCounters* r = p->ras()) c += *r;
+  for (const auto& p : dev_up_)
+    if (const ras::RasCounters* r = p->ras()) c += *r;
+  if (root_down_) c += root_down_->ras_counters();
+  if (root_up_) c += root_up_->ras_counters();
+  for (const auto& s : leaf_down_) c += s->ras_counters();
+  for (const auto& s : leaf_up_) c += s->ras_counters();
+  return c;
 }
 
 bool Fabric::can_send_tx(std::uint32_t dev, Cycle now) const {
@@ -77,13 +107,13 @@ bool Fabric::can_send_tx(std::uint32_t dev, Cycle now) const {
   return host_tx_[port]->can_send(now) && root_down_->can_enqueue(port);
 }
 
-Cycle Fabric::send_tx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
-                      std::uint64_t payload) {
+link::SendResult Fabric::send_tx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
+                                 std::uint64_t payload) {
   if (direct()) return direct_links_[dev]->send_tx(bytes, now);
   const std::uint32_t port = topo_.root_port_of(dev);
-  const Cycle ready = host_tx_[port]->send(bytes, now);
-  root_down_->enqueue(port, {ready, dev, bytes, payload});
-  return kNoCycle;
+  const link::SendResult ready = host_tx_[port]->send(bytes, now);
+  root_down_->enqueue(port, {ready.at, dev, bytes, payload, ready.poisoned});
+  return {kNoCycle, false};
 }
 
 bool Fabric::can_send_rx(std::uint32_t dev, Cycle now) const {
@@ -94,17 +124,17 @@ bool Fabric::can_send_rx(std::uint32_t dev, Cycle now) const {
              : root_up_->can_enqueue(dev);
 }
 
-Cycle Fabric::send_rx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
-                      std::uint64_t payload) {
+link::SendResult Fabric::send_rx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
+                                 std::uint64_t payload) {
   if (direct()) return direct_links_[dev]->send_rx(bytes, now);
-  const Cycle ready = dev_up_[dev]->send(bytes, now);
-  const FabricMsg msg{ready, dev, bytes, payload};
+  const link::SendResult ready = dev_up_[dev]->send(bytes, now);
+  const FabricMsg msg{ready.at, dev, bytes, payload, ready.poisoned};
   if (cfg_.kind == TopologyKind::kTree) {
     leaf_up_[leaf_of(dev)]->enqueue(leaf_port_of(dev), msg);
   } else {
     root_up_->enqueue(dev, msg);
   }
-  return kNoCycle;
+  return {kNoCycle, false};
 }
 
 Cycle Fabric::rx_credit_cycle(std::uint32_t dev, Cycle now) const {
@@ -129,7 +159,8 @@ Cycle Fabric::tick(Cycle now) {
                   now, [this](const FabricMsg& m) { return leaf_of(m.dest); },
                   [this](std::uint32_t out) { return leaf_down_[out]->can_enqueue(0); },
                   [this](std::uint32_t out, const FabricMsg& m, Cycle arrival) {
-                    leaf_down_[out]->enqueue(0, {arrival, m.dest, m.bytes, m.payload});
+                    leaf_down_[out]->enqueue(
+                        0, {arrival, m.dest, m.bytes, m.payload, m.poisoned});
                   }));
     for (auto& leaf : leaf_down_) {
       wake = std::min(
@@ -137,7 +168,7 @@ Cycle Fabric::tick(Cycle now) {
                     now, [this](const FabricMsg& m) { return leaf_port_of(m.dest); },
                     [](std::uint32_t) { return true; },
                     [this](std::uint32_t, const FabricMsg& m, Cycle arrival) {
-                      tx_out_.push_back({arrival, m.dest, m.payload});
+                      tx_out_.push_back({arrival, m.dest, m.payload, m.poisoned});
                     }));
     }
   } else {
@@ -146,7 +177,7 @@ Cycle Fabric::tick(Cycle now) {
                   now, [](const FabricMsg& m) { return m.dest; },
                   [](std::uint32_t) { return true; },
                   [this](std::uint32_t, const FabricMsg& m, Cycle arrival) {
-                    tx_out_.push_back({arrival, m.dest, m.payload});
+                    tx_out_.push_back({arrival, m.dest, m.payload, m.poisoned});
                   }));
   }
 
@@ -158,7 +189,8 @@ Cycle Fabric::tick(Cycle now) {
                     now, [](const FabricMsg&) { return 0u; },
                     [this, i](std::uint32_t) { return root_up_->can_enqueue(i); },
                     [this, i](std::uint32_t, const FabricMsg& m, Cycle arrival) {
-                      root_up_->enqueue(i, {arrival, m.dest, m.bytes, m.payload});
+                      root_up_->enqueue(
+                          i, {arrival, m.dest, m.bytes, m.payload, m.poisoned});
                     }));
     }
   }
@@ -167,7 +199,7 @@ Cycle Fabric::tick(Cycle now) {
                 now, [this](const FabricMsg& m) { return topo_.root_port_of(m.dest); },
                 [](std::uint32_t) { return true; },
                 [this](std::uint32_t, const FabricMsg& m, Cycle arrival) {
-                  rx_out_.push_back({arrival, m.dest, m.payload});
+                  rx_out_.push_back({arrival, m.dest, m.payload, m.poisoned});
                 }));
   return wake;
 }

@@ -28,6 +28,7 @@
 #include "link/cxl_link.hpp"
 #include "link/lane_config.hpp"
 #include "obs/metrics.hpp"
+#include "ras/fault_plan.hpp"
 
 namespace coaxial::fabric {
 
@@ -37,6 +38,7 @@ struct Delivery {
   Cycle arrival = 0;
   std::uint32_t device = 0;
   std::uint64_t payload = 0;
+  bool poisoned = false;  ///< Message exhausted a replay budget en route.
 };
 
 class Fabric {
@@ -47,6 +49,14 @@ class Fabric {
   Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
          const link::LaneConfig& lanes, obs::Scope scope = {});
 
+  /// Arm deterministic fault injection on every segment (direct links,
+  /// injection pipes and switch egress pipes). No-op for a plan without
+  /// link faults; call once, before the first send.
+  void arm_faults(const ras::FaultPlan& plan);
+
+  /// RAS events summed over every segment (all-zero when unarmed).
+  ras::RasCounters ras_counters() const;
+
   bool direct() const { return topo_.n_switches == 0; }
   std::uint32_t devices() const { return topo_.n_devices; }
   std::uint32_t host_links() const { return topo_.host_links; }
@@ -56,14 +66,17 @@ class Fabric {
 
   // ------------------------------------------------ host -> device (down)
   bool can_send_tx(std::uint32_t dev, Cycle now) const;
-  /// Direct: returns the device-arrival cycle (classic analytic link).
-  /// Switched: enqueues into the fabric and returns kNoCycle — the arrival
-  /// surfaces through tx_deliveries() during a later tick().
-  Cycle send_tx(std::uint32_t dev, std::uint32_t bytes, Cycle now, std::uint64_t payload);
+  /// Direct: returns the device-arrival cycle (classic analytic link) plus
+  /// the message's poison flag. Switched: enqueues into the fabric and
+  /// returns kNoCycle — the arrival (and poison state) surfaces through
+  /// tx_deliveries() during a later tick().
+  link::SendResult send_tx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
+                           std::uint64_t payload);
 
   // ------------------------------------------------ device -> host (up)
   bool can_send_rx(std::uint32_t dev, Cycle now) const;
-  Cycle send_rx(std::uint32_t dev, std::uint32_t bytes, Cycle now, std::uint64_t payload);
+  link::SendResult send_rx(std::uint32_t dev, std::uint32_t bytes, Cycle now,
+                           std::uint64_t payload);
   /// Earliest cycle (>= now) the device's return-path injection point could
   /// have a free credit again.
   Cycle rx_credit_cycle(std::uint32_t dev, Cycle now) const;

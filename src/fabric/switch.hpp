@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
 #include "link/serial_pipe.hpp"
 #include "obs/metrics.hpp"
+#include "ras/fault_plan.hpp"
 
 namespace coaxial::fabric {
 
@@ -33,21 +35,27 @@ struct FabricMsg {
   std::uint32_t dest = 0;  ///< Destination device id.
   std::uint32_t bytes = 0;
   std::uint64_t payload = 0;
+  bool poisoned = false;   ///< Sticky: set by any faulting segment en route.
 };
 
 class Switch {
  public:
   /// `scope`, when valid, registers per-ingress-port queue counters under
-  /// `inNN/` and per-egress-port pipe traffic under `outNN/`.
+  /// `inNN/` and per-egress-port pipe traffic under `outNN/`. `name` is the
+  /// switch plane's canonical identity (e.g. "fabric/sw00/down") used for
+  /// fault-stream keying and timing-abort diagnostics; it defaults to the
+  /// scope prefix, or "switch" when that is empty.
   Switch(std::uint32_t in_ports, std::uint32_t out_ports, double egress_goodput_gbps,
          Cycle egress_fixed_latency, Cycle egress_max_backlog,
-         std::uint32_t queue_depth, obs::Scope scope = {})
+         std::uint32_t queue_depth, obs::Scope scope = {}, std::string name = {})
       : in_ports_(in_ports), out_ports_(out_ports), queue_depth_(queue_depth),
         in_q_(in_ports), enqueued_(in_ports, 0), queue_high_water_(in_ports, 0),
         rr_(out_ports, 0) {
+    if (name.empty()) name = scope.prefix().empty() ? "switch" : scope.prefix();
     pipes_.reserve(out_ports);
     for (std::uint32_t o = 0; o < out_ports; ++o) {
-      pipes_.emplace_back(egress_goodput_gbps, egress_fixed_latency, egress_max_backlog);
+      pipes_.emplace_back(egress_goodput_gbps, egress_fixed_latency, egress_max_backlog,
+                          name + "/out" + obs::idx(o));
     }
     if (scope.valid()) {
       for (std::uint32_t p = 0; p < in_ports_; ++p) {
@@ -63,6 +71,12 @@ class Switch {
 
   std::uint32_t in_ports() const { return in_ports_; }
   std::uint32_t out_ports() const { return out_ports_; }
+
+  /// Arm deterministic fault injection on every egress pipe (no-op for a
+  /// plan without link faults).
+  void arm_faults(const ras::FaultPlan& plan) {
+    for (link::SerialPipe& p : pipes_) p.arm_faults(plan);
+  }
 
   /// True if ingress port `p` has room for another message. Occupancy
   /// counts in-flight messages (enqueued with a future `ready`), so the
@@ -102,10 +116,11 @@ class Switch {
           if (q.empty() || q.front().ready > now || out_port_of(q.front()) != out) {
             continue;
           }
-          const FabricMsg msg = q.front();
+          FabricMsg msg = q.front();
           q.pop_front();
-          const Cycle arrival = pipes_[out].send(msg.bytes, now);
-          deliver(out, msg, arrival);
+          const link::SendResult res = pipes_[out].send(msg.bytes, now);
+          msg.poisoned = msg.poisoned || res.poisoned;
+          deliver(out, msg, res.at);
           rr_[out] = (p + 1) % in_ports_;
           progress = true;
           break;
@@ -129,6 +144,14 @@ class Switch {
     for (link::SerialPipe& p : pipes_) p.reset_stats();
     enqueued_.assign(in_ports_, 0);
     queue_high_water_.assign(in_ports_, 0);
+  }
+
+  /// RAS events across all egress pipes (all-zero when faults are unarmed).
+  ras::RasCounters ras_counters() const {
+    ras::RasCounters c;
+    for (const link::SerialPipe& p : pipes_)
+      if (const ras::RasCounters* r = p.ras()) c += *r;
+    return c;
   }
 
   /// Sum of egress-pipe protocol violations (always zero when the fabric

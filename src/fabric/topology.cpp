@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/validate.hpp"
+
 namespace coaxial::fabric {
 
 namespace {
@@ -37,6 +39,20 @@ std::uint32_t Topology::hops(std::uint32_t dev) const {
 }
 
 Topology Topology::build(const FabricConfig& cfg) {
+  // Value validation (shared helper; structural checks follow below). The
+  // backlog bound and queue depth must be non-zero or every pipe/port is
+  // permanently out of credit; the port latency must be a real duration.
+  {
+    namespace v = coaxial::validate;
+    const char* o = "fabric::FabricConfig";
+    v::require_non_negative(o, "switch_port_ns", cfg.switch_port_ns);
+    v::require_nonzero(o, "switch_queue_depth", cfg.switch_queue_depth);
+    v::require_nonzero(o, "switch_max_backlog_cycles", cfg.switch_max_backlog_cycles);
+    if (cfg.interleave == Interleave::kPage)
+      v::require_nonzero(o, "page_lines", cfg.page_lines);
+    if (cfg.interleave == Interleave::kContiguous)
+      v::require_nonzero(o, "contiguous_lines", cfg.contiguous_lines);
+  }
   if (cfg.devices == 0) fail("no devices");
   if (cfg.host_links == 0) fail("no host links");
 

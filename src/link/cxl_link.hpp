@@ -8,26 +8,40 @@
 // computed analytically at send time — no per-cycle ticking. Backpressure
 // is modelled by refusing new messages when the accumulated serialisation
 // backlog exceeds a queue bound.
+//
+// With a fault plan armed (arm_faults), both directions inject CRC errors,
+// replay corrupted flits and down-train per the plan; send results then
+// carry a poisoned flag alongside the delivery cycle.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.hpp"
+#include "common/validate.hpp"
 #include "link/lane_config.hpp"
 #include "link/serial_pipe.hpp"
 #include "obs/metrics.hpp"
+#include "ras/fault_plan.hpp"
 
 namespace coaxial::link {
 
 class CxlLink {
  public:
   /// `scope`, when valid, registers per-direction traffic counters plus the
-  /// flit-credit / queue-occupancy invariant counters at construction.
+  /// flit-credit / queue-occupancy invariant counters at construction, and
+  /// names the link's pipes (for fault streams and timing-abort
+  /// diagnostics). An inert scope yields the generic name "cxl-link".
   explicit CxlLink(const LaneConfig& cfg, Cycle max_backlog_cycles = 512,
-                   obs::Scope scope = {})
-      : cfg_(cfg),
-        tx_(cfg.tx_goodput_gbps, 2 * cfg.port_latency_cycles(), max_backlog_cycles),
-        rx_(cfg.rx_goodput_gbps, 2 * cfg.port_latency_cycles(), max_backlog_cycles) {
+                   obs::Scope scope = {}, std::string name = {})
+      : cfg_((cfg.validate(),
+              validate::require_nonzero("link::CxlLink", "max_backlog_cycles",
+                                        max_backlog_cycles),
+              cfg)),
+        tx_(cfg.tx_goodput_gbps, 2 * cfg.port_latency_cycles(),
+            max_backlog_cycles, pipe_name(name, scope, "tx")),
+        rx_(cfg.rx_goodput_gbps, 2 * cfg.port_latency_cycles(),
+            max_backlog_cycles, pipe_name(name, scope, "rx")) {
     if (scope.valid()) {
       tx_.register_stats(scope.sub("tx"));
       rx_.register_stats(scope.sub("rx"));
@@ -40,6 +54,13 @@ class CxlLink {
     }
   }
 
+  /// Arm deterministic fault injection on both directions (no-op for a plan
+  /// without link faults).
+  void arm_faults(const ras::FaultPlan& plan) {
+    tx_.arm_faults(plan);
+    rx_.arm_faults(plan);
+  }
+
   /// True if the direction's backlog leaves room for another message.
   bool can_send_tx(Cycle now) const { return tx_.can_send(now); }
   bool can_send_rx(Cycle now) const { return rx_.can_send(now); }
@@ -50,15 +71,17 @@ class CxlLink {
   Cycle tx_credit_cycle(Cycle now) const { return tx_.credit_cycle(now); }
   Cycle rx_credit_cycle(Cycle now) const { return rx_.credit_cycle(now); }
 
-  /// Send CPU->device. Returns the cycle the message is delivered.
-  Cycle send_tx(std::uint32_t bytes, Cycle now) { return tx_.send(bytes, now); }
+  /// Send CPU->device. Returns the delivery cycle (+ poison flag).
+  SendResult send_tx(std::uint32_t bytes, Cycle now) { return tx_.send(bytes, now); }
 
-  /// Send device->CPU. Returns the cycle the message is delivered.
-  Cycle send_rx(std::uint32_t bytes, Cycle now) { return rx_.send(bytes, now); }
+  /// Send device->CPU. Returns the delivery cycle (+ poison flag).
+  SendResult send_rx(std::uint32_t bytes, Cycle now) { return rx_.send(bytes, now); }
 
   const DirectionStats& tx_stats() const { return tx_.stats(); }
   const DirectionStats& rx_stats() const { return rx_.stats(); }
   const LaneConfig& config() const { return cfg_; }
+  const SerialPipe& tx_pipe() const { return tx_; }
+  const SerialPipe& rx_pipe() const { return rx_; }
 
   /// Fixed (unloaded) one-way latency component for a message of `bytes`:
   /// serialisation + two port traversals.
@@ -69,6 +92,14 @@ class CxlLink {
   void reset_stats() {
     tx_.reset_stats();
     rx_.reset_stats();
+  }
+
+  /// RAS events across both directions (all-zero when faults are unarmed).
+  ras::RasCounters ras_counters() const {
+    ras::RasCounters c;
+    if (const ras::RasCounters* t = tx_.ras()) c += *t;
+    if (const ras::RasCounters* r = rx_.ras()) c += *r;
+    return c;
   }
 
   /// Invariant-check state: violations of the credit/occupancy protocol
@@ -84,6 +115,14 @@ class CxlLink {
   }
 
  private:
+  static std::string pipe_name(const std::string& name, const obs::Scope& scope,
+                               const char* dir) {
+    std::string base = name;
+    if (base.empty()) base = scope.prefix();
+    if (base.empty()) base = "cxl-link";
+    return base + "/" + dir;
+  }
+
   LaneConfig cfg_;
   SerialPipe tx_;
   SerialPipe rx_;

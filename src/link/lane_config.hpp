@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "common/validate.hpp"
 
 namespace coaxial::link {
 
@@ -68,6 +69,17 @@ struct LaneConfig {
     c.tx_lanes = 6;
     c.port_latency_ns = port_ns;
     return c;
+  }
+
+  /// Throws std::invalid_argument on degenerate values (NaN/zero/negative
+  /// goodputs, non-finite port latency). Called by CxlLink and Fabric before
+  /// any pipe is built.
+  void validate() const {
+    namespace v = coaxial::validate;
+    const char* o = "link::LaneConfig";
+    v::require_positive(o, "rx_goodput_gbps", rx_goodput_gbps);
+    v::require_positive(o, "tx_goodput_gbps", tx_goodput_gbps);
+    v::require_non_negative(o, "port_latency_ns", port_latency_ns);
   }
 
   Cycle port_latency_cycles() const { return ns_to_cycles(port_latency_ns); }

@@ -8,14 +8,27 @@
 // is modelled by refusing new messages once the accumulated serialisation
 // backlog exceeds a queue bound, with an exact credit-free cycle so the
 // event-driven scheduler can skip blocked cycles.
+//
+// RAS (optional, armed via arm_faults): each transmission may be corrupted
+// by a deterministic per-segment CRC draw; corrupted transmissions are
+// replayed from the link-layer retry buffer — each replay re-serialises the
+// message and adds a retry latency premium to the pipe's occupancy — and a
+// message whose replay budget is exhausted is delivered *poisoned*. A
+// down-trained pipe serialises at half goodput from the configured cycle
+// on. All of this only lengthens busy_until_, so the credit math (can_send
+// / credit_cycle / backlog) is unchanged and stays exact.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
+#include "ras/fault_injector.hpp"
 
 namespace coaxial::link {
 
@@ -26,11 +39,31 @@ struct DirectionStats {
   double queue_delay_sum = 0.0;    ///< Cycles messages waited for the pipe.
 };
 
+/// Result of a send: the delivery cycle at the far side, plus whether the
+/// message exhausted its link-layer replay budget and arrives poisoned.
+/// Implicitly converts to Cycle so fault-oblivious callers keep working.
+struct SendResult {
+  Cycle at = 0;
+  bool poisoned = false;
+  constexpr operator Cycle() const { return at; }  // NOLINT(google-explicit-constructor)
+};
+
 class SerialPipe {
  public:
-  SerialPipe(double goodput_gbps, Cycle fixed_latency_cycles, Cycle max_backlog_cycles)
+  SerialPipe(double goodput_gbps, Cycle fixed_latency_cycles,
+             Cycle max_backlog_cycles, std::string name = "pipe")
       : goodput_(goodput_gbps), fixed_latency_(fixed_latency_cycles),
-        max_backlog_(max_backlog_cycles) {}
+        max_backlog_(max_backlog_cycles), name_(std::move(name)) {}
+
+  /// Arm deterministic fault injection. The segment's draw stream is keyed
+  /// by the plan seed and the pipe's name, so arming order is irrelevant.
+  /// A plan without link faults leaves the pipe untouched.
+  void arm_faults(const ras::FaultPlan& plan) {
+    plan.validate();
+    if (!plan.link_faults()) return;
+    faults_ = std::make_unique<ras::SegmentFaults>(plan, name_);
+    downtrain_at_ = plan.downtrain_at_cycle;
+  }
 
   /// True if the backlog leaves room for another message.
   bool can_send(Cycle now) const { return backlog(now) < max_backlog_; }
@@ -43,31 +76,55 @@ class SerialPipe {
     return busy_until_ - max_backlog_ + 1;  // backlog >= max implies this > now.
   }
 
-  /// Send a message. Returns the cycle it is delivered at the far side.
-  Cycle send(std::uint32_t bytes, Cycle now) {
+  /// Send a message. Returns the cycle it is delivered at the far side and
+  /// whether it arrives poisoned (replay budget exhausted).
+  SendResult send(std::uint32_t bytes, Cycle now) {
     // Flit-credit conservation: admission requires a free credit, i.e. the
     // accumulated backlog must be under the bound at send time. A violation
     // means a caller bypassed can_send().
     if (backlog(now) >= max_backlog_) check_violation("send without credit");
-    const Cycle ser = serialization_cycles(goodput_, bytes);
+    const Cycle ser = ser_cycles(bytes, now);
+    Cycle occupancy_cycles = ser;
+    bool poisoned = false;
+    if (faults_) {
+      const std::uint32_t budget = faults_->plan().retry_budget;
+      // Transmit up to 1 + budget times; the first clean transmission
+      // delivers the message. Every corrupted transmission costs a full
+      // re-serialisation plus the retry premium (replay-ack round trip).
+      std::uint32_t corrupted = 0;
+      while (corrupted <= budget && faults_->corrupt(bytes, now)) ++corrupted;
+      if (corrupted > 0) {
+        const std::uint32_t replays = corrupted <= budget ? corrupted : budget;
+        faults_->counters.crc_errors += corrupted;
+        faults_->counters.replays += replays;
+        if (corrupted > budget) {
+          poisoned = true;
+          ++faults_->counters.poisons_injected;
+        }
+        occupancy_cycles =
+            ser * (1 + replays) + faults_->plan().retry_premium_cycles() * replays;
+      }
+      if (degraded(now)) faults_->counters.degraded_cycles += occupancy_cycles;
+    }
     const Cycle start = busy_until_ > now ? busy_until_ : now;
-    busy_until_ = start + ser;
+    busy_until_ = start + occupancy_cycles;
     const Cycle occupancy = backlog(now);
     if (occupancy > max_backlog_seen_) max_backlog_seen_ = occupancy;
     // Queue-occupancy bound: admitting one message may overshoot the bound
-    // by at most that message's own serialisation time.
-    if (occupancy > max_backlog_ + ser) check_violation("occupancy bound exceeded");
+    // by at most that message's own occupancy (serialisation + replays).
+    if (occupancy > max_backlog_ + occupancy_cycles)
+      check_violation("occupancy bound exceeded");
     ++stats_.messages;
     stats_.bytes += bytes;
-    stats_.busy_cycles += ser;
+    stats_.busy_cycles += occupancy_cycles;
     stats_.queue_delay_sum += static_cast<double>(start - now);
     const Cycle delivered = busy_until_ + fixed_latency_;
     if (delivered <= now) check_violation("non-causal delivery");
-    return delivered;
+    return {delivered, poisoned};
   }
 
-  /// Fixed (unloaded) one-way latency for a message of `bytes`:
-  /// serialisation + the pipe's fixed latency.
+  /// Fixed (unloaded, fault-free) one-way latency for a message of `bytes`:
+  /// nominal serialisation + the pipe's fixed latency.
   Cycle unloaded_latency(std::uint32_t bytes) const {
     return serialization_cycles(goodput_, bytes) + fixed_latency_;
   }
@@ -76,11 +133,25 @@ class SerialPipe {
   Cycle backlog(Cycle now) const { return busy_until_ > now ? busy_until_ - now : 0; }
 
   const DirectionStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  void reset_stats() {
+    stats_ = {};
+    // RAS event counters reset with the other stats; the draw counter is
+    // simulation state and must keep advancing.
+    if (faults_) faults_->counters = {};
+  }
 
   double goodput_gbps() const { return goodput_; }
   Cycle fixed_latency() const { return fixed_latency_; }
   Cycle max_backlog() const { return max_backlog_; }
+  const std::string& name() const { return name_; }
+
+  /// True once the pipe has down-trained (serialises at half goodput).
+  bool degraded(Cycle now) const { return faults_ && now >= downtrain_at_; }
+
+  /// The segment's RAS counters, or nullptr when faults are not armed.
+  const ras::RasCounters* ras() const {
+    return faults_ ? &faults_->counters : nullptr;
+  }
 
   /// Violations of the credit/occupancy protocol (always zero when callers
   /// gate on can_send()) and the highest backlog observed.
@@ -98,10 +169,18 @@ class SerialPipe {
   }
 
  private:
+  /// Serialisation cycles at `now`, accounting for down-training: a
+  /// down-trained lane runs at half its nominal goodput.
+  Cycle ser_cycles(std::uint32_t bytes, Cycle now) const {
+    return serialization_cycles(degraded(now) ? goodput_ * 0.5 : goodput_,
+                                bytes);
+  }
+
   void check_violation(const char* what) {
     ++violations_;
 #if defined(COAXIAL_ASSERT_TIMING)
-    std::fprintf(stderr, "serial pipe invariant violated: %s\n", what);
+    std::fprintf(stderr, "serial pipe invariant violated: %s (segment '%s')\n",
+                 what, name_.c_str());
     std::abort();
 #else
     (void)what;
@@ -111,10 +190,13 @@ class SerialPipe {
   double goodput_;
   Cycle fixed_latency_;
   Cycle max_backlog_;
+  std::string name_;
   Cycle busy_until_ = 0;
   DirectionStats stats_;
   std::uint64_t violations_ = 0;
   Cycle max_backlog_seen_ = 0;
+  std::unique_ptr<ras::SegmentFaults> faults_;
+  Cycle downtrain_at_ = kNoCycle;
 };
 
 /// Utilisation of one direction over `elapsed` cycles, in [0, 1].

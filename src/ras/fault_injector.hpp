@@ -1,0 +1,78 @@
+// Counter-based deterministic fault draws.
+//
+// Each fault-armed segment (one SerialPipe direction) owns a SegmentFaults
+// instance whose random stream is keyed by (plan seed XOR fnv1a(segment
+// name)) and advanced by a plain counter — the splitmix64 finalizer turns
+// (stream, counter) into an i.i.d. uniform draw. Because the stream depends
+// only on the segment's *name* and the draw index, results are invariant
+// under component construction order, scheduler mode (event-driven vs
+// forced lockstep) and whatever the workload RNG does.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "ras/fault_plan.hpp"
+
+namespace coaxial::ras {
+
+/// splitmix64 finalizer: bijective avalanche mix of a 64-bit value.
+inline constexpr std::uint64_t mix_u64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a segment name — stable across runs and platforms.
+inline constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Uniform draw in [0, 1) from (stream, counter).
+inline double draw_unit(std::uint64_t stream, std::uint64_t counter) {
+  // Top 53 bits of the mixed value give a dyadic rational in [0, 1).
+  return static_cast<double>(mix_u64(stream ^ mix_u64(counter)) >> 11) *
+         0x1.0p-53;
+}
+
+/// Per-segment fault state: a copy of the plan, the segment's private draw
+/// stream, and the segment's RAS event counters. Owned by SerialPipe when
+/// the plan has link faults enabled.
+class SegmentFaults {
+ public:
+  SegmentFaults(const FaultPlan& plan, std::string_view segment_name)
+      : plan_(plan), stream_(mix_u64(plan.seed ^ fnv1a(segment_name))) {}
+
+  /// Decide whether one transmission of a `bytes`-sized message starting at
+  /// `now` is corrupted. Consumes one draw per transmission with a non-zero
+  /// corruption probability.
+  bool corrupt(std::uint32_t bytes, Cycle now) {
+    const double ber = plan_.ber_at(now);
+    if (ber <= 0.0) return false;
+    const double p_clean_bit = 1.0 - ber;
+    const double p_corrupt =
+        1.0 - std::pow(p_clean_bit, 8.0 * static_cast<double>(bytes));
+    return draw_unit(stream_, counter_++) < p_corrupt;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t draws() const { return counter_; }
+
+  RasCounters counters;
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t stream_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace coaxial::ras

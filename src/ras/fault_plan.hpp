@@ -1,0 +1,158 @@
+// Deterministic fault plan for the CXL transport stack.
+//
+// A FaultPlan is a small value type carried in SystemConfig and copied into
+// every component that injects or recovers from faults. It describes four
+// orthogonal fault classes:
+//
+//   * CRC bit errors   — every transmission of a message on a SerialPipe is
+//     corrupted with probability 1-(1-BER)^bits; corrupted transmissions are
+//     replayed from the link-layer retry buffer (retry_budget times, each
+//     adding a retry latency premium) and delivered *poisoned* once the
+//     budget is exhausted. Burst windows multiply the BER periodically.
+//   * Lane down-training — from `downtrain_at_cycle` on, every armed pipe
+//     serialises at half its nominal goodput (graceful degradation).
+//   * Device stalls    — periodic windows during which a CXL device accepts
+//     no new requests from its ingress queue (admission freezes; in-flight
+//     DRAM work continues).
+//   * Request timeouts — a per-read watchdog in CxlMemory reissues the
+//     request with capped exponential backoff; duplicates are dropped at the
+//     device so a request is never serviced twice (see DESIGN.md §7).
+//
+// Determinism contract: all randomness is drawn from counter-based streams
+// keyed by (plan seed, segment name) — see fault_injector.hpp — so results
+// are independent of the workload RNG, of component construction order, and
+// of the event-driven vs forced-lockstep scheduler mode.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/units.hpp"
+#include "common/validate.hpp"
+
+namespace coaxial::ras {
+
+/// Sentinel for stall_device: stall windows apply to every device.
+inline constexpr std::uint32_t kAllDevices = std::numeric_limits<std::uint32_t>::max();
+
+struct FaultPlan {
+  /// Seed for the fault-draw streams; independent of the workload RNG seed.
+  std::uint64_t seed = 0xC0A71A5Full;
+
+  // --- CRC bit errors + link-layer retry ---------------------------------
+  double bit_error_rate = 0.0;   ///< Per wire bit, [0, 1]. 0 = no CRC faults.
+  double burst_multiplier = 1.0; ///< BER multiplier inside burst windows.
+  Cycle burst_period_cycles = 0; ///< Burst window every N cycles (0 = none).
+  Cycle burst_len_cycles = 0;    ///< Burst window length (< period).
+  std::uint32_t retry_budget = 8;  ///< Replays before a message poisons.
+  double retry_latency_ns = 100.0; ///< Premium per replay (ack round-trip).
+
+  // --- Graceful degradation ----------------------------------------------
+  Cycle downtrain_at_cycle = kNoCycle; ///< Halve goodput from here (kNoCycle = never).
+
+  // --- Device stalls -----------------------------------------------------
+  Cycle stall_period_cycles = 0;  ///< Stall window every N cycles (0 = none).
+  Cycle stall_len_cycles = 0;     ///< Stall window length (< period).
+  std::uint32_t stall_device = kAllDevices; ///< Device index, or kAllDevices.
+
+  // --- Request-timeout watchdog ------------------------------------------
+  Cycle timeout_cycles = 0;        ///< Read deadline (0 = watchdog off).
+  std::uint32_t max_reissues = 4;  ///< Reissues before the watchdog gives up.
+  Cycle backoff_cap_cycles = 65536; ///< Cap on the doubled timeout.
+
+  // --- Feature predicates ------------------------------------------------
+  bool link_faults() const {
+    return bit_error_rate > 0.0 || downtrain_at_cycle != kNoCycle;
+  }
+  bool stalls() const { return stall_period_cycles != 0; }
+  bool watchdog() const { return timeout_cycles != 0; }
+  /// Any fault class active. When false the plan is inert: no ras/* metrics
+  /// are registered and no timing or behaviour changes anywhere.
+  bool enabled() const { return link_faults() || stalls() || watchdog(); }
+
+  Cycle retry_premium_cycles() const { return ns_to_cycles(retry_latency_ns); }
+
+  bool in_burst(Cycle now) const {
+    if (burst_period_cycles == 0) return false;
+    return now % burst_period_cycles < burst_len_cycles;
+  }
+
+  /// Effective per-bit error rate at `now` (burst windows applied), clamped
+  /// to [0, 1].
+  double ber_at(Cycle now) const {
+    const double ber =
+        in_burst(now) ? bit_error_rate * burst_multiplier : bit_error_rate;
+    return ber > 1.0 ? 1.0 : ber;
+  }
+
+  bool in_stall(Cycle now, std::uint32_t device) const {
+    if (stall_period_cycles == 0) return false;
+    if (stall_device != kAllDevices && stall_device != device) return false;
+    return now % stall_period_cycles < stall_len_cycles;
+  }
+
+  /// First cycle >= now at which `device` is not stalled. Identity when the
+  /// device is not currently stalled.
+  Cycle stall_end(Cycle now, std::uint32_t device) const {
+    if (!in_stall(now, device)) return now;
+    return now - now % stall_period_cycles + stall_len_cycles;
+  }
+
+  /// Throws std::invalid_argument on degenerate values. Called by every
+  /// component that arms faults, so a bad plan fails before any state is
+  /// built.
+  void validate() const {
+    namespace v = coaxial::validate;
+    const char* o = "ras::FaultPlan";
+    v::require_in_range(o, "bit_error_rate", bit_error_rate, 0.0, 1.0);
+    v::require_non_negative(o, "burst_multiplier", burst_multiplier);
+    v::require_non_negative(o, "retry_latency_ns", retry_latency_ns);
+    if (bit_error_rate > 0.0)
+      v::require_nonzero(o, "retry_budget", retry_budget);
+    if (burst_period_cycles != 0) {
+      v::require_nonzero(o, "burst_len_cycles", burst_len_cycles);
+      v::require_less(o, "burst_len_cycles", burst_len_cycles,
+                      "burst_period_cycles", burst_period_cycles);
+    }
+    if (stall_period_cycles != 0) {
+      v::require_nonzero(o, "stall_len_cycles", stall_len_cycles);
+      v::require_less(o, "stall_len_cycles", stall_len_cycles,
+                      "stall_period_cycles", stall_period_cycles);
+    }
+    if (timeout_cycles != 0) {
+      v::require_nonzero(o, "max_reissues", max_reissues);
+      if (backoff_cap_cycles < timeout_cycles)
+        coaxial::validate::fail(o, "backoff_cap_cycles",
+                                "must be >= timeout_cycles",
+                                std::to_string(backoff_cap_cycles));
+    }
+  }
+};
+
+/// Aggregated RAS event counters, summed across pipes / devices for the
+/// `ras/*` metrics subtree. Every field is an event count (never a per-tick
+/// accumulation), so event-driven and forced-lockstep runs agree exactly.
+struct RasCounters {
+  std::uint64_t crc_errors = 0;       ///< Corrupted transmissions (incl. replays).
+  std::uint64_t replays = 0;          ///< Link-layer replays performed.
+  std::uint64_t poisons_injected = 0; ///< Messages delivered poisoned by a pipe.
+  std::uint64_t degraded_cycles = 0;  ///< Serialiser busy cycles while down-trained.
+  std::uint64_t timeouts = 0;         ///< Watchdog deadline expiries.
+  std::uint64_t backoff_retries = 0;  ///< Duplicate requests reissued.
+  std::uint64_t dup_drops = 0;        ///< Duplicates dropped at device ingress.
+  std::uint64_t poisoned_writes = 0;  ///< Poisoned write messages absorbed.
+
+  RasCounters& operator+=(const RasCounters& o) {
+    crc_errors += o.crc_errors;
+    replays += o.replays;
+    poisons_injected += o.poisons_injected;
+    degraded_cycles += o.degraded_cycles;
+    timeouts += o.timeouts;
+    backoff_retries += o.backoff_retries;
+    dup_drops += o.dup_drops;
+    poisoned_writes += o.poisoned_writes;
+    return *this;
+  }
+};
+
+}  // namespace coaxial::ras

@@ -40,6 +40,8 @@ constexpr Cycle kRetryInterval = 2;  ///< L2-MSHR-full replay spacing.
 
 void System::build_shared_structures() {
   const sys::MicroarchConfig& u = cfg_.uarch;
+  cfg_.fault_plan.validate();  // Fail fast even for topologies that ignore it.
+  ras_enabled_ = cfg_.fault_plan.enabled();
   const obs::Scope root(&metrics_, "");
   memory_ = cfg_.make_memory(root.sub("mem"));
   calm_ = std::make_unique<calm::Decider>(
@@ -73,6 +75,36 @@ void System::build_shared_structures() {
   llc_hits_ = run.counter("llc/hits");
   llc_misses_ = run.counter("llc/misses");
   l2_miss_hist_ = run.histogram("l2_miss/latency_cycles");
+  // RAS observability is opt-in with the fault plan: registering the
+  // subtree unconditionally would change the metrics-tree shape and break
+  // golden-baseline comparisons for fault-free runs.
+  if (ras_enabled_) {
+    const obs::Scope rs = root.sub("ras");
+    rs.expose_counter("crc_errors",
+                      [this] { return memory_->ras_counters().crc_errors; });
+    rs.expose_counter("replays", [this] { return memory_->ras_counters().replays; });
+    rs.expose_counter("poisons_injected",
+                      [this] { return memory_->ras_counters().poisons_injected; });
+    rs.expose_counter("degraded_cycles",
+                      [this] { return memory_->ras_counters().degraded_cycles; });
+    rs.expose_counter("timeouts", [this] { return memory_->ras_counters().timeouts; });
+    rs.expose_counter("backoff_retries",
+                      [this] { return memory_->ras_counters().backoff_retries; });
+    rs.expose_counter("dup_drops", [this] { return memory_->ras_counters().dup_drops; });
+    rs.expose_counter("poisoned_writes",
+                      [this] { return memory_->ras_counters().poisoned_writes; });
+    // Machine checks fired by cores consuming poisoned data (measurement
+    // window; reset with the other per-window core counters).
+    rs.expose_counter("poisons_consumed", [this] {
+      std::uint64_t total = 0;
+      for (const auto& core : cores_) total += core->machine_checks();
+      return total;
+    });
+    for (std::uint32_t c = 0; c < u.cores; ++c) {
+      rs.expose_counter("core/" + obs::idx(c) + "/machine_checks",
+                        [this, c] { return cores_[c]->machine_checks(); });
+    }
+  }
   for (std::uint32_t p = 0; p < memory_->ports(); ++p) {
     port_tile_.push_back(mesh_.memory_tile(p, memory_->ports()));
   }
@@ -289,6 +321,12 @@ core::IssueResult System::issue_store(std::uint32_t c, Addr addr, Addr pc,
 void System::handle_l2_lookup(Cycle t, std::uint32_t c, Addr line, Addr pc) {
   maybe_prefetch(t, c, line);
   if (l2_[c]->lookup(line)) {
+    // Demand hit on a line a prefetch filled poisoned: the core consumes
+    // the poison (machine check), then the detecting level scrubs it.
+    if (ras_enabled_ && l2_[c]->poisoned(line)) {
+      cores_[c]->record_machine_check();
+      l2_[c]->clear_poison(line);
+    }
     schedule(t + cfg_.uarch.l2_latency, EventKind::kL1Fill, c, line);
     return;
   }
@@ -457,10 +495,30 @@ void System::finish_op(Cycle t, std::uint32_t op_id, bool data_from_memory) {
     }
   }
 
+  if (ras_enabled_) {
+    if (data_from_memory && op.mem_poisoned && !op.prefetch) {
+      // A demand op consumed poisoned memory data: machine check, then the
+      // hardware scrubs the line before it enters the hierarchy. Prefetch
+      // ops skip this branch and fill the poison silently — the event fires
+      // only when a later demand access consumes the line.
+      cores_[op.core]->record_machine_check();
+      op.mem_poisoned = false;
+    } else if (!data_from_memory && !op.prefetch) {
+      // Data served from the LLC (hit or piggyback on an in-flight fetch):
+      // consume any poison parked there by an earlier prefetch fill.
+      const std::uint32_t slice = llc_slice(op.line);
+      if (llc_[slice]->poisoned(op.line)) {
+        cores_[op.core]->record_machine_check();
+        llc_[slice]->clear_poison(op.line);
+      }
+    }
+  }
+
   if (data_from_memory) fill_llc_from_memory(op_id, t);
 
   // Fill L2, then L1 (waking the core's waiters; prefetches stop at L2).
-  if (auto victim = l2_[op.core]->fill(op.line, /*dirty=*/false)) {
+  if (auto victim = l2_[op.core]->fill(op.line, /*dirty=*/false,
+                                       data_from_memory && op.mem_poisoned)) {
     l2_victim(op.core, *victim, t);
   }
   l2_mshr_[op.core]->on_fill(op.line);
@@ -476,7 +534,7 @@ void System::finish_op(Cycle t, std::uint32_t op_id, bool data_from_memory) {
 void System::fill_llc_from_memory(std::uint32_t op_id, Cycle t) {
   MemOp& op = ops_[op_id];
   const std::uint32_t slice = llc_slice(op.line);
-  if (auto victim = llc_[slice]->fill(op.line, /*dirty=*/false)) {
+  if (auto victim = llc_[slice]->fill(op.line, /*dirty=*/false, op.mem_poisoned)) {
     llc_victim(slice, *victim, t);
   }
   // Release the slice MSHR entry and complete any piggybacked ops.
@@ -490,6 +548,14 @@ void System::fill_llc_from_memory(std::uint32_t op_id, Cycle t) {
 }
 
 void System::fill_l1(std::uint32_t c, Addr line, Cycle t) {
+  // A demand miss that merged into a poisoned prefetch fill consumes the
+  // poison here, when the L2 copy is handed up to the waiters. The L1 fill
+  // below is always clean (machine check + scrub happen at this boundary),
+  // so the L1 never holds poison and its hit path needs no check.
+  if (ras_enabled_ && l2_[c]->poisoned(line)) {
+    cores_[c]->record_machine_check();
+    l2_[c]->clear_poison(line);
+  }
   if (auto victim = l1_[c]->fill(line, /*dirty=*/false)) {
     if (victim->dirty) {
       // Write the dirty victim into L2 (allocate on miss).
@@ -549,6 +615,7 @@ void System::pump_memory(Cycle now) {
     op.mem_dram_queue = c.dram_queue;
     op.mem_cxl_interface = c.cxl_interface;
     op.mem_cxl_queue = c.cxl_queue;
+    op.mem_poisoned = c.poisoned;
     schedule(c.done + mesh_.latency(port_tile_[op.port], op.core), EventKind::kMemArrive,
              op_id);
   }

@@ -197,6 +197,7 @@ class System : public core::MemoryPort {
     std::uint32_t port = 0;
     bool calm = false;
     bool prefetch = false;  ///< L2 stream prefetch: fills caches, wakes no one.
+    bool mem_poisoned = false;  ///< RAS: the memory response carried poison.
     bool llc_hit = false;
     bool llc_resolved = false;
     bool mem_arrived = false;
@@ -310,6 +311,7 @@ class System : public core::MemoryPort {
   // while the scheduler carries idempotent component wake-ups only.
   Scheduler sched_;
   bool tick_every_cycle_ = false;
+  bool ras_enabled_ = false;  ///< cfg_.fault_plan.enabled(), cached.
   bool in_events_drain_ = false;
   Hook events_hook_;
   Hook pump_hook_;

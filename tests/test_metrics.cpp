@@ -277,6 +277,26 @@ TEST(StatDiff, GlobRuleCoversFabricSubtreeWithOneLine) {
   EXPECT_EQ(diff_stats(a, b, opts).size(), 2u);
 }
 
+TEST(StatDiff, RasSubtreeGlobRules) {
+  // The CI fault-preset smoke pins the whole ras/* subtree exact with one
+  // glob while softer rules cover the rest of the document.
+  EXPECT_TRUE(glob_match("ras/*", "ras/crc_errors"));
+  EXPECT_TRUE(glob_match("ras/*", "ras/core/03/machine_checks"));
+  EXPECT_FALSE(glob_match("ras/*", "run/mem/reads"));
+  EXPECT_FALSE(glob_match("ras/*", "mem/ras_like/counter"));
+
+  const json::Flat a = flat(R"({"ras": {"crc_errors": 10, "replays": 9},
+                                "lat": {"avg": 10.0}})");
+  const json::Flat b = flat(R"({"ras": {"crc_errors": 11, "replays": 9},
+                                "lat": {"avg": 10.4}})");
+  DiffOptions opts;
+  opts.rules.push_back({"lat/", 0.1});
+  opts.rules.push_back({"ras/*", 0.0});  // Fault streams are deterministic.
+  const auto diffs = diff_stats(a, b, opts);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].path, "ras/crc_errors");
+}
+
 TEST(StatDiff, StructuralAndTypeDiffsAlwaysReported) {
   const json::Flat a = flat(R"({"only_a": 1, "both": 2})");
   const json::Flat b = flat(R"({"only_b": 1, "both": "two"})");
