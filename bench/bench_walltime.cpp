@@ -1,0 +1,174 @@
+// Host wall-clock benchmark and CI perf-regression gate.
+//
+// Times a pinned run set — the three golden-baseline requests plus one
+// larger 12-core COAXIAL-4x run — with warmup repeats, and reports the
+// median wall seconds per run. With COAXIAL_BENCH_BASELINE=<path> it
+// compares against a committed baseline (BENCH_5.json at the repo root) and
+// exits non-zero only on an egregious (>1.5x) regression; smaller drifts
+// warn, since shared CI hosts are noisy.
+//
+// The pinned set is part of the contract: changing it invalidates the
+// committed baseline (regenerate with COAXIAL_BENCH_OUT=BENCH_5.json).
+//
+// This file intentionally sticks to long-stable APIs (run_one, golden
+// requests, flat JSON parsing) so the identical source also compiles against
+// older checkouts — that is how before/after numbers for EXPERIMENTS.md are
+// produced without maintaining two harnesses. The profiler breakdown print
+// is gated on the header existing at all.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "obs/stats_json.hpp"
+#include "sim/runner.hpp"
+
+#if __has_include("obs/profiler.hpp")
+#include "obs/profiler.hpp"
+#define COAXIAL_BENCH_HAS_PROFILER 1
+#endif
+
+namespace {
+
+using coaxial::sim::RunRequest;
+
+struct Pinned {
+  std::string key;  ///< Stable metric key ("config.workload").
+  RunRequest request;
+};
+
+std::vector<Pinned> pinned_set() {
+  std::vector<Pinned> set;
+  for (const RunRequest& r : coaxial::sim::golden_requests()) {
+    set.push_back({r.config.name + "." + r.workloads.front(), r});
+  }
+  // The headline run: 12 cores on COAXIAL-4x at a real (if CI-sized)
+  // budget. This is the run the >=1.5x host-speedup target is defined on.
+  set.push_back({"COAXIAL-4x.lbm.12c",
+                 coaxial::sim::homogeneous(coaxial::sys::coaxial_4x(), "lbm",
+                                           coaxial::env_u64("COAXIAL_BENCH_WARMUP", 4000),
+                                           coaxial::env_u64("COAXIAL_BENCH_INSTR", 40000),
+                                           /*seed=*/7)});
+  return set;
+}
+
+double time_once(const RunRequest& r) {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)coaxial::sim::run_one(r);
+  const std::chrono::duration<double> d = std::chrono::steady_clock::now() - t0;
+  return d.count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+#ifdef COAXIAL_BENCH_HAS_PROFILER
+void print_profile(const coaxial::obs::prof::Totals& d) {
+  using namespace coaxial::obs::prof;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) total += d.ns[i];
+  std::printf("  %-16s %10s %12s %6s\n", "phase", "ms", "calls", "share");
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (d.calls[i] == 0) continue;
+    std::printf("  %-16s %10.2f %12llu %5.1f%%\n", phase_name(static_cast<Phase>(i)),
+                static_cast<double>(d.ns[i]) / 1e6,
+                static_cast<unsigned long long>(d.calls[i]),
+                total ? 100.0 * static_cast<double>(d.ns[i]) / static_cast<double>(total)
+                      : 0.0);
+  }
+}
+#endif
+
+}  // namespace
+
+int main() {
+  const int repeats =
+      static_cast<int>(coaxial::env_u64("COAXIAL_BENCH_REPEATS", 3));
+  const int warmup_reps =
+      static_cast<int>(coaxial::env_u64("COAXIAL_BENCH_WARMUP_REPS", 1));
+
+  std::printf("=== bench_walltime: pinned host wall-clock set ===\n");
+  std::printf("(repeats=%d after %d warmup; medians below)\n\n", repeats, warmup_reps);
+
+  // COAXIAL_BENCH_FILTER=<substring> restricts the run set — for quick
+  // A/B loops on one config. The gate skips absent keys, so a filtered run
+  // still compares cleanly against a full baseline.
+  const char* filter = std::getenv("COAXIAL_BENCH_FILTER");
+
+  std::vector<std::pair<std::string, double>> medians;
+  for (const Pinned& p : pinned_set()) {
+    if (filter && *filter && p.key.find(filter) == std::string::npos) continue;
+    for (int i = 0; i < warmup_reps; ++i) (void)time_once(p.request);
+#ifdef COAXIAL_BENCH_HAS_PROFILER
+    const coaxial::obs::prof::Totals prof_base = coaxial::obs::prof::thread_totals();
+#endif
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(repeats));
+    for (int i = 0; i < repeats; ++i) samples.push_back(time_once(p.request));
+    const double med = median(samples);
+    medians.emplace_back(p.key, med);
+    std::printf("%-28s %8.3f s\n", p.key.c_str(), med);
+#ifdef COAXIAL_BENCH_HAS_PROFILER
+    if (coaxial::obs::prof::enabled()) {
+      print_profile(coaxial::obs::prof::thread_totals().delta_since(prof_base));
+    }
+#endif
+  }
+
+  // Optional JSON emission (committed as BENCH_5.json at the repo root).
+  if (const char* out = std::getenv("COAXIAL_BENCH_OUT"); out != nullptr && *out) {
+    std::ofstream f(out);
+    f << "{\n  \"schema\": \"coaxial-bench-walltime-v1\",\n";
+    for (std::size_t i = 0; i < medians.size(); ++i) {
+      f << "  \"" << medians[i].first << "\": " << medians[i].second
+        << (i + 1 < medians.size() ? ",\n" : "\n");
+    }
+    f << "}\n";
+    std::printf("\n[json] %s\n", out);
+  }
+
+  // Optional regression gate against a committed baseline.
+  const char* baseline_path = std::getenv("COAXIAL_BENCH_BASELINE");
+  if (baseline_path == nullptr || *baseline_path == '\0') return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::printf("\n[gate] baseline %s unreadable; skipping comparison\n", baseline_path);
+    return 0;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const coaxial::obs::json::Flat base = coaxial::obs::json::parse_flat(ss.str());
+
+  const double fail_ratio = coaxial::env_double("COAXIAL_BENCH_FAIL_RATIO", 1.5);
+  const double warn_ratio = coaxial::env_double("COAXIAL_BENCH_WARN_RATIO", 1.15);
+  bool failed = false;
+  std::printf("\n[gate] vs %s (warn >%.2fx, fail >%.2fx)\n", baseline_path, warn_ratio,
+              fail_ratio);
+  for (const auto& [key, med] : medians) {
+    const auto it = base.find(key);
+    if (it == base.end()) {
+      std::printf("  %-28s no baseline entry (new run?)\n", key.c_str());
+      continue;
+    }
+    const double ref = it->second.num;
+    const double ratio = ref > 0 ? med / ref : 0.0;
+    const char* verdict = ratio > fail_ratio   ? "FAIL"
+                          : ratio > warn_ratio ? "WARN"
+                                               : "ok";
+    std::printf("  %-28s %8.3f s vs %8.3f s  (%.2fx)  %s\n", key.c_str(), med, ref,
+                ratio, verdict);
+    if (ratio > fail_ratio) failed = true;
+  }
+  if (failed) {
+    std::printf("[gate] egregious wall-clock regression detected\n");
+    return 1;
+  }
+  return 0;
+}

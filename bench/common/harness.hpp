@@ -52,7 +52,12 @@ struct MatrixResults {
   }
 };
 
-/// Run every workload on every configuration. Uses all host threads.
+/// Host worker-thread count shared by every bench: COAXIAL_THREADS
+/// overrides, 0 (the default) means all hardware threads.
+inline std::size_t bench_threads() { return coaxial_threads(); }
+
+/// Run every workload on every configuration. Uses all host threads unless
+/// COAXIAL_THREADS says otherwise.
 inline MatrixResults run_matrix(const std::vector<sys::SystemConfig>& configs,
                                 const std::vector<std::string>& workloads,
                                 std::uint64_t seed = 42) {
@@ -65,7 +70,7 @@ inline MatrixResults run_matrix(const std::vector<sys::SystemConfig>& configs,
     }
   }
   MatrixResults out;
-  out.runs = sim::run_many(requests);
+  out.runs = sim::run_many(requests, bench_threads());
   for (std::size_t i = 0; i < out.runs.size(); ++i) {
     out.index[{requests[i].config.name, requests[i].workloads.front()}] = i;
   }

@@ -2,7 +2,8 @@
 # CI entry point: configure, build, run the full test suite, verify the
 # golden stats document against the checked-in baseline with statdiff, run
 # the RAS fault-preset smoke (deterministic ras/* stats across two runs),
-# and smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
+# gate host wall-clock against the committed BENCH_5.json baseline, and
+# smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
 # golden + fabric + ras ctest labels.
 #
 # Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
@@ -45,6 +46,21 @@ grep -q '"ras"' "${RAS_SMOKE}/a/out/ras_ber_sweep.stats.json"
   "${RAS_SMOKE}/a/out/ras_ber_sweep.stats.json" \
   "${RAS_SMOKE}/b/out/ras_ber_sweep.stats.json"
 
+echo "=== perf layer tests ==="
+# Explicit pass over the host-performance label (profiler inertness,
+# ready-cache vs brute-force equivalence, thread-pool exception safety).
+# These also run in the full suite above; this line keeps the label wired.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L perf
+
+echo "=== host wall-clock gate (bench_walltime) ==="
+# Time the pinned run set at a reduced budget and compare against the
+# committed baseline. Shared CI hosts are noisy, so only an egregious
+# (>1.5x by default) median regression fails; smaller drifts print WARN.
+# Regenerate the baseline with: COAXIAL_BENCH_OUT=BENCH_5.json bench_walltime
+COAXIAL_BENCH_BASELINE=BENCH_5.json \
+COAXIAL_BENCH_REPEATS="${COAXIAL_BENCH_REPEATS:-3}" \
+  "${BUILD_DIR}/bench/bench_walltime"
+
 echo "=== sanitizer build (ASan+UBSan) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
@@ -52,6 +68,6 @@ cmake --build "${SAN_DIR}" -j "${JOBS}"
 # Invariant + golden + fabric + ras labels drive every layer (cores, caches,
 # DRAM, CXL, switched fabric, scheduler, fault injection) end to end under
 # the sanitizers without rerunning all 600+ tests.
-ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras"
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf"
 
 echo "=== CI OK ==="

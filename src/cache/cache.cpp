@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace coaxial::cache {
 
 namespace {
@@ -18,7 +20,10 @@ Cache::Cache(std::size_t size_bytes, std::uint32_t ways, ReplacementPolicy polic
   sets_ = static_cast<std::uint32_t>(size_bytes / (static_cast<std::size_t>(ways) * kLineBytes));
   if (!is_pow2(sets_)) throw std::invalid_argument("cache set count must be a power of two");
   set_mask_ = sets_ - 1;
-  array_.resize(static_cast<std::size_t>(sets_) * ways_);
+  const std::size_t n = static_cast<std::size_t>(sets_) * ways_;
+  tags_.assign(n, kInvalidTag);
+  repl_.assign(n, 0);
+  flags_.assign(n, 0);
   if (scope.valid()) {
     scope.expose_counter("hits", [this] { return stats_.hits; });
     scope.expose_counter("misses", [this] { return stats_.misses; });
@@ -33,39 +38,39 @@ std::size_t Cache::size_bytes() const {
   return static_cast<std::size_t>(sets_) * ways_ * kLineBytes;
 }
 
-Cache::Way* Cache::find(Addr line) {
-  Way* base = &array_[static_cast<std::size_t>(set_index(line)) * ways_];
+std::size_t Cache::find(Addr line) const {
+  // kInvalidTag never equals a real line index, so no separate valid check.
+  const std::size_t base = static_cast<std::size_t>(set_index(line)) * ways_;
+  const Addr* tags = &tags_[base];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == line) return &base[w];
+    if (tags[w] == line) return base + w;
+    if (tags[w] == kInvalidTag && !holes_possible_) return kNoWay;
   }
-  return nullptr;
+  return kNoWay;
 }
 
-const Cache::Way* Cache::find(Addr line) const {
-  return const_cast<Cache*>(this)->find(line);
-}
+bool Cache::probe(Addr line) const { return find(line) != kNoWay; }
 
-bool Cache::probe(Addr line) const { return find(line) != nullptr; }
-
-void Cache::touch(Way& way) {
+void Cache::touch(std::size_t idx) {
   switch (policy_) {
     case ReplacementPolicy::kLru:
-      way.repl.value = ++tick_;
+      repl_[idx] = ++tick_;
       break;
     case ReplacementPolicy::kSrrip:
-      way.repl.value = 0;  // Near-immediate re-reference on hit.
+      repl_[idx] = 0;  // Near-immediate re-reference on hit.
       break;
     case ReplacementPolicy::kRandom:
       break;
   }
 }
 
-Cache::Way* Cache::select_victim(Way* base) {
+std::size_t Cache::select_victim(std::size_t base) {
+  // Only called on a full set, so every way in [base, base + ways_) is valid.
   switch (policy_) {
     case ReplacementPolicy::kLru: {
-      Way* victim = base;
+      std::size_t victim = base;
       for (std::uint32_t w = 1; w < ways_; ++w) {
-        if (base[w].repl.value < victim->repl.value) victim = &base[w];
+        if (repl_[base + w] < repl_[victim]) victim = base + w;
       }
       return victim;
     }
@@ -73,19 +78,21 @@ Cache::Way* Cache::select_victim(Way* base) {
       // Find a distant-future line, aging the whole set until one appears.
       for (;;) {
         for (std::uint32_t w = 0; w < ways_; ++w) {
-          if (base[w].repl.value >= kSrripMax) return &base[w];
+          if (repl_[base + w] >= kSrripMax) return base + w;
         }
-        for (std::uint32_t w = 0; w < ways_; ++w) ++base[w].repl.value;
+        for (std::uint32_t w = 0; w < ways_; ++w) ++repl_[base + w];
       }
     case ReplacementPolicy::kRandom:
-      return &base[rng_.next_below(ways_)];
+      return base + rng_.next_below(ways_);
   }
   return base;
 }
 
 bool Cache::lookup(Addr line) {
-  if (Way* w = find(line)) {
-    touch(*w);
+  COAXIAL_PROF_SCOPE(kCacheAccess);
+  const std::size_t idx = find(line);
+  if (idx != kNoWay) {
+    touch(idx);
     ++stats_.hits;
     return true;
   }
@@ -94,10 +101,12 @@ bool Cache::lookup(Addr line) {
 }
 
 bool Cache::write(Addr line) {
+  COAXIAL_PROF_SCOPE(kCacheAccess);
   ++stats_.writes;
-  if (Way* w = find(line)) {
-    touch(*w);
-    w->dirty = true;
+  const std::size_t idx = find(line);
+  if (idx != kNoWay) {
+    touch(idx);
+    flags_[idx] |= kDirty;
     ++stats_.hits;
     return true;
   }
@@ -106,58 +115,73 @@ bool Cache::write(Addr line) {
 }
 
 std::optional<Eviction> Cache::fill(Addr line, bool dirty, bool poisoned) {
+  COAXIAL_PROF_SCOPE(kCacheAccess);
   ++stats_.fills;
-  if (Way* existing = find(line)) {
-    // Duplicate fill (e.g. CALM race where LLC and memory both return):
-    // refresh recency, merge dirtiness and poison, no eviction.
-    touch(*existing);
-    existing->dirty = existing->dirty || dirty;
-    existing->poisoned = existing->poisoned || poisoned;
-    return std::nullopt;
-  }
-  Way* base = &array_[static_cast<std::size_t>(set_index(line)) * ways_];
-  Way* victim = nullptr;
+  // One pass over the set resolves both the duplicate-fill check and the
+  // first-invalid-way search (the common case walks the ways once, not
+  // twice). Policy victim selection still runs only on a full set.
+  const std::size_t base = static_cast<std::size_t>(set_index(line)) * ways_;
+  const Addr* tags = &tags_[base];
+  std::size_t victim = kNoWay;
+  // For LRU the victim of a full set is the argmin recency stamp, which the
+  // duplicate scan can carry along for free (same order, same strict-<
+  // tie-break as select_victim) — a full-set LRU fill then walks the set
+  // once instead of twice. lru_victim is only meaningful when the set turns
+  // out to be full (every way valid), which is exactly when it gets used.
+  const bool lru = policy_ == ReplacementPolicy::kLru;
+  std::size_t lru_victim = base;
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
-      break;
+    if (tags[w] == line) {
+      // Duplicate fill (e.g. CALM race where LLC and memory both return):
+      // refresh recency, merge dirtiness and poison, no eviction.
+      touch(base + w);
+      flags_[base + w] |=
+          static_cast<std::uint8_t>((dirty ? kDirty : 0) | (poisoned ? kPoisoned : 0));
+      return std::nullopt;
+    }
+    if (tags[w] == kInvalidTag) {
+      if (victim == kNoWay) victim = base + w;
+      if (!holes_possible_) break;  // No valid way (so no duplicate) beyond.
+    } else if (lru && repl_[base + w] < repl_[lru_victim]) {
+      lru_victim = base + w;
     }
   }
-  if (victim == nullptr) victim = select_victim(base);
+  if (victim == kNoWay) victim = lru ? lru_victim : select_victim(base);
   std::optional<Eviction> evicted;
-  if (victim->valid) {
-    evicted = Eviction{victim->tag, victim->dirty};
+  if (tags_[victim] != kInvalidTag) {
+    evicted = Eviction{tags_[victim], (flags_[victim] & kDirty) != 0};
     ++stats_.evictions;
-    if (victim->dirty) ++stats_.dirty_evictions;
+    if (flags_[victim] & kDirty) ++stats_.dirty_evictions;
   }
-  victim->valid = true;
-  victim->tag = line;
-  victim->dirty = dirty;
-  victim->poisoned = poisoned;
-  victim->repl.value =
-      policy_ == ReplacementPolicy::kSrrip ? kSrripInsert : ++tick_;
+  tags_[victim] = line;
+  flags_[victim] =
+      static_cast<std::uint8_t>((dirty ? kDirty : 0) | (poisoned ? kPoisoned : 0));
+  repl_[victim] = policy_ == ReplacementPolicy::kSrrip ? kSrripInsert : ++tick_;
   return evicted;
 }
 
 bool Cache::poisoned(Addr line) const {
-  const Way* w = find(line);
-  return w != nullptr && w->poisoned;
+  const std::size_t idx = find(line);
+  return idx != kNoWay && (flags_[idx] & kPoisoned) != 0;
 }
 
 void Cache::clear_poison(Addr line) {
-  if (Way* w = find(line)) w->poisoned = false;
+  const std::size_t idx = find(line);
+  if (idx != kNoWay) flags_[idx] &= static_cast<std::uint8_t>(~kPoisoned);
 }
 
 void Cache::mark_dirty(Addr line) {
-  if (Way* w = find(line)) w->dirty = true;
+  const std::size_t idx = find(line);
+  if (idx != kNoWay) flags_[idx] |= kDirty;
 }
 
 std::optional<Eviction> Cache::invalidate(Addr line) {
-  if (Way* w = find(line)) {
-    Eviction ev{w->tag, w->dirty};
-    w->valid = false;
-    w->dirty = false;
-    w->poisoned = false;
+  const std::size_t idx = find(line);
+  if (idx != kNoWay) {
+    Eviction ev{tags_[idx], (flags_[idx] & kDirty) != 0};
+    tags_[idx] = kInvalidTag;
+    flags_[idx] = 0;
+    holes_possible_ = true;  // This set may now have a valid way past a hole.
     return ev;
   }
   return std::nullopt;

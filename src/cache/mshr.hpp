@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/profiler.hpp"
 
 namespace coaxial::cache {
 
@@ -27,6 +28,7 @@ class Mshr {
   /// Record a miss for `line`, attaching `waiter` (an opaque id the owner
   /// uses to resume whoever was blocked on this line).
   MshrOutcome on_miss(Addr line, std::uint64_t waiter) {
+    COAXIAL_PROF_SCOPE(kMshr);
     auto it = entries_.find(line);
     if (it != entries_.end()) {
       it->second.push_back(waiter);
@@ -47,6 +49,7 @@ class Mshr {
   /// Fill for `line`: pops the entry and returns all waiters (empty if the
   /// line was not outstanding, which callers treat as a stray fill).
   std::vector<std::uint64_t> on_fill(Addr line) {
+    COAXIAL_PROF_SCOPE(kMshr);
     auto it = entries_.find(line);
     if (it == entries_.end()) return {};
     std::vector<std::uint64_t> waiters = std::move(it->second);

@@ -54,6 +54,7 @@ DirectDdrMemory::DirectDdrMemory(std::uint32_t channels, const dram::Timing& tim
         timing, geometry, 64, 64, scope.sub("dram/ctrl" + obs::idx(i))));
   }
   ctrl_wake_.assign(n_sub, 0);
+  out_.reserve(64);
   if (scope.valid()) register_aggregates(scope, *this);
 }
 
@@ -151,6 +152,9 @@ CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels
   }
   sub_wake_.assign(n_sub, 0);
   fabric_tx_inflight_.assign(n_sub, 0);
+  out_.reserve(64);
+  inflight_.reserve(256);
+  free_slots_.reserve(256);
   if (scope.valid()) register_aggregates(scope, *this);
 }
 

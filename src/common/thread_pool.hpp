@@ -5,10 +5,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace coaxial {
@@ -44,10 +46,18 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (subsequent ones are
+  /// dropped); without this, an escaping exception would unwind the worker
+  /// thread and terminate the whole process.
   void wait_idle() {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    if (first_exception_) {
+      std::exception_ptr e = std::exchange(first_exception_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
   }
 
   std::size_t size() const { return workers_.size(); }
@@ -63,9 +73,15 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      task();
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (error && !first_exception_) first_exception_ = error;
         if (--outstanding_ == 0) idle_cv_.notify_all();
       }
     }
@@ -78,6 +94,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::size_t outstanding_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_exception_;  ///< First task failure; see wait_idle.
 };
 
 }  // namespace coaxial

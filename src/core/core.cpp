@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace coaxial::core {
 
 namespace {
@@ -28,6 +30,7 @@ Core::Core(std::uint32_t id, const sys::MicroarchConfig& cfg, workload::Generato
       rob_(cfg.rob_entries) {}
 
 void Core::tick(Cycle now, MemoryPort& port) {
+  COAXIAL_PROF_SCOPE(kCoreTick);
   // Cycles the scheduler skipped still accrue fetch credit. Replay the
   // per-cycle accumulation (rather than multiplying) because repeated FP
   // adds are order-dependent and the bucket must stay bit-identical to a
@@ -128,13 +131,26 @@ void Core::replay(Cycle now, MemoryPort& port) {
   }
 }
 
+const workload::Instr& Core::next_instr() {
+  if (instr_buf_pos_ == instr_buf_len_) {
+    COAXIAL_PROF_SCOPE(kWorkloadGen);
+    instr_buf_len_ = source_->next_batch(instr_buf_, kInstrBufCap);
+    instr_buf_pos_ = 0;
+    if (instr_buf_len_ == 0) {  // Defensive: sources are infinite today.
+      instr_buf_[0] = workload::Instr{};
+      instr_buf_len_ = 1;
+    }
+  }
+  return instr_buf_[instr_buf_pos_++];
+}
+
 void Core::fetch(Cycle now, MemoryPort& port) {
   fetch_credit_ = std::min(fetch_credit_ + max_ipc_,
                            static_cast<double>(cfg_.fetch_width) * 2.0);
   std::uint32_t fetched = 0;
   while (fetched < cfg_.fetch_width && fetch_credit_ >= 1.0 && !rob_full() &&
          pending_.size() < kPendingBound) {
-    const workload::Instr ins = source_->next();
+    const workload::Instr& ins = next_instr();
     const std::uint32_t slot = rob_tail_;
     rob_tail_ = (rob_tail_ + 1) % cfg_.rob_entries;
     ++rob_count_;

@@ -119,6 +119,7 @@ class Core {
   void replay(Cycle now, MemoryPort& port);
   void fetch(Cycle now, MemoryPort& port);
   bool dep_satisfied(const PendingIssue& p, Cycle now) const;
+  const workload::Instr& next_instr();
 
   std::uint32_t id_;
   sys::MicroarchConfig cfg_;
@@ -136,6 +137,15 @@ class Core {
   std::uint32_t store_buffer_used_ = 0;
   std::uint32_t last_load_slot_ = kNoSlot;
   std::uint64_t last_load_seq_ = 0;
+
+  /// Fetch-side instruction buffer: instructions are pulled from the source
+  /// in chunks (one virtual call per chunk rather than per instruction).
+  /// The consumed sequence is identical to per-instruction next() calls;
+  /// the source merely runs ahead of the core by up to a chunk.
+  static constexpr std::size_t kInstrBufCap = 64;
+  workload::Instr instr_buf_[kInstrBufCap];
+  std::size_t instr_buf_pos_ = 0;
+  std::size_t instr_buf_len_ = 0;
 
   double fetch_credit_ = 0.0;  ///< Token bucket enforcing the IPC ceiling.
   Cycle last_tick_ = 0;        ///< For credit catch-up over skipped cycles.

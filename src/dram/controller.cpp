@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/env.hpp"
+#include "obs/profiler.hpp"
+
 namespace coaxial::dram {
 
 namespace {
@@ -19,6 +22,7 @@ Controller::Controller(const Timing& timing, const Geometry& geometry,
       write_depth_(write_queue_depth),
       banks_(geometry.total_banks()),
       bank_last_use_(geometry.total_banks(), 0),
+      idle_eligible_(geometry.total_banks(), kNoCycle),
       next_act_rank_(geometry.ranks, 0),
       next_act_group_(static_cast<std::size_t>(geometry.ranks) * geometry.bank_groups, 0),
       next_cas_rank_(geometry.ranks, 0),
@@ -30,6 +34,10 @@ Controller::Controller(const Timing& timing, const Geometry& geometry,
   read_q_.reserve(read_depth_);
   write_q_.reserve(write_depth_);
   completions_.reserve(16);
+  // Escape hatch / A-B switch: COAXIAL_NO_READY_CACHE=1 forces the brute
+  // rescan every tick. Results must be identical either way (the cache only
+  // skips provably fruitless scans); see test_perf_invariants.
+  ready_cache_enabled_ = !env_flag("COAXIAL_NO_READY_CACHE");
   if (scope.valid()) {
     scope.expose_counter("reads_done", [this] { return stats_.reads_done; });
     scope.expose_counter("writes_done", [this] { return stats_.writes_done; });
@@ -65,27 +73,50 @@ bool Controller::enqueue(Addr local_line, bool is_write, Cycle now, std::uint64_
   if (!can_accept(is_write)) return false;
   if (!is_write) {
     // Write-to-read forwarding: a read that hits a queued write is served
-    // from the controller's write buffer without touching DRAM.
-    for (const Request& w : write_q_) {
-      if (w.local_line == local_line) {
-        completions_.push_back({token, now + 1, 1, 0});
-        ++stats_.reads_forwarded;
-        read_hist_.add(1);
-        return true;
-      }
+    // from the controller's write buffer without touching DRAM. The line
+    // index makes the check O(1) instead of a write-queue scan.
+    auto it = write_lines_.find(local_line);
+    if (it != write_lines_.end() && it->second > 0) {
+      completions_.push_back({token, now + 1, 1, 0});
+      ++stats_.reads_forwarded;
+      read_hist_.add(1);
+      return true;
     }
   }
   Request req;
   req.coord = amap_.map(local_line);
+  req.flat_bank = req.coord.flat_bank_all(amap_.geometry());
+  req.rg = req.coord.rank * amap_.geometry().bank_groups + req.coord.bank_group;
   req.arrival = now;
   req.token = token;
   req.local_line = local_line;
   (is_write ? write_q_ : read_q_).push_back(req);
+  if (is_write) ++write_lines_[local_line];
+  // A new candidate entered the queue window: the cached next-ready cycle
+  // for that queue no longer bounds it, and neither does the whole-tick
+  // wake bound (drain-mode watermarks also depend on queue depth).
+  queue_ready_[is_write ? 1 : 0] = 0;
+  wake_cache_ = 0;
   return true;
 }
 
 Cycle Controller::tick(Cycle now) {
-  if (now >= next_refresh_) refresh_pending_ = true;
+  // Whole-tick fast path (see wake_cache_ in the header): before the cached
+  // bound, a full tick issues nothing, mutates nothing, and returns this
+  // same bound — so skip it entirely. Checked before the profiler scope:
+  // a few-ns early return is not worth attributing.
+  if (ready_cache_enabled_ && wake_cache_ != 0 && now < wake_cache_) {
+    return wake_cache_;
+  }
+  COAXIAL_PROF_SCOPE(kDramTick);
+  if (now >= next_refresh_ && !refresh_pending_) {
+    // Arming refresh changes which candidates a scan may consider (ACTs are
+    // suppressed), so cached per-queue bounds from before the transition
+    // no longer mirror a fresh scan. Drop them to keep cached and brute-
+    // force wake bounds bit-identical.
+    refresh_pending_ = true;
+    note_command();
+  }
   if (refresh_pending_) {
     if (try_refresh(now)) return now + 1;
     // While waiting to close banks for refresh we still allow CAS commands
@@ -123,14 +154,15 @@ Cycle Controller::tick(Cycle now) {
   return compute_wake(now);
 }
 
-Cycle Controller::cas_ready_cycle(const Request& req, bool is_write, Cycle now) const {
+Cycle Controller::cas_earliest(const Request& req, bool is_write) const {
   const Geometry& g = amap_.geometry();
-  const Bank& b = banks_[req.coord.flat_bank_all(g)];
-  Cycle t = std::max(now + 1, is_write ? b.next_wr : b.next_rd);
+  const Bank& b = banks_[req.flat_bank];
+  Cycle t = is_write ? b.next_wr : b.next_rd;
   t = std::max(t, next_cas_rank_[req.coord.rank]);
-  const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
-                         req.coord.bank_group;
+  const std::size_t rg = req.rg;
   t = std::max(t, next_cas_group_[rg]);
+  // Rank-to-rank bus turnaround (tCS): switching ranks mid-stream stalls
+  // the shared data bus briefly — the 2DPC bandwidth cost.
   if (g.ranks > 1 && req.coord.rank != last_cas_rank_) {
     t = std::max(t, last_cas_end_ + timing_.cs);
   }
@@ -142,15 +174,14 @@ Cycle Controller::cas_ready_cycle(const Request& req, bool is_write, Cycle now) 
   return t;
 }
 
-Cycle Controller::prep_ready_cycle(const Request& req, Cycle now) const {
-  const Geometry& g = amap_.geometry();
-  const Bank& b = banks_[req.coord.flat_bank_all(g)];
-  if (b.open && b.row != req.coord.row) return std::max(now + 1, b.next_pre);
+Cycle Controller::prep_earliest(const Request& req) const {
+  const Bank& b = banks_[req.flat_bank];
+  if (b.open && b.row != req.coord.row) return b.next_pre;
   if (!b.open) {
-    const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
-                           req.coord.bank_group;
-    Cycle t = std::max(now + 1, b.next_act);
-    t = std::max(t, std::max(next_act_rank_[req.coord.rank], next_act_group_[rg]));
+    const std::size_t rg = req.rg;
+    Cycle t = std::max(b.next_act, next_act_rank_[req.coord.rank]);
+    t = std::max(t, next_act_group_[rg]);
+    // tFAW: at most four ACTs per rank in any window (slot 0 = "never used").
     const FawWindow& faw = faw_[req.coord.rank];
     if (faw.acts[faw.pos] != 0) t = std::max(t, faw.acts[faw.pos] + timing_.faw);
     return t;
@@ -180,28 +211,49 @@ Cycle Controller::compute_wake(Cycle now) const {
     wake = std::min(wake, std::max(now + 1, next_refresh_));
   }
   const auto queue_candidates = [&](const std::vector<Request>& q, bool is_write) {
+    // A still-valid cached bound is exact, not just conservative: it was a
+    // min over frozen candidate timestamps, none of which were floored (a
+    // floored candidate would have expired the cache), and refresh_pending_
+    // cannot have changed inside a validity window (the transition clears
+    // the cache). So reuse it instead of rescanning the window.
+    const std::size_t qi = is_write ? 1 : 0;
+    if (ready_cache_enabled_ && queue_ready_[qi] != 0 && now < queue_ready_[qi]) {
+      wake = std::min(wake, queue_ready_[qi]);
+      return;
+    }
     const std::size_t window = std::min(q.size(), kScanWindow);
+    Cycle q_ready = kNoCycle;
     for (std::size_t i = 0; i < window; ++i) {
       const Request& req = q[i];
-      const Bank& b = banks_[req.coord.flat_bank_all(amap_.geometry())];
+      const Bank& b = banks_[req.flat_bank];
       if (b.row_hit(req.coord.row)) {
-        wake = std::min(wake, cas_ready_cycle(req, is_write, now));
+        q_ready = std::min(q_ready, std::max(now + 1, cas_earliest(req, is_write)));
       } else if (!refresh_pending_) {
-        wake = std::min(wake, prep_ready_cycle(req, now));
+        const Cycle t = prep_earliest(req);
+        if (t != kNoCycle) q_ready = std::min(q_ready, std::max(now + 1, t));
       }
     }
+    // Cache the per-queue bound: until q_ready (and absent any command or
+    // enqueue, which clear it) a scan of this queue cannot issue anything.
+    queue_ready_[is_write ? 1 : 0] = q_ready;
+    wake = std::min(wake, q_ready);
   };
   queue_candidates(read_q_, /*is_write=*/false);
   queue_candidates(write_q_, /*is_write=*/true);
   if (timing_.idle_precharge != 0 && open_banks_ > 0) {
-    for (std::uint32_t i = 0; i < banks_.size(); ++i) {
-      const Bank& b = banks_[i];
-      if (!b.open) continue;
-      const Cycle eligible =
-          std::max(b.next_pre, bank_last_use_[i] + timing_.idle_precharge);
-      wake = std::min(wake, std::max(now + 1, eligible));
+    if (ready_cache_enabled_ && idle_ready_ != 0) {
+      // Still-valid eligibility bound (bank state unchanged since it was
+      // computed); kNoCycle means "no open bank can become eligible" and
+      // the min is then a no-op.
+      wake = std::min(wake, std::max(now + 1, idle_ready_));
+    } else {
+      Cycle raw_min = kNoCycle;
+      for (const Cycle eligible : idle_eligible_) raw_min = std::min(raw_min, eligible);
+      idle_ready_ = raw_min;
+      if (raw_min != kNoCycle) wake = std::min(wake, std::max(now + 1, raw_min));
     }
   }
+  wake_cache_ = wake;
   return wake;
 }
 
@@ -211,17 +263,34 @@ void Controller::idle_precharge(Cycle now) {
   // PRE+ACT+CAS (the paper's ~40 ns unloaded latency). Disabled when
   // timing_.idle_precharge is 0.
   if (timing_.idle_precharge == 0) return;
-  for (std::uint32_t i = 0; i < banks_.size(); ++i) {
-    Bank& b = banks_[i];
-    if (b.open && now >= b.next_pre && now - bank_last_use_[i] >= timing_.idle_precharge) {
+  if (open_banks_ == 0) return;
+  // A still-valid eligibility bound (no command has touched bank state since
+  // it was computed) in the future proves this scan would close nothing.
+  if (ready_cache_enabled_ && idle_ready_ != 0 && now < idle_ready_) return;
+  // Closed banks sit at kNoCycle in idle_eligible_, so one contiguous pass
+  // replaces the open-bank walk over scattered Bank structs; iteration order
+  // (and hence which eligible bank closes first) is unchanged.
+  Cycle raw_min = kNoCycle;
+  const std::size_t n = idle_eligible_.size();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Cycle eligible = idle_eligible_[i];
+    if (eligible <= now) {
+      Bank& b = banks_[i];
       b.open = false;
       --open_banks_;
+      idle_eligible_[i] = kNoCycle;
       b.next_act = std::max(b.next_act, now + timing_.rp);
       ++stats_.precharges;
       checker_.on_pre(i, now);
+      note_command();
       return;  // One command per cycle.
     }
+    raw_min = std::min(raw_min, eligible);
   }
+  // Failed scan: every open bank's eligibility is a frozen future timestamp,
+  // so the accumulated min doubles as the cache compute_wake reuses — the
+  // idle scan runs once per tick instead of twice.
+  idle_ready_ = raw_min;
 }
 
 bool Controller::try_refresh(Cycle now) {
@@ -235,9 +304,11 @@ bool Controller::try_refresh(Cycle now) {
     if (now >= b.next_pre) {
       b.open = false;
       --open_banks_;
+      idle_eligible_[i] = kNoCycle;
       b.next_act = std::max(b.next_act, now + timing_.rp);
       ++stats_.precharges;
       checker_.on_pre(i, now);
+      note_command();
       return true;  // One command per cycle.
     }
   }
@@ -252,36 +323,14 @@ bool Controller::try_refresh(Cycle now) {
   checker_.on_refresh(now, next_refresh_);
   next_refresh_ += timing_.refi;
   refresh_pending_ = false;
-  return true;
-}
-
-bool Controller::cas_ready(const Request& req, bool is_write, Cycle now) const {
-  const Geometry& g = amap_.geometry();
-  const Bank& b = banks_[req.coord.flat_bank_all(g)];
-  if (!b.row_hit(req.coord.row)) return false;
-  if (now < (is_write ? b.next_wr : b.next_rd)) return false;
-  if (now < next_cas_rank_[req.coord.rank]) return false;
-  const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
-                         req.coord.bank_group;
-  if (now < next_cas_group_[rg]) return false;
-  // Rank-to-rank bus turnaround (tCS): switching ranks mid-stream stalls
-  // the shared data bus briefly — the 2DPC bandwidth cost.
-  if (g.ranks > 1 && req.coord.rank != last_cas_rank_ && now < last_cas_end_ + timing_.cs) {
-    return false;
-  }
-  if (is_write) {
-    if (now < next_wr_bus_) return false;
-  } else {
-    if (now < next_rd_bus_) return false;
-    if (now < next_rd_after_wr_group_[rg]) return false;
-  }
+  note_command();
   return true;
 }
 
 void Controller::issue_cas(Request& req, bool is_write, Cycle now) {
   const Geometry& g = amap_.geometry();
-  Bank& b = banks_[req.coord.flat_bank_all(g)];
-  bank_last_use_[req.coord.flat_bank_all(g)] = now;
+  Bank& b = banks_[req.flat_bank];
+  bank_last_use_[req.flat_bank] = now;
   checker_.on_cas(req.coord, is_write, now);
 
   // Row-locality classification at service time: a request that needed no
@@ -298,8 +347,7 @@ void Controller::issue_cas(Request& req, bool is_write, Cycle now) {
   }
 
   next_cas_rank_[req.coord.rank] = now + timing_.ccd_s;
-  const std::size_t rg0 = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
-                          req.coord.bank_group;
+  const std::size_t rg0 = req.rg;
   next_cas_group_[rg0] = now + timing_.ccd_l;
   stats_.data_bus_busy_cycles += timing_.bl;
   last_cas_end_ = now + timing_.bl;
@@ -308,6 +356,7 @@ void Controller::issue_cas(Request& req, bool is_write, Cycle now) {
   if (is_write) {
     const Cycle data_end = now + timing_.cwl + timing_.bl;
     b.next_pre = std::max(b.next_pre, data_end + timing_.wr);
+    idle_eligible_[req.flat_bank] = std::max(b.next_pre, now + timing_.idle_precharge);
     // tWTR starts at the end of write data (within the written rank).
     for (std::uint32_t grp = 0; grp < g.bank_groups; ++grp) {
       const Cycle wtr = (grp == req.coord.bank_group) ? timing_.wtr_l : timing_.wtr_s;
@@ -318,6 +367,7 @@ void Controller::issue_cas(Request& req, bool is_write, Cycle now) {
     ++stats_.writes_done;
   } else {
     b.next_pre = std::max(b.next_pre, now + timing_.rtp);
+    idle_eligible_[req.flat_bank] = std::max(b.next_pre, now + timing_.idle_precharge);
     next_wr_bus_ = std::max(next_wr_bus_, now + timing_.rtw);
     const Cycle done = now + timing_.cl + timing_.bl;
     const Cycle total = done - req.arrival;
@@ -330,74 +380,116 @@ void Controller::issue_cas(Request& req, bool is_write, Cycle now) {
   }
 }
 
-bool Controller::try_prep(Request& req, Cycle now) {
-  if (refresh_pending_) return false;  // Don't open new rows ahead of refresh.
-  const Geometry& g = amap_.geometry();
-  Bank& b = banks_[req.coord.flat_bank_all(g)];
+void Controller::commit_prep(Request& req, Cycle now) {
+  // Caller established legality via prep_earliest(req) <= now (and no
+  // pending refresh); this is the mutating tail only.
+  Bank& b = banks_[req.flat_bank];
 
-  if (b.open && b.row != req.coord.row) {
-    if (now < b.next_pre) return false;
+  if (b.open) {  // Wrong row (right-row banks never reach commit_prep).
     b.open = false;
     --open_banks_;
+    idle_eligible_[req.flat_bank] = kNoCycle;
     b.next_act = std::max(b.next_act, now + timing_.rp);
     ++stats_.precharges;
-    checker_.on_pre(req.coord.flat_bank_all(g), now);
+    checker_.on_pre(req.flat_bank, now);
     req.needed_pre = true;
-    return true;
+    return;
   }
-  if (!b.open) {
-    const std::size_t rg = static_cast<std::size_t>(req.coord.rank) * g.bank_groups +
-                           req.coord.bank_group;
-    if (now < b.next_act || now < next_act_rank_[req.coord.rank] ||
-        now < next_act_group_[rg]) {
-      return false;
-    }
-    // tFAW: at most four ACTs per rank in any window (slot 0 = "never used").
-    FawWindow& faw = faw_[req.coord.rank];
-    if (faw.acts[faw.pos] != 0 && now < faw.acts[faw.pos] + timing_.faw) {
-      return false;
-    }
-    faw.acts[faw.pos] = now;
-    faw.pos = (faw.pos + 1) % 4;
+  const std::size_t rg = req.rg;
+  FawWindow& faw = faw_[req.coord.rank];
+  faw.acts[faw.pos] = now;
+  faw.pos = (faw.pos + 1) % 4;
 
-    b.open = true;
-    ++open_banks_;
-    b.row = req.coord.row;
-    b.next_rd = now + timing_.rcd;
-    b.next_wr = now + timing_.rcd;
-    b.next_pre = std::max(b.next_pre, now + timing_.ras);
-    b.next_act = now + timing_.rc();
-    next_act_rank_[req.coord.rank] = now + timing_.rrd_s;
-    next_act_group_[rg] = now + timing_.rrd_l;
-    ++stats_.activates;
-    checker_.on_act(req.coord, now);
-    req.needed_act = true;
-    return true;
-  }
-  return false;  // Bank already open on the right row; CAS timing pending.
+  b.open = true;
+  ++open_banks_;
+  b.row = req.coord.row;
+  b.next_rd = now + timing_.rcd;
+  b.next_wr = now + timing_.rcd;
+  b.next_pre = std::max(b.next_pre, now + timing_.ras);
+  idle_eligible_[req.flat_bank] =
+      std::max(b.next_pre, bank_last_use_[req.flat_bank] + timing_.idle_precharge);
+  b.next_act = now + timing_.rc();
+  next_act_rank_[req.coord.rank] = now + timing_.rrd_s;
+  next_act_group_[rg] = now + timing_.rrd_l;
+  ++stats_.activates;
+  checker_.on_act(req.coord, now);
+  req.needed_act = true;
 }
 
 bool Controller::try_issue(std::vector<Request>& queue, bool is_write, Cycle now) {
-  if (queue.empty()) return false;
+  if (queue.empty()) {
+    // Mirror what a scan of the empty window would conclude, so
+    // compute_wake's cached reuse sees the same bound a cold scan stores.
+    queue_ready_[is_write ? 1 : 0] = kNoCycle;
+    return false;
+  }
+  // Fast path: a prior failed scan proved nothing in this queue's window can
+  // issue before queue_ready_; any invalidating event (command issued,
+  // request enqueued) cleared the cache, so a live bound lets us skip the
+  // rescan without changing any decision.
+  const std::size_t qi = is_write ? 1 : 0;
+  if (ready_cache_enabled_ && queue_ready_[qi] != 0 && now < queue_ready_[qi]) {
+    return false;
+  }
+  COAXIAL_PROF_SCOPE(kDramTryIssue);
   const std::size_t window = std::min(queue.size(), kScanWindow);
+  // The scan accumulates the queue's earliest-possible next command as it
+  // decides; a failed scan therefore leaves a fresh per-queue bound behind
+  // for free, and compute_wake never has to rescan the window.
+  Cycle q_ready = kNoCycle;
 
-  // Pass 1 (FR): oldest row-hit whose CAS can issue right now.
-  for (std::size_t i = 0; i < window; ++i) {
-    if (cas_ready(queue[i], is_write, now)) {
-      Request req = queue[i];
-      issue_cas(req, is_write, now);
-      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
-      return true;
+  // Pass 1 (FR): oldest row-hit whose CAS can issue right now. A CAS needs
+  // an open row, so with every bank closed the scan cannot find one. The
+  // per-candidate row-hit verdicts are carried into pass 2 as a bitmask
+  // (window <= 16, and no command lands between the passes, so bank state —
+  // and with it every verdict — is frozen): pass 2 then skips its own bank
+  // loads. Zero-initialised, the mask is also right when pass 1 is skipped
+  // outright: no open bank means no row hit anywhere.
+  std::uint32_t hit_mask = 0;
+  static_assert(kScanWindow <= 32, "row-hit mask is a uint32_t");
+  if (open_banks_ > 0) {
+    for (std::size_t i = 0; i < window; ++i) {
+      const Request& cand = queue[i];
+      if (!banks_[cand.flat_bank].row_hit(cand.coord.row)) {
+        continue;
+      }
+      hit_mask |= 1u << i;
+      const Cycle t = cas_earliest(cand, is_write);
+      if (t <= now) {
+        Request req = cand;
+        issue_cas(req, is_write, now);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        if (is_write) {
+          auto it = write_lines_.find(req.local_line);
+          if (it != write_lines_.end() && --it->second == 0) write_lines_.erase(it);
+        }
+        note_command();
+        return true;
+      }
+      q_ready = std::min(q_ready, t);
     }
   }
 
-  // Pass 2 (FCFS): oldest request that needs a preparatory ACT/PRE.
-  for (std::size_t i = 0; i < window; ++i) {
-    Request& req = queue[i];
-    const Bank& b = banks_[req.coord.flat_bank_all(amap_.geometry())];
-    if (b.row_hit(req.coord.row)) continue;  // Just waiting on CAS timing.
-    if (try_prep(req, now)) return true;
+  // Pass 2 (FCFS): oldest request that needs a preparatory ACT/PRE. ACTs
+  // and PREs for new rows are suppressed while a refresh is pending, and
+  // (mirroring that) pending refresh also drops their wake candidates.
+  // With a refresh pending the loop body is all `continue`s (prep wake
+  // candidates are dropped too, mirroring the suppressed commands).
+  if (!refresh_pending_) {
+    for (std::size_t i = 0; i < window; ++i) {
+      Request& req = queue[i];
+      if (hit_mask & (1u << i)) continue;  // Just waiting on CAS timing.
+      const Cycle t = prep_earliest(req);
+      if (t <= now) {
+        commit_prep(req, now);
+        note_command();
+        return true;
+      }
+      q_ready = std::min(q_ready, t);
+    }
   }
+
+  queue_ready_[qi] = q_ready;
   return false;
 }
 

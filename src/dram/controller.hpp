@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -96,12 +97,25 @@ class Controller {
 
   const Timing& timing() const { return timing_; }
 
+  /// Test hook: disable the per-queue next-ready cache so invariant tests
+  /// can compare the cached fast path against the brute-force rescan. The
+  /// cache is a pure scan-skipping device; scheduling decisions must be
+  /// identical either way.
+  void set_ready_cache(bool on) {
+    ready_cache_enabled_ = on;
+    queue_ready_[0] = queue_ready_[1] = 0;
+    wake_cache_ = 0;
+    idle_ready_ = 0;
+  }
+
  private:
   struct Request {
     Coord coord;
     Cycle arrival = 0;
     std::uint64_t token = 0;
     Addr local_line = 0;
+    std::uint32_t flat_bank = 0;  ///< coord.flat_bank_all(), cached at enqueue.
+    std::uint32_t rg = 0;         ///< rank * bank_groups + bank_group, ditto.
     bool needed_act = false;  ///< An ACT was issued on this request's behalf.
     bool needed_pre = false;  ///< A PRE was issued on this request's behalf.
   };
@@ -109,17 +123,22 @@ class Controller {
   // Scheduling helpers. Each returns true if a command was issued.
   bool try_refresh(Cycle now);
   bool try_issue(std::vector<Request>& queue, bool is_write, Cycle now);
-  bool cas_ready(const Request& req, bool is_write, Cycle now) const;
   void issue_cas(Request& req, bool is_write, Cycle now);
-  bool try_prep(Request& req, Cycle now);
+  void commit_prep(Request& req, Cycle now);
   void idle_precharge(Cycle now);
 
-  // Wake-cycle lower bounds for the event-driven loop: when could the
-  // command that tick() just declined become issueable? Mirrors of
-  // cas_ready / try_prep over the same frozen constraint timestamps.
+  // Earliest legal cycles for a candidate's next command, as a raw max over
+  // frozen constraint timestamps (no now+1 floor). One computation serves
+  // both the issue decision (earliest <= now) and, on a failed scan, the
+  // wake bound (earliest > now, so the floor would be a no-op anyway) —
+  // keeping the two paths bit-identical by construction instead of by
+  // maintaining hand-written bool/cycle mirrors.
+  Cycle cas_earliest(const Request& req, bool is_write) const;
+  Cycle prep_earliest(const Request& req) const;
+
+  // Wake-cycle lower bound for the event-driven loop: when could the
+  // command that tick() just declined become issueable?
   Cycle compute_wake(Cycle now) const;
-  Cycle cas_ready_cycle(const Request& req, bool is_write, Cycle now) const;
-  Cycle prep_ready_cycle(const Request& req, Cycle now) const;
 
   Timing timing_;
   AddressMap amap_;
@@ -128,6 +147,13 @@ class Controller {
 
   std::vector<Bank> banks_;
   std::vector<Cycle> bank_last_use_;  ///< For idle-bank precharge.
+  // Exact per-bank idle-precharge eligibility, mirrored incrementally:
+  // max(next_pre, last_use + tIdle) while the bank is open, kNoCycle when
+  // closed. Updated at the only sites that move a bank's open/next_pre/
+  // last_use state (CAS, PRE, ACT, refresh), it turns the idle-precharge
+  // scans from a walk over scattered Bank structs into a contiguous min
+  // scan. Not a cache: always exact, so both ready-cache modes share it.
+  std::vector<Cycle> idle_eligible_;
   std::vector<Request> read_q_;
   std::vector<Request> write_q_;
   std::vector<Completion> completions_;
@@ -150,6 +176,39 @@ class Controller {
   std::uint32_t last_cas_rank_ = 0;
 
   std::uint32_t open_banks_ = 0;  ///< Fast gate for idle-precharge scans.
+
+  // Per-queue next-ready cache ([0]=read, [1]=write). When a tick's scan of
+  // a queue issues nothing, compute_wake records the earliest cycle any
+  // window candidate could become issueable; until then — and as long as no
+  // command issues and nothing is enqueued (every such event clears the
+  // cache via note_command/enqueue) — try_issue skips its O(window) rescan.
+  // 0 means "unknown, must scan". Scheduling decisions are unchanged: the
+  // cache only elides scans that provably cannot issue.
+  mutable Cycle queue_ready_[2] = {0, 0};
+  // Whole-tick wake cache: compute_wake's result is a min over *every*
+  // action the next tick could take (CAS/ACT/PRE candidates in both scan
+  // windows, refresh arming and progress, idle-bank precharge), each a
+  // frozen timestamp. While now < wake_cache_ and no command has issued and
+  // nothing was enqueued, the full tick body is provably a no-op and would
+  // return exactly this bound again (every candidate is a genuine future
+  // timestamp, unaffected by the now+1 floor), so tick() returns it
+  // directly. 0 means "invalid, run the full tick".
+  mutable Cycle wake_cache_ = 0;
+  // Earliest cycle any open bank becomes idle-precharge eligible (raw min
+  // over frozen per-bank state), or kNoCycle when no bank can. Valid until
+  // a command changes bank state; enqueues don't affect it. Lets
+  // idle_precharge() skip its all-banks scan.
+  mutable Cycle idle_ready_ = 0;
+  bool ready_cache_enabled_ = true;
+  void note_command() {
+    queue_ready_[0] = queue_ready_[1] = 0;
+    wake_cache_ = 0;
+    idle_ready_ = 0;
+  }
+
+  /// Lines with a queued write, for O(1) write-to-read forwarding checks
+  /// (count, since the queue may briefly hold two writes to one line).
+  std::unordered_map<Addr, std::uint32_t> write_lines_;
 
   // Refresh state.
   Cycle next_refresh_ = 0;

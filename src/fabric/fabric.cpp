@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/profiler.hpp"
+
 namespace coaxial::fabric {
 
 Fabric::Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
@@ -148,6 +150,7 @@ Cycle Fabric::rx_credit_cycle(std::uint32_t dev, Cycle now) const {
 
 Cycle Fabric::tick(Cycle now) {
   if (direct()) return kNoCycle;
+  COAXIAL_PROF_SCOPE(kFabricArb);
   Cycle wake = kNoCycle;
   const bool tree = cfg_.kind == TopologyKind::kTree;
 

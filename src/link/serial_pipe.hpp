@@ -28,6 +28,7 @@
 
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "ras/fault_injector.hpp"
 
 namespace coaxial::link {
@@ -79,6 +80,7 @@ class SerialPipe {
   /// Send a message. Returns the cycle it is delivered at the far side and
   /// whether it arrives poisoned (replay budget exhausted).
   SendResult send(std::uint32_t bytes, Cycle now) {
+    COAXIAL_PROF_SCOPE(kLinkSerialize);
     // Flit-credit conservation: admission requires a free credit, i.e. the
     // accumulated backlog must be under the bound at send time. A violation
     // means a caller bypassed can_send().

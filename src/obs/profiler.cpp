@@ -1,0 +1,56 @@
+#include "obs/profiler.hpp"
+
+#include <atomic>
+
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
+
+namespace coaxial::obs::prof {
+
+namespace {
+
+// -1 = uninitialized (read COAXIAL_PROF on first query), 0/1 = forced.
+std::atomic<int> g_enabled{-1};
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "core_tick",      "workload_gen", "cache_access", "mshr",
+    "dram_tick",      "dram_try_issue", "link_serialize", "fabric_arb",
+    "mem_pump",       "event_drain",  "sched_dispatch",
+};
+
+}  // namespace
+
+const char* phase_name(Phase p) { return kPhaseNames[static_cast<std::size_t>(p)]; }
+
+bool enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = env_flag("COAXIAL_PROF") ? 1 : 0;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_enabled(bool on) { g_enabled.store(on ? 1 : 0, std::memory_order_relaxed); }
+
+namespace detail {
+
+ThreadState& tls() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace detail
+
+void reset_thread_totals() { detail::tls() = detail::ThreadState{}; }
+
+void publish(const Scope& scope, const Totals& delta) {
+  if (!scope.valid()) return;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Scope ph = scope.sub(kPhaseNames[i]);
+    ph.counter("ns")->set(delta.ns[i]);
+    ph.counter("calls")->set(delta.calls[i]);
+  }
+}
+
+}  // namespace coaxial::obs::prof

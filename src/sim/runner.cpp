@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/thread_pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stats_json.hpp"
 
 namespace coaxial::sim {
@@ -27,18 +29,32 @@ RunResult run_one(const RunRequest& request) {
   if (request.workloads.empty()) {
     throw std::invalid_argument("RunRequest needs at least one workload name");
   }
+  // Catalog lookups are string-keyed; resolve each distinct name once and
+  // reuse the params across cores (mixes repeat a handful of names).
+  std::unordered_map<std::string, workload::WorkloadParams> by_name;
   for (std::uint32_t c = 0; c < cores; ++c) {
     const std::string& name = request.workloads.size() == 1
                                   ? request.workloads.front()
                                   : request.workloads[c % request.workloads.size()];
-    per_core.push_back(workload::find_workload(name));
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      it = by_name.emplace(name, workload::find_workload(name)).first;
+    }
+    per_core.push_back(it->second);
   }
 
   System system(request.config, per_core, request.seed);
+  const obs::prof::Totals prof_base = obs::prof::thread_totals();
   const auto wall_start = std::chrono::steady_clock::now();
   system.run(request.warmup_instr, request.measure_instr);
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - wall_start;
+  if (obs::prof::enabled()) {
+    // Opt-in phase breakdown for this run, published like host_seconds:
+    // never part of default runs, so the golden tree shape is untouched.
+    obs::prof::publish(obs::Scope(&system.metrics(), "host/prof"),
+                       obs::prof::thread_totals().delta_since(prof_base));
+  }
 
   RunResult result;
   result.config_name = request.config.name;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/env.hpp"
+#include "obs/profiler.hpp"
 
 namespace coaxial::sim {
 
@@ -111,19 +112,14 @@ void System::build_shared_structures() {
   stream_table_.assign(u.cores,
                        std::vector<Addr>(std::max(1u, u.prefetch_streams), ~Addr{0}));
   stream_victim_.assign(u.cores, 0);
+  // Hot-path containers: size once so steady state never reallocates.
+  ops_.reserve(1024);
+  free_ops_.reserve(1024);
+  pending_mem_.reserve(256);
+  pending_wb_.reserve(256);
 
-  // Wake-up spine hooks. core_hooks_ is sized once here and never grows:
-  // the scheduler holds raw pointers into it.
-  events_hook_.sys = this;
-  events_hook_.kind = 0;
-  pump_hook_.sys = this;
-  pump_hook_.kind = 1;
-  core_hooks_.resize(u.cores);
+  // Wake-up spine: one pending-wake slot per phase (events, pump, cores).
   core_slots_.resize(u.cores);
-  for (std::uint32_t c = 0; c < u.cores; ++c) {
-    core_hooks_[c].sys = this;
-    core_hooks_[c].kind = kPrioCoreBase + c;
-  }
 }
 
 System::System(const sys::SystemConfig& cfg,
@@ -189,28 +185,46 @@ void System::maybe_free_joined_op(std::uint32_t id) {
 
 // ---------------------------------------------------------- wake-up spine
 
-void System::Hook::on_wake(Cycle now) {
-  if (kind == 0) {
-    sys->wake_events(now);
-  } else if (kind == 1) {
-    sys->wake_pump(now);
-  } else {
-    sys->wake_core(kind - kPrioCoreBase, now);
+Cycle System::next_wake_cycle() const {
+  Cycle next = std::min(events_slot_.at, pump_slot_.at);
+  const std::uint32_t active = cfg_.uarch.active_cores;
+  for (std::uint32_t c = 0; c < active; ++c) {
+    next = std::min(next, core_slots_[c].at);
   }
+  return next;
 }
 
-void System::arm(WakeSlot& slot, Hook& hook, std::uint32_t prio, Cycle cycle) {
-  // In forced mode the main loop drives every phase every cycle itself.
-  if (tick_every_cycle_ || cycle == kNoCycle) return;
-  if (slot.token != Scheduler::kNoToken) {
-    if (slot.at <= cycle) return;  // An earlier wake-up already covers this.
-    sched_.cancel(slot.token);
+void System::dispatch_due(Cycle now) {
+  // Repeated min-extraction in phase order: after every handler returns,
+  // rescan from the first phase, because a handler may have armed an
+  // earlier phase (or itself) at the current cycle. Each slot maps to a
+  // unique phase priority, so this is exactly the dispatch order a
+  // (cycle, priority) heap would produce.
+  const std::uint32_t active = cfg_.uarch.active_cores;
+  for (;;) {
+    if (events_slot_.at <= now) {
+      events_slot_.at = kNoCycle;
+      ++sched_dispatches_;
+      wake_events(now);
+      continue;
+    }
+    if (pump_slot_.at <= now) {
+      pump_slot_.at = kNoCycle;
+      ++sched_dispatches_;
+      wake_pump(now);
+      continue;
+    }
+    std::uint32_t c = 0;
+    while (c < active && core_slots_[c].at > now) ++c;
+    if (c == active) return;
+    core_slots_[c].at = kNoCycle;
+    ++sched_dispatches_;
+    wake_core(c, now);
   }
-  slot.token = sched_.schedule(cycle, prio, &hook);
-  slot.at = cycle;
 }
 
 void System::wake_events(Cycle now) {
+  COAXIAL_PROF_SCOPE(kEventDrain);
   events_slot_ = WakeSlot{};
   // The drain consumes same-cycle events pushed by its own handlers, so
   // schedule() must not re-arm the slot for those (it would fire a second,
@@ -223,7 +237,7 @@ void System::wake_events(Cycle now) {
   }
   in_events_drain_ = false;
   if (!events_.empty()) {
-    arm(events_slot_, events_hook_, kPrioEvents, events_.top().cycle);
+    arm(events_slot_, events_.top().cycle);
   }
 }
 
@@ -235,7 +249,7 @@ void System::wake_pump(Cycle now) {
 void System::wake_core(std::uint32_t c, Cycle now) {
   core_slots_[c] = WakeSlot{};
   cores_[c]->tick(now, *this);
-  arm(core_slots_[c], core_hooks_[c], kPrioCoreBase + c, cores_[c]->next_wake(now));
+  arm(core_slots_[c], cores_[c]->next_wake(now));
 }
 
 // ------------------------------------------------------------- event plumbing
@@ -246,7 +260,7 @@ void System::schedule(Cycle cycle, EventKind kind, std::uint32_t a, Addr line,
   if (in_events_drain_ && cycle <= now_) return;  // Active drain consumes it.
   // Events landing at or before the current cycle outside the drain phase
   // are handled at the next cycle's drain, exactly as the legacy loop did.
-  arm(events_slot_, events_hook_, kPrioEvents, std::max(cycle, now_ + 1));
+  arm(events_slot_, std::max(cycle, now_ + 1));
 }
 
 void System::handle_event(const Event& ev) {
@@ -265,7 +279,7 @@ void System::handle_event(const Event& ev) {
         memory_->access(op.line, /*is_write=*/false, ev.cycle, ev.a);
         // The memory system has new work: make sure the pump runs this
         // cycle so controllers see it on the legacy schedule.
-        arm(pump_slot_, pump_hook_, kPrioPump, now_);
+        arm(pump_slot_, now_);
       } else {
         park_pending_mem(ev.a, PendingStage::kNeedAdmission, ev.cycle);
       }
@@ -577,7 +591,7 @@ void System::fill_l1(std::uint32_t c, Addr line, Cycle t) {
   // Waiter callbacks happen in the event-drain phase; the core's own phase
   // is later in the same cycle, so it can react immediately (legacy cores
   // ticked every cycle and saw completions the cycle they landed).
-  arm(core_slots_[c], core_hooks_[c], kPrioCoreBase + c, now_);
+  arm(core_slots_[c], now_);
 }
 
 void System::l2_victim(std::uint32_t /*core*/, const cache::Eviction& ev, Cycle t) {
@@ -592,19 +606,20 @@ void System::l2_victim(std::uint32_t /*core*/, const cache::Eviction& ev, Cycle 
 void System::llc_victim(std::uint32_t /*slice*/, const cache::Eviction& ev, Cycle /*t*/) {
   if (!ev.dirty) return;
   pending_wb_.push_back(ev.line);
-  arm(pump_slot_, pump_hook_, kPrioPump, now_);  // Issue the WB this cycle.
+  arm(pump_slot_, now_);  // Issue the WB this cycle.
 }
 
 void System::park_pending_mem(std::uint32_t op_id, PendingStage stage, Cycle /*t*/) {
   pending_mem_.push_back({op_id, stage});
   // The pump retries parked ops every cycle, starting this one (parks only
   // happen in the event-drain phase, which precedes the pump).
-  arm(pump_slot_, pump_hook_, kPrioPump, now_);
+  arm(pump_slot_, now_);
 }
 
 // --------------------------------------------------------------- main loop
 
 void System::pump_memory(Cycle now) {
+  COAXIAL_PROF_SCOPE(kMemPump);
   // Drain memory completions into arrival events (NoC: port -> core).
   const Cycle mem_wake = memory_->tick(now);
   auto& comps = memory_->completions();
@@ -669,7 +684,7 @@ void System::pump_memory(Cycle now) {
   if (issued || !pending_mem_.empty() || !pending_wb_.empty()) {
     wake = std::min(wake, now + 1);
   }
-  arm(pump_slot_, pump_hook_, kPrioPump, wake);
+  arm(pump_slot_, wake);
 }
 
 void System::reset_window_stats() {
@@ -712,7 +727,7 @@ void System::collect_window_stats() {
   stats_.calm = calm_delta(calm_->stats(), stats_.calm);
   // Scheduler activity is whole-run (warmup included): skipping happens
   // during warmup too and that is part of the wall-clock story.
-  stats_.sched_events = sched_.dispatched();
+  stats_.sched_events = sched_dispatches_;
   stats_.sched_cycles_dispatched = sched_cycles_dispatched_;
   stats_.sched_cycles_skipped = sched_cycles_skipped_;
 }
@@ -851,9 +866,9 @@ void System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr) {
   if (!tick_every_cycle_) {
     // Prime the spine: the pump and every active core get an initial
     // wake-up; everything after that is self- or callback-scheduled.
-    arm(pump_slot_, pump_hook_, kPrioPump, now_ + 1);
+    arm(pump_slot_, now_ + 1);
     for (std::uint32_t c = 0; c < active; ++c) {
-      arm(core_slots_[c], core_hooks_[c], kPrioCoreBase + c, now_ + 1);
+      arm(core_slots_[c], now_ + 1);
     }
   }
 
@@ -861,10 +876,13 @@ void System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr) {
     if (tick_every_cycle_) {
       // Reference loop: advance every phase every cycle.
       ++now_;
-      while (!events_.empty() && events_.top().cycle <= now_) {
-        const Event ev = events_.top();
-        events_.pop();
-        handle_event(ev);
+      {
+        COAXIAL_PROF_SCOPE(kEventDrain);
+        while (!events_.empty() && events_.top().cycle <= now_) {
+          const Event ev = events_.top();
+          events_.pop();
+          handle_event(ev);
+        }
       }
       pump_memory(now_);
       for (std::uint32_t c = 0; c < active; ++c) cores_[c]->tick(now_, *this);
@@ -872,7 +890,7 @@ void System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr) {
     }
     // Event-driven loop: jump straight to the next populated cycle and
     // dispatch its due wake-ups in phase order (events, pump, cores).
-    const Cycle next = sched_.next_cycle();
+    const Cycle next = next_wake_cycle();
     if (next == kNoCycle) {
       // Every in-flight chain ends in a wake-up or callback; an empty
       // scheduler with unfinished cores means a lost wake-up (a bug).
@@ -881,7 +899,8 @@ void System::run(std::uint64_t warmup_instr, std::uint64_t measure_instr) {
     sched_cycles_skipped_ += next - now_ - 1;
     now_ = next;
     ++sched_cycles_dispatched_;
-    sched_.dispatch_due(now_);
+    COAXIAL_PROF_SCOPE(kSchedDispatch);
+    dispatch_due(now_);
   };
 
   // Warmup phase.

@@ -22,7 +22,6 @@
 #include "core/core.hpp"
 #include "noc/mesh.hpp"
 #include "obs/metrics.hpp"
-#include "sim/scheduler.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
 
@@ -145,9 +144,6 @@ class System : public core::MemoryPort {
   void set_tick_every_cycle(bool v);
   bool tick_every_cycle() const { return tick_every_cycle_; }
 
-  /// The wake-up scheduler (for tests; counters also land in RunStats).
-  const Scheduler& scheduler() const { return sched_; }
-
   const RunStats& stats() const { return stats_; }
   const sys::SystemConfig& config() const { return cfg_; }
 
@@ -170,6 +166,7 @@ class System : public core::MemoryPort {
   /// `metrics().snapshot()` after run() yields the full stats tree
   /// (including the `run/` subtree of window results published by run()).
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
   enum class EventKind : std::uint8_t {
@@ -225,30 +222,31 @@ class System : public core::MemoryPort {
 
   // ---- wake-up spine (discrete-event loop; see DESIGN.md) ----
   //
-  // Each simulated cycle has three phases, encoded as scheduler priorities
-  // so a dispatched cycle replays them in the legacy order: payload events
-  // drain first, then the memory pump, then cores in index order.
-  static constexpr std::uint32_t kPrioEvents = 0;
-  static constexpr std::uint32_t kPrioPump = 1;
-  static constexpr std::uint32_t kPrioCoreBase = 2;
+  // Each simulated cycle has three phases, replayed in the legacy order:
+  // payload events drain first, then the memory pump, then cores in index
+  // order. The System's schedulables are a small fixed set (one event
+  // drain, one pump, one slot per core), so instead of a priority heap the
+  // spine keeps one pending wake-up cycle per slot: arming is a min, the
+  // next populated cycle is a min-scan over ~n_cores slots, and dispatch
+  // rescans in phase order after every handler — exactly the repeated
+  // min-extraction a (cycle, priority) heap performs, since each slot has
+  // a unique phase priority. This removes heap push/pop/tombstone traffic
+  // from the hottest loop in the simulator.
 
-  /// Adapter binding a scheduler entry to one of the System's phase
-  /// handlers: kind 0 = payload-event drain, 1 = memory pump, 2+c = core c.
-  struct Hook final : Schedulable {
-    System* sys = nullptr;
-    std::uint32_t kind = 0;
-    void on_wake(Cycle now) override;
-  };
-
-  /// At most one pending scheduler entry per hook; arm() dedupes (keeps the
-  /// earlier of the armed and requested cycles) and the wake handler clears
-  /// the slot on dispatch.
+  /// At most one pending wake-up per phase slot; arm() dedupes by keeping
+  /// the earlier of the armed and requested cycles, and dispatch clears the
+  /// slot (at = kNoCycle) before invoking the handler.
   struct WakeSlot {
-    Scheduler::Token token = Scheduler::kNoToken;
     Cycle at = kNoCycle;
   };
 
-  void arm(WakeSlot& slot, Hook& hook, std::uint32_t prio, Cycle cycle);
+  void arm(WakeSlot& slot, Cycle cycle) {
+    // In forced mode the main loop drives every phase every cycle itself.
+    if (tick_every_cycle_ || cycle == kNoCycle) return;
+    if (cycle < slot.at) slot.at = cycle;
+  }
+  Cycle next_wake_cycle() const;
+  void dispatch_due(Cycle now);
   void wake_events(Cycle now);
   void wake_pump(Cycle now);
   void wake_core(std::uint32_t c, Cycle now);
@@ -308,18 +306,14 @@ class System : public core::MemoryPort {
 
   // Wake-up spine state. The legacy payload-event heap (events_) keeps its
   // cycle-only ordering — same-cycle pop order there is results-affecting —
-  // while the scheduler carries idempotent component wake-ups only.
-  Scheduler sched_;
+  // while the slots carry idempotent component wake-ups only.
   bool tick_every_cycle_ = false;
   bool ras_enabled_ = false;  ///< cfg_.fault_plan.enabled(), cached.
   bool in_events_drain_ = false;
-  Hook events_hook_;
-  Hook pump_hook_;
-  std::vector<Hook> core_hooks_;  ///< Sized at construction; never grows
-                                  ///< (the scheduler keeps raw pointers).
   WakeSlot events_slot_;
   WakeSlot pump_slot_;
   std::vector<WakeSlot> core_slots_;
+  std::uint64_t sched_dispatches_ = 0;  ///< Handler invocations (telemetry).
   std::uint64_t sched_cycles_dispatched_ = 0;
   std::uint64_t sched_cycles_skipped_ = 0;
 

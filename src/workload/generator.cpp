@@ -48,6 +48,10 @@ Generator::Generator(const WorkloadParams& params, std::uint32_t core_id, std::u
   base_mid_ = r.mid_base;
   base_cold_ = r.cold_base;
 
+  const double b = params_.burstiness;
+  mem_frac_burst_ = std::min(0.9, params_.mem_fraction * (1.0 + 2.0 * b));
+  mem_frac_calm_ = std::min(0.9, params_.mem_fraction * (1.0 - b));
+
   const std::uint32_t n_streams = std::max<std::uint32_t>(1, params_.streams);
   stream_pos_.reserve(n_streams);
   for (std::uint32_t s = 0; s < n_streams; ++s) {
@@ -65,9 +69,7 @@ Instr Generator::next() {
         1 + static_cast<std::uint32_t>(-mean * std::log(1.0 - phase_rng_.next_double()));
   }
   --phase_left_;
-  const double b = params_.burstiness;
-  const double mem_frac =
-      std::min(0.9, params_.mem_fraction * (in_burst_ ? 1.0 + 2.0 * b : 1.0 - b));
+  const double mem_frac = in_burst_ ? mem_frac_burst_ : mem_frac_calm_;
 
   Instr ins;
   if (!rng_.chance(mem_frac)) {
@@ -115,6 +117,13 @@ Instr Generator::next() {
   }
   if (!is_store) saw_load_ = true;
   return ins;
+}
+
+std::size_t Generator::next_batch(Instr* out, std::size_t n) {
+  // next() is defined in this TU, so the loop body inlines; the only
+  // cross-TU cost is one call for the whole chunk.
+  for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  return n;
 }
 
 }  // namespace coaxial::workload

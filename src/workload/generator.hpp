@@ -85,6 +85,12 @@ class Generator {
   /// Produce the next instruction of the stream.
   Instr next();
 
+  /// Chunked synthesis: produce the next `n` instructions into `out`.
+  /// Exactly equivalent to `n` next() calls (same RNG draws in the same
+  /// order), but the whole chunk is synthesized in one call so the per-
+  /// instruction dispatch cost is amortized.
+  std::size_t next_batch(Instr* out, std::size_t n);
+
   const WorkloadParams& params() const { return params_; }
 
  private:
@@ -96,6 +102,8 @@ class Generator {
   Addr base_hot_, base_mid_, base_cold_;
   Addr hot_bytes_, mid_bytes_, cold_bytes_;
   std::vector<Addr> stream_pos_;  ///< Byte offsets into the cold tier.
+  double mem_frac_burst_ = 0;  ///< min(0.9, mem_fraction*(1+2b)), hoisted.
+  double mem_frac_calm_ = 0;   ///< min(0.9, mem_fraction*(1-b)), hoisted.
   std::uint32_t next_stream_ = 0;
   bool saw_load_ = false;
   bool in_burst_ = false;

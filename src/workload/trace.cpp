@@ -81,6 +81,19 @@ Instr TraceReplayer::next() {
   return unpack(r.addr, r.packed);
 }
 
+std::size_t TraceReplayer::next_batch(Instr* out, std::size_t n) {
+  if (records_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = Instr{};
+    return n;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Record& r = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+    out[i] = unpack(r.addr, r.packed);
+  }
+  return n;
+}
+
 std::uint64_t record_trace(Generator gen, std::uint64_t count, const std::string& path) {
   TraceWriter writer(path);
   if (!writer.ok()) return 0;

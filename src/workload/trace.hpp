@@ -26,6 +26,16 @@ class InstrSource {
  public:
   virtual ~InstrSource() = default;
   virtual Instr next() = 0;
+
+  /// Fill `out` with the next `n` instructions of the stream; returns the
+  /// count produced (always `n` for the infinite built-in sources). The
+  /// core's fetch stage consumes instructions through this batched entry
+  /// point to amortize per-instruction virtual dispatch; overrides must
+  /// produce exactly the sequence repeated next() calls would.
+  virtual std::size_t next_batch(Instr* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+    return n;
+  }
 };
 
 /// Adapts a synthetic Generator to the InstrSource interface.
@@ -33,6 +43,9 @@ class GeneratorSource final : public InstrSource {
  public:
   explicit GeneratorSource(Generator gen) : gen_(std::move(gen)) {}
   Instr next() override { return gen_.next(); }
+  std::size_t next_batch(Instr* out, std::size_t n) override {
+    return gen_.next_batch(out, n);
+  }
 
  private:
   Generator gen_;
@@ -69,6 +82,7 @@ class TraceReplayer final : public InstrSource {
   bool ok() const { return !records_.empty(); }
   std::uint64_t size() const { return records_.size(); }
   Instr next() override;
+  std::size_t next_batch(Instr* out, std::size_t n) override;
 
  private:
   struct Record {

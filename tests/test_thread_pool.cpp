@@ -1,0 +1,70 @@
+// ThreadPool exception-safety regression tests.
+//
+// Historically a task that threw unwound the worker thread itself: the
+// uncaught exception hit std::thread's backstop and std::terminate killed
+// the whole process (and, because outstanding_ was never decremented,
+// wait_idle would have deadlocked even without the terminate). The pool now
+// captures the first task exception and rethrows it from wait_idle(); these
+// tests pin that contract.
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+
+namespace coaxial {
+namespace {
+
+TEST(ThreadPool, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsRethrownAndOthersRunToCompletion) {
+  ThreadPool pool(1);  // Single worker: deterministic task order.
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([&] { ++ran; });
+  pool.submit([&] {
+    ++ran;
+    throw std::runtime_error("second");
+  });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle swallowed the task exceptions";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // A failure must not wedge the queue: later tasks still ran.
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAFailure) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The captured exception was consumed; the pool keeps working.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, CleanRunsStillWaitForEverything) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+}  // namespace
+}  // namespace coaxial
