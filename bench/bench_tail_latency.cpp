@@ -1,0 +1,184 @@
+// Open-loop tail-latency characterization (the "scalable servers" view the
+// closed-loop figures cannot give):
+//
+//  1. Load sweep — 12 Poisson tenants drive COAXIAL-4x from light load to
+//     past saturation; each point reports achieved throughput and the
+//     p50/p99/p999 injection-to-completion latency, tracing the classic
+//     latency-vs-throughput hockey stick (CSV + SVG).
+//  2. Noisy neighbor — 11 modest Poisson victims share the memory system
+//     with one bursty MMPP bully, with and without CALM_R-style per-tenant
+//     bandwidth regulation; the per-tenant p99/p999 table and declared-SLO
+//     pass/fail show regulation buying victim tail latency with bully
+//     backlog.
+//
+// Budgets: COAXIAL_SVC_CYCLES (measurement horizon per point, default
+// 200k cycles) and COAXIAL_SVC_WARMUP (arrivals before the histogram
+// window opens, default 20k).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common/harness.hpp"
+#include "sim/service.hpp"
+#include "sim/svg_plot.hpp"
+
+namespace {
+
+using namespace coaxial;
+
+Cycle svc_cycles() { return env_u64("COAXIAL_SVC_CYCLES", 200'000); }
+Cycle svc_warmup() { return env_u64("COAXIAL_SVC_WARMUP", 20'000); }
+
+sim::RunRequest service_request(const sys::SystemConfig& cfg,
+                                const sim::ServiceConfig& svc) {
+  sim::RunRequest req;
+  req.config = cfg;
+  req.service = svc;
+  req.seed = 42;
+  return req;
+}
+
+sim::ServiceConfig uniform_poisson(double total_load, std::uint32_t tenants) {
+  sim::ServiceConfig svc;
+  svc.warmup_cycles = svc_warmup();
+  svc.measure_cycles = svc_cycles();
+  for (std::uint32_t i = 0; i < tenants; ++i) {
+    sim::ServiceTenant t;
+    t.arrival.offered_load = total_load / tenants;
+    svc.tenants.push_back(t);
+  }
+  return svc;
+}
+
+void run_load_sweep() {
+  const sys::SystemConfig cfg = sys::coaxial_4x();
+  const std::vector<double> loads = {0.05, 0.10, 0.20, 0.30, 0.40, 0.50,
+                                     0.60, 0.70, 0.80, 0.90, 1.00, 1.10, 1.20};
+  std::vector<sim::RunRequest> requests;
+  for (double load : loads) {
+    sim::ServiceConfig svc = uniform_poisson(load, 12);
+    svc.name = "svc-load-" + report::num(load, 2);
+    requests.push_back(service_request(cfg, svc));
+  }
+  std::vector<sim::RunResult> runs = sim::run_many(requests, bench::bench_threads());
+
+  report::Table table({"offered frac", "offered GB/s", "achieved GB/s", "p50 ns",
+                       "p90 ns", "p99 ns", "p999 ns", "max ns", "backlog"});
+  std::vector<double> xs, p50s, p99s, p999s;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const sim::ServiceStats& s = runs[i].service;
+    table.add_row({report::num(loads[i], 2), report::num(s.offered_gbps, 1),
+                   report::num(s.achieved_gbps, 1), report::num(s.p50_ns, 1),
+                   report::num(s.p90_ns, 1), report::num(s.p99_ns, 1),
+                   report::num(s.p999_ns, 1), report::num(s.max_ns, 1),
+                   std::to_string(s.backlog_at_end)});
+    xs.push_back(s.achieved_gbps);
+    p50s.push_back(s.p50_ns);
+    p99s.push_back(s.p99_ns);
+    p999s.push_back(s.p999_ns);
+  }
+  table.print();
+  const std::string csv = bench::out_path("tail_latency_sweep.csv");
+  if (table.write_csv(csv)) std::cout << "\n[csv] " << csv << "\n";
+  const std::string svg = bench::out_path("tail_latency_sweep.svg");
+  if (report::write_line_chart_svg(
+          svg, "COAXIAL-4x open-loop latency vs throughput (12 Poisson tenants)", xs,
+          {{"p50", p50s}, {"p99", p99s}, {"p999", p999s}}, "achieved GB/s",
+          "latency (ns)")) {
+    std::cout << "[svg] " << svg << "\n";
+  }
+  bench::emit_stats_json(runs, "tail_latency_sweep.csv");
+}
+
+sim::ServiceConfig noisy_neighbor(bool regulate) {
+  sim::ServiceConfig svc;
+  svc.name = regulate ? "svc-noisy-calm" : "svc-noisy-unreg";
+  svc.warmup_cycles = svc_warmup();
+  svc.measure_cycles = svc_cycles();
+  svc.regulate = regulate;
+  for (int i = 0; i < 11; ++i) {
+    sim::ServiceTenant victim;
+    victim.arrival.offered_load = 0.05;
+    // Declared objectives for the SLO harness: modest tails despite the
+    // bully next door.
+    victim.slo = {{0.99, 600.0}, {0.999, 2000.0}};
+    svc.tenants.push_back(victim);
+  }
+  sim::ServiceTenant bully;
+  bully.arrival.offered_load = 0.80;
+  bully.arrival.process = workload::ArrivalProcessKind::kMmpp;
+  bully.arrival.burst_multiplier = 8.0;
+  bully.arrival.burst_fraction = 0.15;
+  bully.arrival.mean_burst_cycles = 5000;
+  svc.tenants.push_back(bully);
+  return svc;
+}
+
+void run_noisy_neighbor() {
+  const sys::SystemConfig cfg = sys::coaxial_4x();
+  std::vector<sim::RunRequest> requests = {service_request(cfg, noisy_neighbor(false)),
+                                           service_request(cfg, noisy_neighbor(true))};
+  std::vector<sim::RunResult> runs = sim::run_many(requests, bench::bench_threads());
+
+  std::cout << "\n--- noisy neighbor: 11 Poisson victims + 1 MMPP bully ("
+            << "COAXIAL-4x, CALM_R regulation off vs on) ---\n\n";
+  report::Table table({"mode", "tenant", "role", "admitted", "backlog", "p50 ns",
+                       "p99 ns", "p999 ns", "slo p99", "slo p999"});
+  for (const sim::RunResult& r : runs) {
+    const bool regulated = r.workload_name == "svc-noisy-calm";
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      const std::string base = "svc/tenant/" + obs::idx(i);
+      const obs::Snapshot& m = r.metrics;
+      auto pct = [&](const char* leaf) {
+        return report::num(cycles_to_ns(m.at(base + "/lat/" + leaf).count), 1);
+      };
+      std::string slo99 = "-";
+      std::string slo999 = "-";
+      if (i < 11) {
+        slo99 = m.at(base + "/slo/00/pass").count != 0 ? "pass" : "FAIL";
+        slo999 = m.at(base + "/slo/01/pass").count != 0 ? "pass" : "FAIL";
+      }
+      table.add_row({regulated ? "calm" : "unreg", obs::idx(i),
+                     i < 11 ? "victim" : "bully",
+                     std::to_string(m.at(base + "/admitted").count),
+                     std::to_string(m.at(base + "/backlog_at_end").count),
+                     pct("p50"), pct("p99"), pct("p999"), slo99, slo999});
+    }
+  }
+  table.print();
+  const std::string csv = bench::out_path("tail_latency_noisy.csv");
+  if (table.write_csv(csv)) std::cout << "\n[csv] " << csv << "\n";
+
+  // Victim-vs-bully p99 summary chart: one bar group per mode.
+  std::vector<double> victim_p99, bully_p99;
+  for (const sim::RunResult& r : runs) {
+    double worst_victim = 0.0;
+    for (std::uint32_t i = 0; i < 11; ++i) {
+      const std::string path = "svc/tenant/" + obs::idx(i) + "/lat/p99";
+      worst_victim = std::max(
+          worst_victim, cycles_to_ns(r.metrics.at(path).count));
+    }
+    victim_p99.push_back(worst_victim);
+    bully_p99.push_back(cycles_to_ns(r.metrics.at("svc/tenant/11/lat/p99").count));
+  }
+  const std::string svg = bench::out_path("tail_latency_noisy.svg");
+  if (report::write_bar_chart_svg(svg, "Worst-victim vs bully p99 (ns)",
+                                  {"unregulated", "CALM_R"},
+                                  {{"worst victim p99", victim_p99},
+                                   {"bully p99", bully_p99}})) {
+    std::cout << "[svg] " << svg << "\n";
+  }
+  bench::emit_stats_json(runs, "tail_latency_noisy.csv");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_tail_latency: open-loop service traffic ===\n"
+            << "(budget: " << svc_cycles() << " cycles/point after " << svc_warmup()
+            << " warmup; scale with COAXIAL_SVC_CYCLES / COAXIAL_SVC_WARMUP)\n\n";
+  run_load_sweep();
+  run_noisy_neighbor();
+  return 0;
+}

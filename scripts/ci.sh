@@ -46,6 +46,27 @@ grep -q '"ras"' "${RAS_SMOKE}/a/out/ras_ber_sweep.stats.json"
   "${RAS_SMOKE}/a/out/ras_ber_sweep.stats.json" \
   "${RAS_SMOKE}/b/out/ras_ber_sweep.stats.json"
 
+echo "=== open-loop service smoke ==="
+# Run the tail-latency harness twice at a small budget and require the
+# stats documents to be byte-equivalent: svc/* leaves (counts, cycle
+# percentiles, SLO outcomes) are pinned exact by a glob rule — the arrival
+# streams are seeded, so two runs must agree bit-for-bit — and everything
+# else gets the golden tolerance. Also assert the svc/* subtree appeared.
+SVC_SMOKE="${BUILD_DIR}/svc_smoke"
+BENCH_TAIL="$(cd "${BUILD_DIR}" && pwd)/bench/bench_tail_latency"
+mkdir -p "${SVC_SMOKE}/a" "${SVC_SMOKE}/b"
+for side in a b; do
+  (cd "${SVC_SMOKE}/${side}" &&
+   COAXIAL_STATS_JSON=1 COAXIAL_SVC_CYCLES=20000 COAXIAL_SVC_WARMUP=2000 \
+     "${BENCH_TAIL}" > bench_tail_latency.log)
+done
+grep -q '"svc"' "${SVC_SMOKE}/a/out/tail_latency_sweep.stats.json"
+for doc in tail_latency_sweep tail_latency_noisy; do
+  "${BUILD_DIR}/tools/statdiff" --rtol 1e-9 --rtol 'svc/*=0' \
+    "${SVC_SMOKE}/a/out/${doc}.stats.json" \
+    "${SVC_SMOKE}/b/out/${doc}.stats.json"
+done
+
 echo "=== perf layer tests ==="
 # Explicit pass over the host-performance label (profiler inertness,
 # ready-cache vs brute-force equivalence, thread-pool exception safety).
@@ -65,9 +86,10 @@ echo "=== sanitizer build (ASan+UBSan) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}"
-# Invariant + golden + fabric + ras labels drive every layer (cores, caches,
-# DRAM, CXL, switched fabric, scheduler, fault injection) end to end under
-# the sanitizers without rerunning all 600+ tests.
-ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf"
+# Invariant + golden + fabric + ras + svc labels drive every layer (cores,
+# caches, DRAM, CXL, switched fabric, scheduler, fault injection, open-loop
+# service traffic) end to end under the sanitizers without rerunning all
+# 600+ tests.
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc"
 
 echo "=== CI OK ==="

@@ -91,4 +91,32 @@ void Decider::on_llc_result(std::uint32_t l2_id, Addr pc, bool llc_hit, bool did
   }
 }
 
+BandwidthRegulator::BandwidthRegulator(double peak_bytes_per_cycle,
+                                       std::uint32_t tenants, double r_fraction,
+                                       Cycle burst_cycles) {
+  share_ = r_fraction * peak_bytes_per_cycle / std::max<std::uint32_t>(tenants, 1);
+  cap_ = share_ * static_cast<double>(burst_cycles);
+  // Buckets start full: a tenant may burst immediately at t=0, matching the
+  // steady-state behaviour of a long-idle bucket.
+  buckets_.assign(tenants, Bucket{cap_, 0});
+}
+
+void BandwidthRegulator::accrue(std::uint32_t tenant, Cycle now) {
+  Bucket& b = buckets_[tenant];
+  if (now > b.last) {
+    b.credit = std::min(cap_, b.credit + share_ * static_cast<double>(now - b.last));
+    b.last = now;
+  }
+}
+
+bool BandwidthRegulator::has_credit(std::uint32_t tenant, double bytes, Cycle now) {
+  accrue(tenant, now);
+  return buckets_[tenant].credit >= bytes;
+}
+
+void BandwidthRegulator::consume(std::uint32_t tenant, double bytes, Cycle now) {
+  accrue(tenant, now);
+  buckets_[tenant].credit -= bytes;
+}
+
 }  // namespace coaxial::calm

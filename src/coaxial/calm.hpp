@@ -105,4 +105,48 @@ class Decider {
   CalmStats stats_;
 };
 
+/// Deterministic per-tenant token-bucket bandwidth regulator — the CALM_R
+/// budget idea applied at admission time instead of probe time. Each tenant
+/// accrues credit at its fair share of `r_fraction` x peak bandwidth and may
+/// burst up to `burst_cycles` worth of accumulated share; an admission that
+/// lacks credit is held in its injection queue (counted as a regulation
+/// stall, distinct from memory backpressure).
+///
+/// Credit accrual is lazy: it happens only inside has_credit()/consume(),
+/// from the recorded last-accrual cycle to `now`. Because the open-loop
+/// driver attempts admission at exactly the same cycles in event-driven and
+/// lockstep modes (every cycle while a tenant queue is non-empty), the
+/// accrual arithmetic — and therefore every admission decision — is
+/// byte-identical across modes.
+class BandwidthRegulator {
+ public:
+  /// Each of `tenants` gets share = r_fraction * peak_bytes_per_cycle /
+  /// tenants, with a credit cap of share * burst_cycles bytes.
+  BandwidthRegulator(double peak_bytes_per_cycle, std::uint32_t tenants,
+                     double r_fraction, Cycle burst_cycles);
+
+  /// True when `tenant` currently holds at least `bytes` of credit.
+  /// Accrues credit up to `now`; does not consume.
+  bool has_credit(std::uint32_t tenant, double bytes, Cycle now);
+
+  /// Deduct `bytes` from the tenant's bucket (may go slightly negative if
+  /// the caller skipped has_credit; the driver never does).
+  void consume(std::uint32_t tenant, double bytes, Cycle now);
+
+  double share_bytes_per_cycle() const { return share_; }
+  double credit_cap_bytes() const { return cap_; }
+  std::uint32_t tenants() const { return static_cast<std::uint32_t>(buckets_.size()); }
+
+ private:
+  void accrue(std::uint32_t tenant, Cycle now);
+
+  struct Bucket {
+    double credit = 0.0;
+    Cycle last = 0;
+  };
+  double share_ = 0.0;
+  double cap_ = 0.0;
+  std::vector<Bucket> buckets_;
+};
+
 }  // namespace coaxial::calm

@@ -50,15 +50,22 @@ void MetricsRegistry::expose_histogram(const std::string& path,
   hist_views_.emplace(path, &hist);
 }
 
+void MetricsRegistry::expose_fixed_histogram(const std::string& path,
+                                             const FixedHistogram& hist) {
+  check_fresh(path);
+  fixed_hist_views_.emplace(path, &hist);
+}
+
 bool MetricsRegistry::contains(const std::string& path) const {
   return counters_.count(path) != 0 || gauges_.count(path) != 0 ||
          hists_.count(path) != 0 || gauge_probes_.count(path) != 0 ||
-         counter_probes_.count(path) != 0 || hist_views_.count(path) != 0;
+         counter_probes_.count(path) != 0 || hist_views_.count(path) != 0 ||
+         fixed_hist_views_.count(path) != 0;
 }
 
 std::size_t MetricsRegistry::size() const {
   return counters_.size() + gauges_.size() + hists_.size() + gauge_probes_.size() +
-         counter_probes_.size() + hist_views_.size();
+         counter_probes_.size() + hist_views_.size() + fixed_hist_views_.size();
 }
 
 namespace {
@@ -68,6 +75,16 @@ void flatten_hist(Snapshot& out, const std::string& path, const LatencyHistogram
   out[path + "/p50"] = MetricValue::of(static_cast<std::uint64_t>(h.percentile(0.50)));
   out[path + "/p90"] = MetricValue::of(static_cast<std::uint64_t>(h.percentile(0.90)));
   out[path + "/p99"] = MetricValue::of(static_cast<std::uint64_t>(h.percentile(0.99)));
+}
+
+void flatten_fixed_hist(Snapshot& out, const std::string& path, const FixedHistogram& h) {
+  out[path + "/count"] = MetricValue::of(h.count());
+  out[path + "/mean"] = MetricValue::of(h.mean());
+  out[path + "/p50"] = MetricValue::of(h.percentile(0.50));
+  out[path + "/p90"] = MetricValue::of(h.percentile(0.90));
+  out[path + "/p99"] = MetricValue::of(h.percentile(0.99));
+  out[path + "/p999"] = MetricValue::of(h.percentile(0.999));
+  out[path + "/max"] = MetricValue::of(h.max());
 }
 }  // namespace
 
@@ -79,6 +96,7 @@ Snapshot MetricsRegistry::snapshot() const {
   for (const auto& [path, probe] : gauge_probes_) out[path] = MetricValue::of(probe());
   for (const auto& [path, h] : hists_) flatten_hist(out, path, *h);
   for (const auto& [path, h] : hist_views_) flatten_hist(out, path, *h);
+  for (const auto& [path, h] : fixed_hist_views_) flatten_fixed_hist(out, path, *h);
   return out;
 }
 

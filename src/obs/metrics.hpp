@@ -26,6 +26,7 @@
 #include <string>
 #include <utility>
 
+#include "common/histogram.hpp"
 #include "common/stats.hpp"
 
 namespace coaxial::obs {
@@ -92,6 +93,12 @@ class MetricsRegistry {
   /// under `path`. The histogram must outlive the registry's snapshots.
   void expose_histogram(const std::string& path, const LatencyHistogram& hist);
 
+  /// Expose a component-owned FixedHistogram as count/mean/p50/p90/p99/
+  /// p999/max leaves under `path` (the service-latency leaf set; the cycle
+  /// percentiles and max are integral, so statdiff compares them exactly).
+  /// The histogram must outlive the registry's snapshots.
+  void expose_fixed_histogram(const std::string& path, const FixedHistogram& hist);
+
   bool contains(const std::string& path) const;
   std::size_t size() const;
 
@@ -106,6 +113,7 @@ class MetricsRegistry {
   std::map<std::string, std::function<double()>> gauge_probes_;
   std::map<std::string, std::function<std::uint64_t()>> counter_probes_;
   std::map<std::string, const LatencyHistogram*> hist_views_;
+  std::map<std::string, const FixedHistogram*> fixed_hist_views_;
 };
 
 /// A (registry, path-prefix) handle passed down component constructors.
@@ -145,6 +153,9 @@ class Scope {
   }
   void expose_histogram(const std::string& name, const LatencyHistogram& hist) const {
     if (valid()) reg_->expose_histogram(join(name), hist);
+  }
+  void expose_fixed_histogram(const std::string& name, const FixedHistogram& hist) const {
+    if (valid()) reg_->expose_fixed_histogram(join(name), hist);
   }
 
  private:

@@ -22,7 +22,36 @@ RunRequest homogeneous(const sys::SystemConfig& cfg, const std::string& workload
   return r;
 }
 
+namespace {
+
+/// Open-loop dispatch: arrival processes drive the memory system directly;
+/// the run ends at the simulated-time horizon (plus inflight drain), not at
+/// a per-core instruction count.
+RunResult run_service(const RunRequest& request) {
+  ServiceDriver driver(request.config, request.service, request.seed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  driver.run();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  RunResult result;
+  result.config_name = request.config.name;
+  result.workload_name = request.service.name;
+  result.seed = request.seed;
+  result.open_loop = true;
+  result.warmup_cycles = request.service.warmup_cycles;
+  result.measure_cycles = request.service.measure_cycles;
+  result.host_seconds = wall.count();
+  result.service = driver.stats();
+  result.slo = driver.slo_checks();
+  result.metrics = driver.metrics().snapshot();
+  return result;
+}
+
+}  // namespace
+
 RunResult run_one(const RunRequest& request) {
+  if (request.service.enabled()) return run_service(request);
   const std::uint32_t cores = request.config.uarch.cores;
   std::vector<workload::WorkloadParams> per_core;
   per_core.reserve(cores);
@@ -104,10 +133,22 @@ void write_run(obs::json::Writer& w, const RunResult& r, const StatsJsonOptions&
   w.value(r.workload_name);
   w.key("seed");
   w.value(r.seed);
-  w.key("warmup_instr");
-  w.value(r.warmup_instr);
-  w.key("measure_instr");
-  w.value(r.measure_instr);
+  if (r.open_loop) {
+    // Open-loop runs are bounded by simulated time, not instruction counts;
+    // closed-loop runs keep the original keys so the golden document stays
+    // byte-identical.
+    w.key("open_loop");
+    w.value(true);
+    w.key("warmup_cycles");
+    w.value(r.warmup_cycles);
+    w.key("measure_cycles");
+    w.value(r.measure_cycles);
+  } else {
+    w.key("warmup_instr");
+    w.value(r.warmup_instr);
+    w.key("measure_instr");
+    w.value(r.measure_instr);
+  }
   if (opts.include_host_seconds) {
     // Host timing is non-deterministic; emitting it by default would break
     // the byte-identical guarantee the determinism/golden tests rely on.

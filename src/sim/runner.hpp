@@ -8,6 +8,7 @@
 
 #include "coaxial/configs.hpp"
 #include "obs/metrics.hpp"
+#include "sim/service.hpp"
 #include "sim/system.hpp"
 #include "workload/catalog.hpp"
 
@@ -21,16 +22,29 @@ struct RunRequest {
   std::uint64_t measure_instr = 400'000;
   std::uint64_t seed = 42;
   std::uint32_t mix_id = 0;  ///< Names multi-workload requests "mix-<i>".
+
+  /// Open-loop service traffic. When `service.enabled()` (any tenant
+  /// configured), the run is an open-loop ServiceDriver run: the instruction
+  /// budgets and workload names above are ignored, and end-of-run is defined
+  /// by the simulated-time horizon instead of per-core trace length.
+  ServiceConfig service;
 };
 
 struct RunResult {
   std::string config_name;
-  std::string workload_name;  ///< Single name or "mix-<i>".
+  std::string workload_name;  ///< Single name, "mix-<i>", or the service name.
   std::uint64_t seed = 0;
+  // Closed-loop budget (valid when !open_loop): instructions per core.
   std::uint64_t warmup_instr = 0;
   std::uint64_t measure_instr = 0;
-  double host_seconds = 0;  ///< Host wall-clock spent inside System::run().
-  RunStats stats;
+  // Open-loop budget (valid when open_loop): simulated-cycle horizon.
+  bool open_loop = false;
+  Cycle warmup_cycles = 0;
+  Cycle measure_cycles = 0;
+  double host_seconds = 0;  ///< Host wall-clock spent inside run().
+  RunStats stats;             ///< Closed-loop window results (zero when open_loop).
+  ServiceStats service;       ///< Open-loop window results (zero otherwise).
+  std::vector<SloCheck> slo;  ///< Declared-SLO outcomes (open-loop only).
   obs::Snapshot metrics;  ///< Full registry snapshot taken after run().
 };
 

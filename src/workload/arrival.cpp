@@ -1,0 +1,96 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/validate.hpp"
+
+namespace coaxial::workload {
+
+void ArrivalConfig::validate() const {
+  constexpr const char* kOwner = "workload::ArrivalConfig";
+  validate::require_positive(kOwner, "offered_load", offered_load);
+  validate::require_in_range(kOwner, "write_fraction", write_fraction, 0.0, 1.0);
+  validate::require_nonzero(kOwner, "footprint_lines", footprint_lines);
+  if (process == ArrivalProcessKind::kMmpp) {
+    if (!std::isfinite(burst_multiplier) || burst_multiplier < 1.0) {
+      validate::fail(kOwner, "burst_multiplier", "must be finite and >= 1",
+                     validate::render(burst_multiplier));
+    }
+    if (!std::isfinite(burst_fraction) || burst_fraction <= 0.0 ||
+        burst_fraction >= 1.0) {
+      validate::fail(kOwner, "burst_fraction", "must be in (0, 1)",
+                     validate::render(burst_fraction));
+    }
+    validate::require_nonzero(kOwner, "mean_burst_cycles", mean_burst_cycles);
+  }
+}
+
+ArrivalGenerator::ArrivalGenerator(const ArrivalConfig& cfg, double lines_per_cycle,
+                                   std::uint32_t tenant_id, std::uint64_t seed)
+    : cfg_(cfg),
+      rng_(seed ^ (0x5e7f1ce0ull + (static_cast<std::uint64_t>(tenant_id) << 32))),
+      mean_rate_(lines_per_cycle),
+      base_line_(static_cast<Addr>(tenant_id) << 44) {
+  cfg_.validate();
+  if (!(lines_per_cycle > 0.0)) {
+    throw std::invalid_argument("arrival rate must be > 0 lines/cycle");
+  }
+  if (cfg_.process == ArrivalProcessKind::kMmpp) {
+    // Split the mean rate into calm/burst rates such that
+    //   f * rate_burst + (1 - f) * rate_calm == mean_rate
+    // with rate_burst = m * rate_calm:
+    const double m = cfg_.burst_multiplier;
+    const double f = cfg_.burst_fraction;
+    rate_calm_ = mean_rate_ / (f * m + (1.0 - f));
+    rate_burst_ = m * rate_calm_;
+    enter_state(/*burst=*/false);
+  } else {
+    rate_calm_ = mean_rate_;
+    rate_burst_ = mean_rate_;
+  }
+}
+
+double ArrivalGenerator::draw_exponential(double rate) {
+  // Inverse-CDF; next_double() is in [0, 1), so 1-u is in (0, 1] and the
+  // log argument never hits zero.
+  return -std::log(1.0 - rng_.next_double()) / rate;
+}
+
+void ArrivalGenerator::enter_state(bool burst) {
+  in_burst_ = burst;
+  // Dwell times are exponential. Burst episodes last mean_burst_cycles B;
+  // calm episodes last B * (1-f)/f so the long-run burst share is f.
+  const double b = static_cast<double>(cfg_.mean_burst_cycles);
+  const double mean_dwell =
+      burst ? b : b * (1.0 - cfg_.burst_fraction) / cfg_.burst_fraction;
+  state_end_ = t_ + draw_exponential(1.0 / mean_dwell);
+}
+
+ServiceRequest ArrivalGenerator::next() {
+  if (cfg_.process == ArrivalProcessKind::kMmpp) {
+    // Advance across state boundaries until an arrival lands inside the
+    // current state. Discarding the partial interarrival at a boundary and
+    // redrawing is exact for exponentials (memorylessness).
+    for (;;) {
+      const double rate = in_burst_ ? rate_burst_ : rate_calm_;
+      const double dt = draw_exponential(rate);
+      if (t_ + dt <= state_end_) {
+        t_ += dt;
+        break;
+      }
+      t_ = state_end_;
+      enter_state(!in_burst_);
+    }
+  } else {
+    t_ += draw_exponential(rate_calm_);
+  }
+
+  ServiceRequest req;
+  req.at = static_cast<Cycle>(t_);
+  req.line = base_line_ + rng_.next_below(cfg_.footprint_lines);
+  req.is_write = cfg_.write_fraction > 0.0 && rng_.next_double() < cfg_.write_fraction;
+  return req;
+}
+
+}  // namespace coaxial::workload

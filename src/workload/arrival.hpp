@@ -1,0 +1,104 @@
+// Open-loop arrival processes for service traffic.
+//
+// The closed-loop generators (generator.hpp) model cores executing
+// instruction streams: request rate is a *consequence* of the memory
+// system's speed. Service traffic is the opposite regime — requests arrive
+// on their own clock regardless of how the memory system is doing, which is
+// what exposes queueing tails as load approaches saturation. This module
+// provides seeded arrival processes:
+//
+//  * kPoisson — exponential interarrivals at a constant mean rate; the
+//    standard open-loop null model.
+//  * kMmpp — 2-state Markov-modulated Poisson process: a calm state and a
+//    burst state whose rate is `burst_multiplier` x the calm rate, with
+//    exponentially distributed dwell times shaped so the process spends
+//    `burst_fraction` of time bursting while preserving the configured
+//    mean rate. Bursty arrivals are what distinguish tail latency from
+//    mean latency (the noisy-neighbor scenario).
+//
+// Arrival times accumulate in continuous time and are quantized to cycles
+// (floor), so the measured mean rate converges to the configured rate —
+// test_open_loop asserts the conservation. Each tenant's generator is an
+// independent seeded stream over a disjoint address region; results are
+// deterministic in (config, tenant id, seed) and independent of how the
+// consumer interleaves draws with simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace coaxial::workload {
+
+enum class ArrivalProcessKind : std::uint8_t { kPoisson, kMmpp };
+
+struct ArrivalConfig {
+  ArrivalProcessKind process = ArrivalProcessKind::kPoisson;
+
+  /// Offered load as a fraction of the memory system's aggregate peak
+  /// bandwidth (reads + writes). >1 deliberately overcommits — the
+  /// injection queue absorbs the excess and the backpressure counters make
+  /// the generated-vs-admitted gap visible.
+  double offered_load = 0.10;
+
+  /// Stores among generated requests (posted writes: admitted and counted,
+  /// but only reads are latency-tracked — writes produce no completion).
+  double write_fraction = 0.0;
+
+  // MMPP shape (ignored by kPoisson).
+  double burst_multiplier = 4.0;   ///< Burst-state rate / calm-state rate (>= 1).
+  double burst_fraction = 0.25;    ///< Long-run fraction of time in the burst state.
+  Cycle mean_burst_cycles = 20'000;  ///< Mean dwell per burst episode.
+
+  /// Uniform-random target region, in cache lines (per tenant, disjoint).
+  std::uint64_t footprint_lines = 1u << 20;
+
+  /// Throws std::invalid_argument on degenerate values.
+  void validate() const;
+};
+
+/// One generated service request.
+struct ServiceRequest {
+  Cycle at = 0;        ///< Arrival cycle (monotone non-decreasing).
+  Addr line = 0;       ///< Target line address.
+  bool is_write = false;
+};
+
+class ArrivalGenerator {
+ public:
+  /// `lines_per_cycle` is the mean arrival rate (the driver converts the
+  /// config's offered_load against the memory system's peak bandwidth).
+  /// Draw streams are independent per (tenant_id, seed).
+  ArrivalGenerator(const ArrivalConfig& cfg, double lines_per_cycle,
+                   std::uint32_t tenant_id, std::uint64_t seed);
+
+  /// Next request of the stream. Arrival cycles never decrease; multiple
+  /// requests may share a cycle at high rates.
+  ServiceRequest next();
+
+  /// Configured mean rate in lines/cycle (MMPP included: dwell shaping
+  /// preserves the mean).
+  double mean_rate() const { return mean_rate_; }
+
+  const ArrivalConfig& config() const { return cfg_; }
+
+  /// Base line address of this tenant's disjoint region.
+  Addr region_base() const { return base_line_; }
+
+ private:
+  double draw_exponential(double rate);
+  void enter_state(bool burst);
+
+  ArrivalConfig cfg_;
+  Rng rng_;
+  double mean_rate_;
+  double rate_calm_;   ///< Calm-state rate (== mean for Poisson).
+  double rate_burst_;
+  Addr base_line_;
+  double t_ = 0.0;          ///< Continuous arrival clock.
+  bool in_burst_ = false;
+  double state_end_ = 0.0;  ///< Continuous time the current MMPP state ends.
+};
+
+}  // namespace coaxial::workload

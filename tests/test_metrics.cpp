@@ -297,6 +297,52 @@ TEST(StatDiff, RasSubtreeGlobRules) {
   EXPECT_EQ(diffs[0].path, "ras/crc_errors");
 }
 
+TEST(StatDiff, SvcSubtreeGlobRules) {
+  // The open-loop CI smoke pins the whole svc/* subtree exact — arrival
+  // streams are seeded and latency endpoints are cycle counts, so two runs
+  // must agree bit-for-bit, tail percentiles included — while the usual
+  // golden tolerance covers the rest of the document.
+  EXPECT_TRUE(glob_match("svc/*", "svc/all/lat/p999"));
+  EXPECT_TRUE(glob_match("svc/*", "svc/tenant/03/slo/00/achieved_ns"));
+  EXPECT_FALSE(glob_match("svc/*", "run/svc_like/counter"));
+
+  const json::Flat a = flat(R"({"svc": {"all": {"lat": {"p99": 120, "p999": 400},
+                                                "admitted": 500}},
+                                "lat": {"avg": 10.0}})");
+  const json::Flat b = flat(R"({"svc": {"all": {"lat": {"p99": 120, "p999": 416},
+                                                "admitted": 500}},
+                                "lat": {"avg": 10.4}})");
+  DiffOptions opts;
+  opts.rules.push_back({"lat/", 0.1});
+  opts.rules.push_back({"svc/*", 0.0});
+  const auto diffs = diff_stats(a, b, opts);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].path, "svc/all/lat/p999");
+  EXPECT_EQ(diffs[0].reason, "not-exact");
+}
+
+TEST(Registry, FixedHistogramViewFlattensTailLeaves) {
+  // expose_fixed_histogram turns a component-owned FixedHistogram into the
+  // service-latency leaf set; the cycle percentiles and max are integral so
+  // statdiff compares them exactly.
+  MetricsRegistry reg;
+  FixedHistogram h(1, 2048);
+  reg.expose_fixed_histogram("svc/all/lat", h);
+  EXPECT_TRUE(reg.contains("svc/all/lat"));
+  EXPECT_THROW(reg.expose_fixed_histogram("svc/all/lat", h), std::invalid_argument);
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.at("svc/all/lat/count").count, 1000u);
+  EXPECT_TRUE(snap.at("svc/all/lat/p50").integral);
+  EXPECT_EQ(snap.at("svc/all/lat/p50").count, 500u);
+  EXPECT_EQ(snap.at("svc/all/lat/p90").count, 900u);
+  EXPECT_EQ(snap.at("svc/all/lat/p99").count, 990u);
+  EXPECT_EQ(snap.at("svc/all/lat/p999").count, 999u);
+  EXPECT_EQ(snap.at("svc/all/lat/max").count, 1000u);
+  EXPECT_FALSE(snap.at("svc/all/lat/mean").integral);
+  EXPECT_DOUBLE_EQ(snap.at("svc/all/lat/mean").value, 500.5);
+}
+
 TEST(StatDiff, StructuralAndTypeDiffsAlwaysReported) {
   const json::Flat a = flat(R"({"only_a": 1, "both": 2})");
   const json::Flat b = flat(R"({"only_b": 1, "both": "two"})");
