@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the full test suite, verify the
 # golden stats document against the checked-in baseline with statdiff, run
-# the RAS fault-preset smoke (deterministic ras/* stats across two runs),
-# gate host wall-clock against the committed BENCH_5.json baseline, and
-# smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
-# golden + fabric + ras ctest labels.
+# the RAS fault-preset and tiering smokes (deterministic ras/* and tier/*
+# stats across two runs), gate host wall-clock against the committed
+# BENCH_5.json baseline, and smoke the sanitizer build
+# (-DCOAXIAL_SANITIZE=ON) on the invariant + golden + fabric + ras + perf +
+# svc + tier ctest labels.
 #
 # Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
 set -euo pipefail
@@ -67,6 +68,26 @@ for doc in tail_latency_sweep tail_latency_noisy; do
     "${SVC_SMOKE}/b/out/${doc}.stats.json"
 done
 
+echo "=== tiering smoke ==="
+# Run the tiering policy sweep twice at a small budget and require the
+# stats documents to be byte-equivalent: tier/* leaves (epoch counts,
+# migration traffic, remap occupancy) are pinned exact by a glob rule —
+# migration decisions are epoch-deterministic, so two runs must agree
+# bit-for-bit — and everything else gets the golden tolerance. Also assert
+# the tier/* subtree appeared.
+TIER_SMOKE="${BUILD_DIR}/tier_smoke"
+BENCH_TIER="$(cd "${BUILD_DIR}" && pwd)/bench/bench_tiering"
+mkdir -p "${TIER_SMOKE}/a" "${TIER_SMOKE}/b"
+for side in a b; do
+  (cd "${TIER_SMOKE}/${side}" &&
+   COAXIAL_STATS_JSON=1 COAXIAL_INSTR=10000 COAXIAL_WARMUP=2000 \
+     "${BENCH_TIER}" > bench_tiering.log)
+done
+grep -q '"tier"' "${TIER_SMOKE}/a/out/tiering_sweep.stats.json"
+"${BUILD_DIR}/tools/statdiff" --rtol 1e-9 --rtol 'tier/*=0' \
+  "${TIER_SMOKE}/a/out/tiering_sweep.stats.json" \
+  "${TIER_SMOKE}/b/out/tiering_sweep.stats.json"
+
 echo "=== perf layer tests ==="
 # Explicit pass over the host-performance label (profiler inertness,
 # ready-cache vs brute-force equivalence, thread-pool exception safety).
@@ -86,10 +107,10 @@ echo "=== sanitizer build (ASan+UBSan) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}"
-# Invariant + golden + fabric + ras + svc labels drive every layer (cores,
-# caches, DRAM, CXL, switched fabric, scheduler, fault injection, open-loop
-# service traffic) end to end under the sanitizers without rerunning all
-# 600+ tests.
-ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc"
+# Invariant + golden + fabric + ras + svc + tier labels drive every layer
+# (cores, caches, DRAM, CXL, switched fabric, scheduler, fault injection,
+# open-loop service traffic, tiered placement/migration) end to end under
+# the sanitizers without rerunning all 600+ tests.
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc|tier"
 
 echo "=== CI OK ==="

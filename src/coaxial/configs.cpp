@@ -1,18 +1,40 @@
 #include "coaxial/configs.hpp"
 
+#include <utility>
 #include <vector>
+
+#include "placement/tiered_memory.hpp"
 
 namespace coaxial::sys {
 
-std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory(obs::Scope scope) const {
-  if (topology == Topology::kDirectDdr) {
-    return std::make_unique<mem::DirectDdrMemory>(ddr_channels, dram_timing, dram_geometry,
-                                                  scope);
+namespace {
+/// The capacity side of the address space: the plain (non-tiered) topology
+/// a SystemConfig describes, with the stage-2 AddressMap injected
+/// explicitly so every address-to-device decision goes through placement.
+std::unique_ptr<mem::MemorySystem> make_flat_memory(const SystemConfig& cfg,
+                                                    obs::Scope scope) {
+  if (cfg.topology == Topology::kDirectDdr) {
+    return std::make_unique<mem::DirectDdrMemory>(cfg.ddr_channels, cfg.dram_timing,
+                                                  cfg.dram_geometry, scope);
   }
-  const link::LaneConfig lanes =
-      asym_lanes ? link::LaneConfig::x8_asym(cxl_port_ns) : link::LaneConfig::x8(cxl_port_ns);
-  return std::make_unique<mem::CxlMemory>(fabric, cxl_channels, ddr_per_device, lanes,
-                                          dram_timing, dram_geometry, scope, fault_plan);
+  const link::LaneConfig lanes = cfg.asym_lanes ? link::LaneConfig::x8_asym(cfg.cxl_port_ns)
+                                                : link::LaneConfig::x8(cfg.cxl_port_ns);
+  placement::AddressMap stage2 = placement::AddressMap::passthrough(
+      cfg.fabric.interleave, cfg.cxl_devices(), cfg.ddr_per_device * 2,
+      cfg.fabric.page_lines, cfg.fabric.contiguous_lines);
+  return std::make_unique<mem::CxlMemory>(cfg.fabric, cfg.cxl_channels, cfg.ddr_per_device,
+                                          lanes, std::move(stage2), cfg.dram_timing,
+                                          cfg.dram_geometry, scope, cfg.fault_plan);
+}
+}  // namespace
+
+std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory(obs::Scope scope) const {
+  if (!tiering.enabled) return make_flat_memory(*this, scope);
+  tiering.validate();
+  auto fast = std::make_unique<mem::DirectDdrMemory>(
+      tiering.fast_ddr_channels, dram_timing, dram_geometry, scope.sub("tier0"));
+  return std::make_unique<placement::TieredMemory>(
+      tiering, std::move(fast), make_flat_memory(*this, scope.sub("tier1")), scope);
 }
 
 double SystemConfig::peak_memory_gbps() const {
@@ -74,6 +96,26 @@ SystemConfig coaxial_tree(std::uint32_t devices, std::uint32_t host_links,
       host_links, 1);
   c.fabric = fabric::FabricConfig::tree(devices, host_links, leaf_switches);
   c.fabric.interleave = fabric::Interleave::kPage;
+  return c;
+}
+
+SystemConfig coaxial_tiered(placement::PolicyKind policy, std::uint64_t fast_pages,
+                            Cycle epoch_cycles) {
+  SystemConfig c = coaxial_4x();
+  c.name = std::string("COAXIAL-tiered-") + placement::policy_name(policy);
+  c.tiering.enabled = true;
+  c.tiering.policy = policy;
+  c.tiering.fast_ddr_channels = 1;
+  c.tiering.fast_capacity_pages = fast_pages;
+  c.tiering.epoch_cycles = epoch_cycles;
+  // A sweep-friendly migration posture: promote on a handful of touches in
+  // one epoch (the tiered-hotcold warm pages average ~9 accesses/epoch, so
+  // genuinely warm pages clear this while one-off cold pages do not), and
+  // cap migration traffic at 16 page copies (~2k line-ops) per 10k-cycle
+  // epoch so the copies never swamp demand bandwidth — a few-hundred-page
+  // warm set still turns over within the first fifth of a standard run.
+  c.tiering.promote_threshold = 4;
+  c.tiering.max_migrations_per_epoch = 16;
   return c;
 }
 

@@ -18,6 +18,7 @@
 #include "common/units.hpp"
 #include "fabric/topology.hpp"
 #include "link/lane_config.hpp"
+#include "placement/tier_config.hpp"
 #include "ras/fault_plan.hpp"
 
 namespace coaxial::sys {
@@ -87,6 +88,13 @@ struct SystemConfig {
   /// the CXL topologies only (direct-DDR has no serial links to fault).
   ras::FaultPlan fault_plan;
 
+  /// Tiered placement (DESIGN.md §10). Disabled by default — the memory
+  /// system is then the plain topology above with a pass-through
+  /// AddressMap, byte-identical to the pre-tiering model. When enabled,
+  /// `tiering.fast_ddr_channels` local DDR channels become tier 0 and the
+  /// topology above becomes the capacity tier behind hot-page migration.
+  placement::TierConfig tiering;
+
   /// Construct the memory system this configuration describes. `scope`,
   /// when valid, is the registry subtree the memory system registers into.
   std::unique_ptr<mem::MemorySystem> make_memory(obs::Scope scope = {}) const;
@@ -119,6 +127,14 @@ SystemConfig coaxial_star(std::uint32_t devices = 8, std::uint32_t host_links = 
 /// leaf switches -> `devices` devices (two hop premiums each way).
 SystemConfig coaxial_tree(std::uint32_t devices = 8, std::uint32_t host_links = 4,
                           std::uint32_t leaf_switches = 2);
+
+/// Tiered COAXIAL: one fast local DDR5 channel (tier 0) in front of the
+/// COAXIAL-4x CXL substrate (tier 1), with `fast_pages` 4 KiB frames of
+/// migration headroom and the given hot-page policy sampling every
+/// `epoch_cycles` (DESIGN.md §10).
+SystemConfig coaxial_tiered(
+    placement::PolicyKind policy = placement::PolicyKind::kHotnessLru,
+    std::uint64_t fast_pages = 4096, Cycle epoch_cycles = 10'000);
 
 /// All five evaluated configurations in Table II order.
 std::vector<SystemConfig> all_configs();

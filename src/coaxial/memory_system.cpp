@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace coaxial::mem {
 
@@ -10,6 +12,7 @@ namespace {
 /// queue, §V "the CXL controller maintains message queues to buffer
 /// requests").
 constexpr std::size_t kDeviceIngressDepth = 64;
+}  // namespace
 
 void accumulate(dram::ControllerStats& into, const dram::ControllerStats& from) {
   into.reads_done += from.reads_done;
@@ -26,9 +29,9 @@ void accumulate(dram::ControllerStats& into, const dram::ControllerStats& from) 
   into.read_service_sum += from.read_service_sum;
 }
 
-/// Aggregate probes common to both topologies, sampled from snapshot() at
+/// Aggregate probes common to all topologies, sampled from snapshot() at
 /// registry-snapshot time (zero hot-path cost).
-void register_aggregates(const obs::Scope& scope, const MemorySystem& mem) {
+void register_aggregate_probes(const obs::Scope& scope, const MemorySystem& mem) {
   scope.expose_counter("reads", [&mem] { return mem.snapshot().reads; });
   scope.expose_counter("writes", [&mem] { return mem.snapshot().writes; });
   scope.expose("dram_service_sum", [&mem] { return mem.snapshot().dram_service_sum; });
@@ -40,7 +43,6 @@ void register_aggregates(const obs::Scope& scope, const MemorySystem& mem) {
   scope.expose_counter("subchannels", [&mem] { return mem.snapshot().subchannels; });
   scope.expose("peak_gbps", [&mem] { return mem.peak_gbps(); });
 }
-}  // namespace
 
 // ---------------------------------------------------------------- baseline
 
@@ -55,7 +57,7 @@ DirectDdrMemory::DirectDdrMemory(std::uint32_t channels, const dram::Timing& tim
   }
   ctrl_wake_.assign(n_sub, 0);
   out_.reserve(64);
-  if (scope.valid()) register_aggregates(scope, *this);
+  if (scope.valid()) register_aggregate_probes(scope, *this);
 }
 
 bool DirectDdrMemory::can_accept(Addr line, bool is_write, Cycle) const {
@@ -130,13 +132,33 @@ CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels
                      std::uint32_t ddr_per_device, const link::LaneConfig& lanes,
                      const dram::Timing& timing, const dram::Geometry& geometry,
                      obs::Scope scope, const ras::FaultPlan& plan)
+    : CxlMemory(fab, cxl_channels, ddr_per_device, lanes,
+                placement::AddressMap::passthrough(
+                    fab.interleave, fab.devices != 0 ? fab.devices : cxl_channels,
+                    ddr_per_device * 2, fab.page_lines, fab.contiguous_lines),
+                timing, geometry, scope, plan) {}
+
+CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels,
+                     std::uint32_t ddr_per_device, const link::LaneConfig& lanes,
+                     placement::AddressMap stage2, const dram::Timing& timing,
+                     const dram::Geometry& geometry, obs::Scope scope,
+                     const ras::FaultPlan& plan)
     : ddr_per_device_(ddr_per_device),
       subchannels_per_device_(ddr_per_device * 2),
       lane_cfg_(lanes),
       plan_(plan),
       fabric_(std::make_unique<fabric::Fabric>(fab, cxl_channels, lanes, scope)),
-      router_(fab.interleave, fabric_->devices(), ddr_per_device * 2, fab.page_lines,
-              fab.contiguous_lines) {
+      amap_(std::move(stage2)) {
+  if (amap_.tiered_mode()) {
+    throw std::invalid_argument(
+        "CxlMemory: stage-2 AddressMap must be in pass-through mode "
+        "(tiered decode belongs to placement::TieredMemory)");
+  }
+  if (amap_.devices() != fabric_->devices()) {
+    throw std::invalid_argument(
+        "CxlMemory: AddressMap devices (" + std::to_string(amap_.devices()) +
+        ") must match fabric devices (" + std::to_string(fabric_->devices()) + ")");
+  }
   plan_.validate();
   fabric_->arm_faults(plan_);
   n_devices_ = fabric_->devices();
@@ -155,7 +177,7 @@ CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels
   out_.reserve(64);
   inflight_.reserve(256);
   free_slots_.reserve(256);
-  if (scope.valid()) register_aggregates(scope, *this);
+  if (scope.valid()) register_aggregate_probes(scope, *this);
 }
 
 std::uint32_t CxlMemory::alloc_slot(std::uint64_t token) {
@@ -186,7 +208,7 @@ std::uint32_t CxlMemory::alloc_fmsg(const FabricTxMsg& msg) {
 }
 
 bool CxlMemory::can_accept(Addr line, bool is_write, Cycle now) const {
-  const fabric::Router::Route r = router_.route(line);
+  const fabric::Router::Route r = amap_.route(line);
   if (!fabric_->can_send_tx(r.device, now)) return false;
   (void)is_write;
   // In-fabric messages already own an ingress slot so switched deliveries
@@ -195,7 +217,7 @@ bool CxlMemory::can_accept(Addr line, bool is_write, Cycle now) const {
 }
 
 void CxlMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token) {
-  const fabric::Router::Route r = router_.route(line);
+  const fabric::Router::Route r = amap_.route(line);
 
   DeviceMsg msg;
   msg.local_line = r.local;

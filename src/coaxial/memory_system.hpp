@@ -20,6 +20,7 @@
 #include "fabric/router.hpp"
 #include "link/cxl_link.hpp"
 #include "obs/metrics.hpp"
+#include "placement/address_map.hpp"
 #include "ras/fault_plan.hpp"
 
 namespace coaxial::mem {
@@ -103,7 +104,18 @@ class MemorySystem {
   /// Aggregated RAS events (all-zero for topologies without fault support
   /// or with faults disabled).
   virtual ras::RasCounters ras_counters() const { return {}; }
+
+  /// Aggregated placement/migration events (all-zero unless the system is
+  /// a placement::TieredMemory with tiering enabled).
+  virtual placement::TierCounters tier_counters() const { return {}; }
 };
+
+/// Fold one controller-stats sample into an aggregate.
+void accumulate(dram::ControllerStats& into, const dram::ControllerStats& from);
+
+/// Register the aggregate read/write/latency/bandwidth probes every
+/// topology exposes at its scope root (sampled from snapshot() lazily).
+void register_aggregate_probes(const obs::Scope& scope, const MemorySystem& mem);
 
 /// Baseline: `channels` DDR5 channels (2 sub-channels each) on package pins.
 class DirectDdrMemory final : public MemorySystem {
@@ -142,8 +154,8 @@ class DirectDdrMemory final : public MemorySystem {
 /// (1 normally, 2 for COAXIAL-asym), reached through a fabric::Fabric —
 /// direct x8 CXL links by default, or switched star/tree topologies with
 /// more devices than root ports. Cross-device placement is delegated to a
-/// fabric::Router (per-line by default; per-page / contiguous for the
-/// switched configs).
+/// pass-through placement::AddressMap wrapping the stage-2 fabric::Router
+/// (per-line by default; per-page / contiguous for the switched configs).
 class CxlMemory final : public MemorySystem {
  public:
   /// Legacy direct wiring: `cxl_channels` x8 links, one device per link.
@@ -165,6 +177,16 @@ class CxlMemory final : public MemorySystem {
             const dram::Timing& timing = {}, const dram::Geometry& geometry = {},
             obs::Scope scope = {}, const ras::FaultPlan& plan = {});
 
+  /// Injection form: cross-device placement comes from a caller-built
+  /// stage-2 AddressMap (pass-through mode; its device count must match
+  /// the fabric's). The other constructors delegate here after building
+  /// the map from `fab`'s interleave fields.
+  CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels,
+            std::uint32_t ddr_per_device, const link::LaneConfig& lanes,
+            placement::AddressMap stage2, const dram::Timing& timing = {},
+            const dram::Geometry& geometry = {}, obs::Scope scope = {},
+            const ras::FaultPlan& plan = {});
+
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
   Cycle tick(Cycle now) override;
@@ -172,7 +194,7 @@ class CxlMemory final : public MemorySystem {
   std::vector<MemCompletion>& completions() override { return out_; }
   std::uint32_t ports() const override { return fabric_->host_links(); }
   std::uint32_t port_of(Addr line) const override {
-    return fabric_->root_port_of(router_.device_of(line));
+    return fabric_->root_port_of(amap_.device_of(line));
   }
   MemorySnapshot snapshot() const override;
   void reset_stats() override;
@@ -249,7 +271,7 @@ class CxlMemory final : public MemorySystem {
   ras::RasCounters ras_dev_;  ///< Device/watchdog events (timeouts, dups, ...).
 
   std::unique_ptr<fabric::Fabric> fabric_;
-  fabric::Router router_;
+  placement::AddressMap amap_;  ///< Stage-2 pass-through placement.
   std::vector<std::unique_ptr<dram::Controller>> ctrls_;           // per sub-channel
   std::vector<std::deque<DeviceMsg>> device_ingress_;              // per sub-channel
   std::vector<Cycle> sub_wake_;  // next cycle each sub-channel could act

@@ -11,6 +11,10 @@
 //                devices, keeping spatial locality device-local.
 //   kContiguous  large contiguous extents per device (capacity-mode NUMA
 //                placement), round-robin at extent granularity.
+//
+// The Router is the stage-2 backend of the two-stage translation layer
+// (placement::AddressMap, DESIGN.md §10): stage 1 picks a tier, the tier's
+// Router spreads the tier-local address space across its devices.
 #pragma once
 
 #include "common/units.hpp"

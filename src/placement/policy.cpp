@@ -1,0 +1,103 @@
+#include "placement/policy.hpp"
+
+#include <algorithm>
+
+namespace coaxial::placement {
+namespace {
+
+/// Idle residents (no touches this epoch), least-recently-hot first with
+/// page-ascending tie-break: the deterministic LRU victim order.
+std::vector<FrameInfo> idle_victims(const PolicyInput& in) {
+  std::vector<FrameInfo> idle;
+  for (const FrameInfo& f : in.residents) {
+    if (f.epoch_count == 0) idle.push_back(f);
+  }
+  std::sort(idle.begin(), idle.end(), [](const FrameInfo& a, const FrameInfo& b) {
+    if (a.last_hot_epoch != b.last_hot_epoch) return a.last_hot_epoch < b.last_hot_epoch;
+    return a.page < b.page;
+  });
+  return idle;
+}
+
+/// Shared promote/demote planner: promote the hottest candidates at or
+/// above the threshold into currently-free frames, then spend the rest of
+/// the per-epoch budget demoting idle residents so the frames they free
+/// are available at the next barrier (a two-phase pipeline: demotions
+/// started this epoch install at the next barrier, promotions into those
+/// frames start the epoch after).
+PolicyActions hotness_plan(const PolicyInput& in, const TierConfig& cfg) {
+  PolicyActions out;
+  std::uint32_t budget = cfg.max_migrations_per_epoch;
+  std::uint32_t free_left = in.free_frames;
+  std::size_t next = 0;
+  while (next < in.candidates.size() && budget > 0 && free_left > 0) {
+    const PageCount& c = in.candidates[next];
+    if (c.count < cfg.promote_threshold) break;  // Sorted: rest are colder.
+    out.promote.push_back(c.page);
+    ++next;
+    --budget;
+    --free_left;
+  }
+  // Hot candidates left but no frames: evict idle residents to make room.
+  const bool pressure =
+      next < in.candidates.size() && in.candidates[next].count >= cfg.promote_threshold;
+  if (pressure && budget > 0) {
+    for (const FrameInfo& victim : idle_victims(in)) {
+      if (budget == 0) break;
+      out.demote.push_back(victim.page);
+      --budget;
+    }
+  }
+  return out;
+}
+
+class StaticInterleavePolicy final : public MigrationPolicy {
+ public:
+  PolicyActions plan(const PolicyInput&, const TierConfig&) override { return {}; }
+};
+
+class HotnessLruPolicy final : public MigrationPolicy {
+ public:
+  PolicyActions plan(const PolicyInput& in, const TierConfig& cfg) override {
+    return hotness_plan(in, cfg);
+  }
+};
+
+class BandwidthSpillPolicy final : public MigrationPolicy {
+ public:
+  PolicyActions plan(const PolicyInput& in, const TierConfig& cfg) override {
+    // Below the spill target the fast tier is underused: behave like
+    // hotness-LRU. At or above it, stop promoting — the capacity tier's
+    // independent bandwidth should keep serving the spill share — and
+    // drain idle residents to open headroom for future hot sets.
+    const double fast_share =
+        in.total_accesses == 0
+            ? 0.0
+            : static_cast<double>(in.fast_accesses) / static_cast<double>(in.total_accesses);
+    if (fast_share < cfg.spill_fraction) return hotness_plan(in, cfg);
+    PolicyActions out;
+    std::uint32_t budget = cfg.max_migrations_per_epoch;
+    for (const FrameInfo& victim : idle_victims(in)) {
+      if (budget == 0) break;
+      out.demote.push_back(victim.page);
+      --budget;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<MigrationPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kStaticInterleave:
+      return std::make_unique<StaticInterleavePolicy>();
+    case PolicyKind::kHotnessLru:
+      return std::make_unique<HotnessLruPolicy>();
+    case PolicyKind::kBandwidthSpill:
+      return std::make_unique<BandwidthSpillPolicy>();
+  }
+  return std::make_unique<StaticInterleavePolicy>();
+}
+
+}  // namespace coaxial::placement

@@ -1,0 +1,61 @@
+// Pluggable hot-page migration policies (DESIGN.md §10).
+//
+// A policy sees one epoch's worth of deterministic inputs — sorted
+// promotion candidates, current fast-tier residents, free-frame count and
+// the epoch's per-tier access split — and returns the promotions and
+// demotions to start this epoch. Policies are pure decision functions:
+// they never touch the AddressMap or issue traffic themselves, so the
+// migration engine stays the single mutation site and scheduler modes
+// agree bit-for-bit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "placement/tier_config.hpp"
+
+namespace coaxial::placement {
+
+/// A capacity-homed page and its access count this epoch. Candidate lists
+/// are pre-sorted by (count desc, page asc) before the policy sees them.
+struct PageCount {
+  Addr page = 0;
+  std::uint64_t count = 0;
+};
+
+/// A dynamically remapped fast-tier resident.
+struct FrameInfo {
+  Addr page = 0;
+  std::uint32_t frame = 0;
+  std::uint64_t epoch_count = 0;    ///< Touches this epoch (0 = idle).
+  std::uint64_t last_hot_epoch = 0; ///< Last epoch with any touch.
+};
+
+struct PolicyInput {
+  std::uint64_t epoch = 0;
+  /// Promotion candidates: capacity-homed, not migrating, count >= 1,
+  /// sorted hottest first (ties by page asc). Threshold filtering is the
+  /// policy's job so kBandwidthSpill can reason about the full tail.
+  std::vector<PageCount> candidates;
+  /// Dynamic residents in frame-index order (deterministic iteration).
+  std::vector<FrameInfo> residents;
+  std::uint32_t free_frames = 0;
+  std::uint64_t fast_accesses = 0;   ///< This epoch, tier 0.
+  std::uint64_t total_accesses = 0;  ///< This epoch, both tiers.
+};
+
+struct PolicyActions {
+  std::vector<Addr> promote;  ///< Pages to copy capacity -> fast.
+  std::vector<Addr> demote;   ///< Resident pages to copy fast -> capacity.
+};
+
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+  virtual PolicyActions plan(const PolicyInput& in, const TierConfig& cfg) = 0;
+};
+
+std::unique_ptr<MigrationPolicy> make_policy(PolicyKind kind);
+
+}  // namespace coaxial::placement

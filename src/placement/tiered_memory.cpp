@@ -1,0 +1,243 @@
+#include "placement/tiered_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coaxial::placement {
+
+TieredMemory::TieredMemory(const TierConfig& cfg, std::unique_ptr<mem::MemorySystem> fast,
+                           std::unique_ptr<mem::MemorySystem> capacity, obs::Scope scope)
+    : cfg_(cfg),
+      amap_(AddressMap::tiered(cfg)),  // Validates cfg.
+      fast_(std::move(fast)),
+      cap_(std::move(capacity)),
+      policy_(make_policy(cfg.policy)),
+      next_barrier_(cfg.epoch_cycles) {
+  out_.reserve(64);
+  if (scope.valid()) mem::register_aggregate_probes(scope, *this);
+}
+
+bool TieredMemory::can_accept(Addr line, bool is_write, Cycle now) const {
+  // Shootdown: writes to a page mid-copy are refused so the copied image
+  // cannot go stale; the caller parks and retries them every cycle, and the
+  // migrating mark clears at the install barrier, so progress is bounded.
+  if (is_write && amap_.migrating(amap_.page_of(line))) return false;
+  const Translation t = amap_.translate(line);
+  return t.tier == 0 ? fast_->can_accept(t.local_line, is_write, now)
+                     : cap_->can_accept(t.local_line, is_write, now);
+}
+
+void TieredMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token) {
+  const Translation t = amap_.translate(line);
+  heat_.note(amap_.page_of(line));
+  if (t.tier == 0) {
+    ++ctr_.fast_accesses;
+    ++epoch_fast_;
+    fast_->access(t.local_line, is_write, now, token);
+  } else {
+    ++ctr_.capacity_accesses;
+    ++epoch_cap_;
+    cap_->access(t.local_line, is_write, now, token);
+  }
+}
+
+std::uint32_t TieredMemory::port_of(Addr line) const {
+  const Translation t = amap_.translate(line);
+  return t.tier == 0 ? fast_->port_of(t.local_line)
+                     : fast_->ports() + cap_->port_of(t.local_line);
+}
+
+Cycle TieredMemory::tick(Cycle now) {
+  while (now >= next_barrier_) process_barrier();
+  pump_migrations(now);
+  Cycle wake = std::min(fast_->tick(now), cap_->tick(now));
+  drain_inner(fast_->completions());
+  drain_inner(cap_->completions());
+  wake = std::min(wake, next_barrier_);
+  // Active copy jobs make per-cycle progress (read credits free, completed
+  // reads unlock writes), so poll every cycle while any exist.
+  if (!active_.empty() || !backlog_.empty()) wake = std::min(wake, now + 1);
+  return std::max(wake, now + 1);
+}
+
+void TieredMemory::drain_inner(std::vector<mem::MemCompletion>& in) {
+  for (const mem::MemCompletion& c : in) {
+    if (c.token & kMigFlag) {
+      MigrationJob& job = jobs_[static_cast<std::uint32_t>((c.token >> 32) & 0x7fffffffu)];
+      job.ready_writes.push_back(static_cast<std::uint32_t>(c.token & 0xffffffffu));
+      ++job.reads_done;
+    } else {
+      out_.push_back(c);
+    }
+  }
+  in.clear();
+}
+
+void TieredMemory::pump_migrations(Cycle now) {
+  while (active_.size() < cfg_.max_concurrent_migrations && !backlog_.empty()) {
+    active_.push_back(backlog_.front());
+    backlog_.pop_front();
+  }
+  for (std::size_t i = 0; i < active_.size();) {
+    const std::uint32_t id = active_[i];
+    MigrationJob& job = jobs_[id];
+    mem::MemorySystem& src = job.promote ? *cap_ : *fast_;
+    mem::MemorySystem& dst = job.promote ? *fast_ : *cap_;
+    while (job.reads_issued < cfg_.page_lines) {
+      const Addr src_line = src_line_of(job, job.reads_issued);
+      if (!src.can_accept(src_line, false, now)) break;
+      src.access(src_line, false, now,
+                 kMigFlag | (static_cast<std::uint64_t>(id) << 32) | job.reads_issued);
+      ++job.reads_issued;
+      ++ctr_.migration_reads;
+      ctr_.migration_bytes += kLineBytes;
+    }
+    while (job.write_cursor < job.ready_writes.size()) {
+      const Addr dst_line = dst_line_of(job, job.ready_writes[job.write_cursor]);
+      if (!dst.can_accept(dst_line, true, now)) break;
+      dst.access(dst_line, true, now, 0);  // Posted, like demand writebacks.
+      ++job.write_cursor;
+      ++ctr_.migration_writes;
+      ctr_.migration_bytes += kLineBytes;
+    }
+    if (job.write_cursor == cfg_.page_lines) {
+      completed_.push_back(id);
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void TieredMemory::process_barrier() {
+  ++epoch_index_;
+  ++ctr_.epochs;
+
+  // Publish finished copies first: their pages leave the migrating set, so
+  // this epoch's plan sees the post-install remap table.
+  for (const std::uint32_t id : completed_) {
+    MigrationJob& job = jobs_[id];
+    if (job.promote) {
+      amap_.install_promotion(job.page, job.frame, epoch_index_);
+      ++ctr_.promotions;
+    } else {
+      amap_.install_demotion(job.page);
+      ++ctr_.demotions;
+    }
+    ++ctr_.installs;
+    amap_.set_migrating(job.page, false);
+    job = MigrationJob{};
+    free_jobs_.push_back(id);
+  }
+  completed_.clear();
+
+  PolicyInput in;
+  in.epoch = epoch_index_;
+  for (const PageHeat::Entry& e : heat_.entries()) {
+    if (amap_.migrating(e.page)) continue;
+    if (amap_.remapped(e.page)) {
+      amap_.touch_resident(e.page, epoch_index_, e.count);
+      continue;
+    }
+    if (amap_.native_fast(e.page)) continue;
+    in.candidates.push_back({e.page, e.count});
+  }
+  std::sort(in.candidates.begin(), in.candidates.end(),
+            [](const PageCount& a, const PageCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.page < b.page;
+            });
+  const std::vector<AddressMap::FrameMeta>& frames = amap_.frames();
+  for (std::uint32_t f = amap_.native_frames(); f < frames.size(); ++f) {
+    const AddressMap::FrameMeta& meta = frames[f];
+    // Only published residents: frames reserved for in-flight promotions
+    // are in_use but unmapped, and migrating (demoting) pages are spoken for.
+    if (!meta.in_use || !amap_.remapped(meta.page)) continue;
+    if (amap_.frame_of(meta.page) != f || amap_.migrating(meta.page)) continue;
+    in.residents.push_back({meta.page, f, heat_.count_of(meta.page), meta.last_hot_epoch});
+  }
+  in.free_frames = amap_.free_frames();
+  in.fast_accesses = epoch_fast_;
+  in.total_accesses = epoch_fast_ + epoch_cap_;
+
+  const PolicyActions acts = policy_->plan(in, cfg_);
+  for (const Addr page : acts.promote) {
+    if (amap_.remapped(page) || amap_.native_fast(page) || amap_.migrating(page)) continue;
+    if (amap_.free_frames() == 0) break;
+    start_job(page, amap_.alloc_frame(), /*promote=*/true);
+  }
+  for (const Addr page : acts.demote) {
+    if (!amap_.remapped(page) || amap_.migrating(page)) continue;
+    start_job(page, amap_.frame_of(page), /*promote=*/false);
+  }
+
+  heat_.clear();
+  epoch_fast_ = 0;
+  epoch_cap_ = 0;
+  next_barrier_ += cfg_.epoch_cycles;
+}
+
+void TieredMemory::start_job(Addr page, std::uint32_t frame, bool promote) {
+  std::uint32_t id;
+  if (!free_jobs_.empty()) {
+    id = free_jobs_.back();
+    free_jobs_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(jobs_.size());
+    jobs_.emplace_back();
+  }
+  MigrationJob& job = jobs_[id];
+  job = MigrationJob{};
+  job.page = page;
+  job.frame = frame;
+  job.promote = promote;
+  job.ready_writes.reserve(cfg_.page_lines);
+  amap_.set_migrating(page, true);
+  backlog_.push_back(id);
+  ++ctr_.jobs_started;
+}
+
+mem::MemorySnapshot TieredMemory::snapshot() const {
+  const mem::MemorySnapshot a = fast_->snapshot();
+  const mem::MemorySnapshot b = cap_->snapshot();
+  mem::MemorySnapshot s;
+  s.reads = a.reads + b.reads;
+  s.writes = a.writes + b.writes;
+  s.dram_service_sum = a.dram_service_sum + b.dram_service_sum;
+  s.dram_queue_sum = a.dram_queue_sum + b.dram_queue_sum;
+  s.cxl_interface_sum = a.cxl_interface_sum + b.cxl_interface_sum;
+  s.cxl_queue_sum = a.cxl_queue_sum + b.cxl_queue_sum;
+  s.data_bus_busy = a.data_bus_busy + b.data_bus_busy;
+  s.subchannels = a.subchannels + b.subchannels;
+  s.peak_gbps = peak_gbps();
+  s.row_hit_rate = aggregate_dram_stats().row_hit_rate();
+  return s;
+}
+
+void TieredMemory::reset_stats() {
+  // Inner-tier DRAM/link accumulators reset with the measurement window;
+  // tier counters stay lifetime totals so the conservation invariant
+  // (promotions - demotions == live remap occupancy) holds at any sample.
+  fast_->reset_stats();
+  cap_->reset_stats();
+}
+
+dram::ControllerStats TieredMemory::aggregate_dram_stats() const {
+  dram::ControllerStats agg = fast_->aggregate_dram_stats();
+  mem::accumulate(agg, cap_->aggregate_dram_stats());
+  return agg;
+}
+
+ras::RasCounters TieredMemory::ras_counters() const {
+  ras::RasCounters c = fast_->ras_counters();
+  c += cap_->ras_counters();
+  return c;
+}
+
+TierCounters TieredMemory::tier_counters() const {
+  TierCounters c = ctr_;
+  c.remap_occupancy = amap_.remap_occupancy();
+  return c;
+}
+
+}  // namespace coaxial::placement

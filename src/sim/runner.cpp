@@ -58,6 +58,26 @@ RunResult run_one(const RunRequest& request) {
   if (request.workloads.empty()) {
     throw std::invalid_argument("RunRequest needs at least one workload name");
   }
+  sys::SystemConfig cfg = request.config;
+  const bool tier_override = !request.tier_policy.empty() ||
+                             request.tier_fast_pages != 0 ||
+                             request.tier_epoch_cycles != 0;
+  if (tier_override) {
+    if (!cfg.tiering.enabled) {
+      throw std::invalid_argument(
+          "RunRequest: tiering overrides require a config with tiering enabled");
+    }
+    if (!request.tier_policy.empty()) {
+      cfg.tiering.policy = placement::policy_from_name(request.tier_policy);
+    }
+    if (request.tier_fast_pages != 0) {
+      cfg.tiering.fast_capacity_pages = request.tier_fast_pages;
+    }
+    if (request.tier_epoch_cycles != 0) {
+      cfg.tiering.epoch_cycles = request.tier_epoch_cycles;
+    }
+    cfg.tiering.validate();  // Reject bad sweeps before spending a run.
+  }
   // Catalog lookups are string-keyed; resolve each distinct name once and
   // reuse the params across cores (mixes repeat a handful of names).
   std::unordered_map<std::string, workload::WorkloadParams> by_name;
@@ -72,7 +92,7 @@ RunResult run_one(const RunRequest& request) {
     per_core.push_back(it->second);
   }
 
-  System system(request.config, per_core, request.seed);
+  System system(cfg, per_core, request.seed);
   const obs::prof::Totals prof_base = obs::prof::thread_totals();
   const auto wall_start = std::chrono::steady_clock::now();
   system.run(request.warmup_instr, request.measure_instr);
@@ -86,7 +106,7 @@ RunResult run_one(const RunRequest& request) {
   }
 
   RunResult result;
-  result.config_name = request.config.name;
+  result.config_name = cfg.name;
   result.workload_name = request.workloads.size() == 1
                              ? request.workloads.front()
                              : "mix-" + std::to_string(request.mix_id);

@@ -28,6 +28,14 @@ struct RunRequest {
   /// budgets and workload names above are ignored, and end-of-run is defined
   /// by the simulated-time horizon instead of per-core trace length.
   ServiceConfig service;
+
+  /// Tiering overrides applied on top of `config.tiering` (sweep knobs for
+  /// benches/tools; defaults leave the config untouched). `tier_policy`
+  /// must be a placement::policy_from_name() name; zero budget values keep
+  /// the config's. Overrides require `config.tiering.enabled`.
+  std::string tier_policy;
+  std::uint64_t tier_fast_pages = 0;
+  Cycle tier_epoch_cycles = 0;
 };
 
 struct RunResult {

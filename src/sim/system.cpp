@@ -42,6 +42,7 @@ constexpr Cycle kRetryInterval = 2;  ///< L2-MSHR-full replay spacing.
 void System::build_shared_structures() {
   const sys::MicroarchConfig& u = cfg_.uarch;
   cfg_.fault_plan.validate();  // Fail fast even for topologies that ignore it.
+  cfg_.tiering.validate();
   ras_enabled_ = cfg_.fault_plan.enabled();
   const obs::Scope root(&metrics_, "");
   memory_ = cfg_.make_memory(root.sub("mem"));
@@ -105,6 +106,34 @@ void System::build_shared_structures() {
       rs.expose_counter("core/" + obs::idx(c) + "/machine_checks",
                         [this, c] { return cores_[c]->machine_checks(); });
     }
+  }
+  // Like ras/*, the tier/* subtree is opt-in with the feature so the
+  // metrics-tree shape (and the golden baseline) is unchanged when tiering
+  // is disabled. Counters are lifetime totals sampled at snapshot time.
+  if (cfg_.tiering.enabled) {
+    const obs::Scope ts = root.sub("tier");
+    ts.expose_counter("epochs", [this] { return memory_->tier_counters().epochs; });
+    ts.expose_counter("jobs_started",
+                      [this] { return memory_->tier_counters().jobs_started; });
+    ts.expose_counter("installs", [this] { return memory_->tier_counters().installs; });
+    ts.expose_counter("promotions",
+                      [this] { return memory_->tier_counters().promotions; });
+    ts.expose_counter("demotions",
+                      [this] { return memory_->tier_counters().demotions; });
+    ts.expose_counter("migration_reads",
+                      [this] { return memory_->tier_counters().migration_reads; });
+    ts.expose_counter("migration_writes",
+                      [this] { return memory_->tier_counters().migration_writes; });
+    ts.expose_counter("migration_bytes",
+                      [this] { return memory_->tier_counters().migration_bytes; });
+    ts.expose_counter("remap_occupancy",
+                      [this] { return memory_->tier_counters().remap_occupancy; });
+    ts.expose_counter("fast/accesses",
+                      [this] { return memory_->tier_counters().fast_accesses; });
+    ts.expose_counter("capacity/accesses",
+                      [this] { return memory_->tier_counters().capacity_accesses; });
+    ts.expose("fast/fraction",
+              [this] { return memory_->tier_counters().fast_fraction(); });
   }
   for (std::uint32_t p = 0; p < memory_->ports(); ++p) {
     port_tile_.push_back(mesh_.memory_tile(p, memory_->ports()));

@@ -132,6 +132,8 @@ const WorkloadParams& find_workload(const std::string& name) {
     if (w.name == name) return w;
   }
   if (name == interleave_stress().name) return interleave_stress();
+  if (name == tiered_hotcold().name) return tiered_hotcold();
+  if (name == tiered_hotcold_wide().name) return tiered_hotcold_wide();
   throw std::out_of_range("unknown workload: " + name);
 }
 
@@ -156,6 +158,45 @@ const WorkloadParams& interleave_stress() {
                      /*burst=*/0.3};
     WorkloadParams p = make(s);
     p.streams = 16;  // Many live streams => many pages touched at once.
+    return p;
+  }();
+  return preset;
+}
+
+const WorkloadParams& tiered_hotcold() {
+  static const WorkloadParams preset = [] {
+    // Random-dominated traffic over a 32 MB/core cold tier whose warm
+    // subset (0.5% of pages, ~160 KB/core — far over the per-core LLC
+    // share but a few hundred fast-tier frames) absorbs 85% of the cold
+    // accesses. The subset must be tight enough that a promoted page's
+    // ~9 touches/epoch amortize the 128-line-op page copy within a few
+    // epochs, yet page-sparse (hash-scattered) so static HDM ranges
+    // cannot cover it. Dependent loads make the capacity tier's extra
+    // latency visible, so promoting the warm pages moves IPC.
+    const Shape s = {"tiered-hotcold", "TIER",
+                     /*seq=*/0.10, /*p_hot=*/0.20, /*p_mid=*/0.10,
+                     /*store=*/0.25, /*dep=*/0.50, /*max_ipc=*/2.0,
+                     /*ipc=*/0.40, /*mpki=*/40,
+                     /*mid_kb=*/1152, /*hot_kb=*/128, /*cold_kb=*/32768,
+                     /*burst=*/0.5};
+    WorkloadParams p = make(s);
+    p.streams = 4;
+    p.cold_hot_fraction = 0.005;
+    p.cold_hot_prob = 0.85;
+    return p;
+  }();
+  return preset;
+}
+
+const WorkloadParams& tiered_hotcold_wide() {
+  static const WorkloadParams preset = [] {
+    WorkloadParams p = tiered_hotcold();
+    p.name = "tiered-hotcold-wide";
+    // 3x the warm footprint at a slightly flatter skew: the 12-core warm
+    // set (~1.4k pages) overflows a 1024-frame fast tier, so small tiers
+    // must demote, while large ones still capture the whole set.
+    p.cold_hot_fraction = 0.015;
+    p.cold_hot_prob = 0.75;
     return p;
   }();
   return preset;

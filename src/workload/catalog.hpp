@@ -37,4 +37,16 @@ const WorkloadParams& interleave_stress();
 /// workloads, so switch ports see both bulk streams and dependent reads.
 std::vector<WorkloadParams> interleave_stress_mix(std::uint32_t cores);
 
+/// Skewed hot/cold preset ("tiered-hotcold") for the tiering studies: a
+/// large memory-resident cold tier where a small, page-sparse warm subset
+/// absorbs most cold accesses — the footprint a hot-page migration policy
+/// can capture in a small fast tier but static HDM ranges cannot. Catalog-
+/// external like interleave_stress(); find_workload resolves it by name.
+const WorkloadParams& tiered_hotcold();
+
+/// Wider-warm-set variant ("tiered-hotcold-wide"): the warm subset is a
+/// larger slice of the cold tier, stressing fast-tier capacity pressure
+/// (promotion churn, LRU demotion, bandwidth spill).
+const WorkloadParams& tiered_hotcold_wide();
+
 }  // namespace coaxial::workload

@@ -52,6 +52,18 @@ Generator::Generator(const WorkloadParams& params, std::uint32_t core_id, std::u
   mem_frac_burst_ = std::min(0.9, params_.mem_fraction * (1.0 + 2.0 * b));
   mem_frac_calm_ = std::min(0.9, params_.mem_fraction * (1.0 - b));
 
+  if (params_.cold_hot_fraction > 0 && params_.cold_hot_prob > 0) {
+    const Addr cold_pages = cold_bytes_ / 4096;
+    warm_pages_ = static_cast<Addr>(params_.cold_hot_fraction *
+                                    static_cast<double>(cold_pages));
+    // Scatter domain: largest power of two <= cold_pages, so the odd-
+    // multiplier hash below is a bijection over it.
+    Addr pow2 = 1;
+    while (pow2 * 2 <= cold_pages) pow2 *= 2;
+    cold_page_mask_ = pow2 - 1;
+    if (cold_pages == 0 || warm_pages_ == 0) warm_pages_ = 0;
+  }
+
   const std::uint32_t n_streams = std::max<std::uint32_t>(1, params_.streams);
   stream_pos_.reserve(n_streams);
   for (std::uint32_t s = 0; s < n_streams; ++s) {
@@ -105,6 +117,22 @@ Instr Generator::next() {
       base = base_cold_;
       span = cold_bytes_;
       pc_base = kPcColdBase;
+      if (warm_pages_ > 0 && rng_.chance(params_.cold_hot_prob)) {
+        // Skewed cold access: pick one of the warm pages and scatter it
+        // over the cold tier with an odd-multiplier bijection, so the warm
+        // set is page-sparse (a tiering policy must track pages, not
+        // ranges, to capture it).
+        const Addr widx = rng_.next_below(warm_pages_);
+        const Addr page = (widx * 0x9e3779b97f4a7c15ull) & cold_page_mask_;
+        ins.addr = base_cold_ + page * 4096 +
+                   (rng_.next_below(4096) & ~static_cast<Addr>(7));
+        ins.pc = pc_base + 8 * rng_.next_below(kPcsPerClass);
+        if (!is_store && saw_load_ && rng_.chance(params_.dep_prob)) {
+          ins.depends_on_prev_load = true;
+        }
+        if (!is_store) saw_load_ = true;
+        return ins;
+      }
     }
     ins.addr = base + (rng_.next_below(span) & ~static_cast<Addr>(7));
     ins.pc = pc_base + 8 * rng_.next_below(kPcsPerClass);

@@ -50,6 +50,14 @@ struct WorkloadParams {
   double dep_prob = 0.1;  ///< P(load depends on the previous load).
   double max_ipc = 3.0;   ///< Front-end/ILP ceiling (no-miss IPC).
 
+  // Cold-tier page skew, for tiered-placement studies (DESIGN.md §10):
+  // a `cold_hot_fraction` subset of the cold tier's 4 KiB pages (scattered
+  // across the tier, so no contiguous range covers them) absorbs
+  // `cold_hot_prob` of the cold random accesses. Both default to 0, which
+  // draws nothing from the RNG and leaves legacy streams byte-identical.
+  double cold_hot_fraction = 0.0;
+  double cold_hot_prob = 0.0;
+
   /// Temporal burstiness in [0,1): the generator alternates memory-intense
   /// bursts (1/3 of instructions, mem_fraction*(1+2b)) with quieter gaps
   /// (mem_fraction*(1-b)), preserving the average. Real traces are phased;
@@ -101,6 +109,8 @@ class Generator {
                    ///< alignment is what loads the shared controllers).
   Addr base_hot_, base_mid_, base_cold_;
   Addr hot_bytes_, mid_bytes_, cold_bytes_;
+  Addr warm_pages_ = 0;      ///< Skewed cold subset size (0 = no skew).
+  Addr cold_page_mask_ = 0;  ///< Pow2-1 page mask for the scatter bijection.
   std::vector<Addr> stream_pos_;  ///< Byte offsets into the cold tier.
   double mem_frac_burst_ = 0;  ///< min(0.9, mem_fraction*(1+2b)), hoisted.
   double mem_frac_calm_ = 0;   ///< min(0.9, mem_fraction*(1-b)), hoisted.

@@ -321,6 +321,31 @@ TEST(StatDiff, SvcSubtreeGlobRules) {
   EXPECT_EQ(diffs[0].reason, "not-exact");
 }
 
+TEST(StatDiff, TierSubtreeGlobRules) {
+  // The tiering CI smoke pins the whole tier/* subtree exact with one glob:
+  // heat counters, epoch barriers and migration traffic are all functions
+  // of the deterministic access stream, so two runs (and both scheduler
+  // modes) must agree bit-for-bit.
+  EXPECT_TRUE(glob_match("tier/*", "tier/promotions"));
+  EXPECT_TRUE(glob_match("tier/*", "tier/fast/fraction"));
+  EXPECT_TRUE(glob_match("tier/*", "tier/capacity/accesses"));
+  EXPECT_FALSE(glob_match("tier/*", "run/tier_like/counter"));
+  EXPECT_FALSE(glob_match("tier/*", "mem/tier0/dram/ctrl00/reads"));
+
+  const json::Flat a = flat(R"({"tier": {"promotions": 12, "demotions": 3,
+                                         "fast": {"fraction": 0.8}},
+                                "lat": {"avg": 10.0}})");
+  const json::Flat b = flat(R"({"tier": {"promotions": 13, "demotions": 3,
+                                         "fast": {"fraction": 0.8}},
+                                "lat": {"avg": 10.4}})");
+  DiffOptions opts;
+  opts.rules.push_back({"lat/", 0.1});
+  opts.rules.push_back({"tier/*", 0.0});
+  const auto diffs = diff_stats(a, b, opts);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].path, "tier/promotions");
+}
+
 TEST(Registry, FixedHistogramViewFlattensTailLeaves) {
   // expose_fixed_histogram turns a component-owned FixedHistogram into the
   // service-latency leaf set; the cycle percentiles and max are integral so
