@@ -1,0 +1,147 @@
+// Multi-host pooling sweep: per-host IPC and shared-read p99 vs host count
+// x sharing fraction on the pool-pingpong contention workload (DESIGN.md
+// §12). Every run shares the same pooled-device shape, so adding hosts adds
+// demand (and coherence traffic) against fixed pooled bandwidth: per-host
+// IPC must fall as hosts are added at any non-zero sharing fraction, and
+// fall faster the more of the traffic is shared. share=0 rows are the
+// contention-free baseline (no directory traffic at all).
+//
+// At full budget the harness asserts the acceptance gates and exits
+// non-zero on violation:
+//   1. Ping-pong degradation: at the highest sharing fraction, mean
+//      per-host IPC is monotone non-increasing in host count (1%
+//      tolerance for window-alignment noise).
+//   2. Sharing hurts: at the largest host count, IPC at the highest
+//      sharing fraction is below the share=0 baseline.
+// Independent of budget it asserts victim isolation *exactly*: a host
+// with share_fraction_per_host = 0 issues the byte-identical op stream
+// whether its neighbour shares 0% or 90% — generator and share-RNG draws
+// are per-slice, so the victim's issued reads/writes must match to the
+// last access.
+#include "bench/common/harness.hpp"
+
+#include "pool/pool_config.hpp"
+#include "sim/svg_plot.hpp"
+
+namespace {
+using namespace coaxial;
+
+std::uint64_t counter(const sim::RunResult& r, const std::string& path) {
+  const auto it = r.metrics.find(path);
+  return it == r.metrics.end() ? 0 : it->second.count;
+}
+
+}  // namespace
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Pooling sweep", "host count x sharing fraction, pool-pingpong");
+
+  const std::vector<std::uint32_t> hosts = {1, 2, 3, 4};
+  const std::vector<double> shares = {0.0, 0.25, 0.5, 0.9};
+  const bench::Budget b = bench::budget();
+
+  std::vector<sim::RunRequest> requests;
+  for (const double share : shares) {
+    for (const std::uint32_t h : hosts) {
+      sim::RunRequest req;
+      req.pool = sys::coaxial_pooled(h, share);
+      req.pool.name += "/s" + report::num(share, 2);
+      req.warmup_instr = b.warmup;
+      req.measure_instr = b.measure;
+      req.seed = 42;
+      requests.push_back(req);
+    }
+  }
+  // Victim-isolation pair, appended after the sweep grid: host 0 never
+  // shares; host 1 shares nothing vs. almost everything.
+  for (const double bully : {0.0, 0.9}) {
+    sim::RunRequest req;
+    req.pool = sys::coaxial_pooled(2, 0.5);
+    req.pool.share_fraction_per_host = {0.0, bully};
+    req.pool.name += "/victim-b" + report::num(bully, 2);
+    req.warmup_instr = b.warmup;
+    req.measure_instr = b.measure;
+    req.seed = 42;
+    requests.push_back(req);
+  }
+  const auto runs = sim::run_many(requests, bench::bench_threads());
+
+  report::Table table({"hosts", "share", "ipc_per_host", "read_p99_ns",
+                       "invals_sent", "recalls_dirty", "pingpong"});
+  // ipc[share][hosts]
+  std::vector<std::vector<double>> ipc(shares.size(),
+                                       std::vector<double>(hosts.size()));
+  std::size_t i = 0;
+  for (std::size_t s = 0; s < shares.size(); ++s) {
+    for (std::size_t h = 0; h < hosts.size(); ++h, ++i) {
+      const sim::RunResult& r = runs[i];
+      ipc[s][h] = r.pooled.ipc_mean;
+      table.add_row({std::to_string(hosts[h]), report::num(shares[s], 2),
+                     report::num(ipc[s][h], 4),
+                     report::num(r.pooled.read_p99_ns, 1),
+                     std::to_string(r.pooled.pool.invals_sent),
+                     std::to_string(r.pooled.pool.recalls_dirty),
+                     std::to_string(r.pooled.pool.pingpong_transitions)});
+    }
+  }
+  table.print();
+
+  bool ok = true;
+  const bool full_budget = b.measure >= 100'000;
+
+  // Gate 1: ping-pong degradation at the highest sharing fraction.
+  const std::size_t top = shares.size() - 1;
+  for (std::size_t h = 1; h < hosts.size(); ++h) {
+    std::cout << "\nshare " << report::num(shares[top], 2) << ": IPC "
+              << hosts[h - 1] << "h -> " << hosts[h]
+              << "h = " << report::num(ipc[top][h] / ipc[top][h - 1], 3);
+    if (full_budget && ipc[top][h] > 1.01 * ipc[top][h - 1]) {
+      std::cout << "  VIOLATED (per-host IPC must not rise with host count)";
+      ok = false;
+    }
+  }
+  // Gate 2: at the largest host count, sharing must cost throughput.
+  const std::size_t last = hosts.size() - 1;
+  std::cout << "\nshare cost @" << hosts[last]
+            << "h: " << report::num(ipc[top][last] / ipc[0][last], 3);
+  if (full_budget && !(ipc[top][last] < ipc[0][last])) {
+    std::cout << "  VIOLATED (contended sharing must trail the private baseline)";
+    ok = false;
+  }
+
+  // Victim isolation: exact, budget-independent. The victim's op stream is
+  // a pure function of its own generator + share RNG, so the bully's
+  // sharing fraction must not perturb a single issued access.
+  const sim::RunResult& quiet = runs[runs.size() - 2];
+  const sim::RunResult& noisy = runs[runs.size() - 1];
+  const std::uint64_t qr = counter(quiet, "pool/host/00/reads");
+  const std::uint64_t qw = counter(quiet, "pool/host/00/writes");
+  const std::uint64_t nr = counter(noisy, "pool/host/00/reads");
+  const std::uint64_t nw = counter(noisy, "pool/host/00/writes");
+  std::cout << "\nvictim host 0: reads " << qr << " vs " << nr << ", writes "
+            << qw << " vs " << nw;
+  if (qr != nr || qw != nw || qr == 0) {
+    std::cout << "  VIOLATED (victim op stream must be byte-identical)";
+    ok = false;
+  }
+
+  std::cout << "\n\npooling gates: "
+            << (full_budget ? (ok ? "hold" : "VIOLATED")
+                            : (ok ? "isolation holds (IPC gates need full budget)"
+                                  : "VIOLATED"))
+            << "\n";
+
+  bench::finish(table, "pooling_sweep.csv", runs);
+  std::vector<double> x(hosts.begin(), hosts.end());
+  std::vector<report::Series> series;
+  for (std::size_t s = 0; s < shares.size(); ++s) {
+    series.push_back({"share=" + report::num(shares[s], 2), ipc[s]});
+  }
+  const std::string svg = bench::out_path("pooling_sweep.svg");
+  if (report::write_line_chart_svg(svg, "Per-host IPC vs host count (pool-pingpong)",
+                                   x, series, "hosts", "mean per-host IPC")) {
+    std::cout << "[svg] " << svg << "\n";
+  }
+  return ok ? 0 : 1;
+}

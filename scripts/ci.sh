@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the full test suite, verify the
 # golden stats document against the checked-in baseline with statdiff, run
-# the RAS fault-preset and tiering smokes (deterministic ras/* and tier/*
-# stats across two runs), gate host wall-clock against the committed
-# BENCH_5.json baseline, and smoke the sanitizer build
+# the RAS fault-preset, tiering, and pooling smokes (deterministic ras/*,
+# tier/*, and pool/* stats across two runs), gate host wall-clock against
+# the committed BENCH_5.json baseline, and smoke the sanitizer build
 # (-DCOAXIAL_SANITIZE=ON) on the invariant + golden + fabric + ras + perf +
-# svc + tier ctest labels.
+# svc + tier + pool ctest labels.
 #
 # Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
 set -euo pipefail
@@ -88,6 +88,26 @@ grep -q '"tier"' "${TIER_SMOKE}/a/out/tiering_sweep.stats.json"
   "${TIER_SMOKE}/a/out/tiering_sweep.stats.json" \
   "${TIER_SMOKE}/b/out/tiering_sweep.stats.json"
 
+echo "=== pooling smoke ==="
+# Run the multi-host pooling sweep twice at a small budget and require the
+# stats documents to be byte-equivalent: pool/* leaves (coherence txns,
+# invalidation send/ack counts, directory occupancy, per-host retirements)
+# are pinned exact by a glob rule — the directory protocol is deterministic,
+# so two runs must agree bit-for-bit — and everything else gets the golden
+# tolerance. Also assert the pool/* subtree appeared.
+POOL_SMOKE="${BUILD_DIR}/pool_smoke"
+BENCH_POOL="$(cd "${BUILD_DIR}" && pwd)/bench/bench_pooling"
+mkdir -p "${POOL_SMOKE}/a" "${POOL_SMOKE}/b"
+for side in a b; do
+  (cd "${POOL_SMOKE}/${side}" &&
+   COAXIAL_STATS_JSON=1 COAXIAL_INSTR=10000 COAXIAL_WARMUP=2000 \
+     "${BENCH_POOL}" > bench_pooling.log)
+done
+grep -q '"pool"' "${POOL_SMOKE}/a/out/pooling_sweep.stats.json"
+"${BUILD_DIR}/tools/statdiff" --rtol 1e-9 --rtol 'pool/*=0' \
+  "${POOL_SMOKE}/a/out/pooling_sweep.stats.json" \
+  "${POOL_SMOKE}/b/out/pooling_sweep.stats.json"
+
 echo "=== perf layer tests ==="
 # Explicit pass over the host-performance label (profiler inertness,
 # ready-cache vs brute-force equivalence, thread-pool exception safety).
@@ -107,10 +127,11 @@ echo "=== sanitizer build (ASan+UBSan) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}"
-# Invariant + golden + fabric + ras + svc + tier labels drive every layer
-# (cores, caches, DRAM, CXL, switched fabric, scheduler, fault injection,
-# open-loop service traffic, tiered placement/migration) end to end under
-# the sanitizers without rerunning all 600+ tests.
-ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc|tier"
+# Invariant + golden + fabric + ras + svc + tier + pool labels drive every
+# layer (cores, caches, DRAM, CXL, switched fabric, scheduler, fault
+# injection, open-loop service traffic, tiered placement/migration,
+# multi-host pooling/coherence) end to end under the sanitizers without
+# rerunning all 600+ tests.
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc|tier|pool"
 
 echo "=== CI OK ==="

@@ -123,6 +123,29 @@ std::vector<SystemConfig> all_configs() {
   return {baseline_ddr(), coaxial_5x(), coaxial_2x(), coaxial_4x(), coaxial_asym()};
 }
 
+pool::PoolConfig coaxial_pooled(std::uint32_t n_hosts, double share_fraction,
+                                std::uint32_t shared_devices,
+                                std::uint32_t private_devices) {
+  pool::PoolConfig c;
+  c.name = "COAXIAL-pooled" + std::to_string(n_hosts) + "h";
+  c.n_hosts = n_hosts;
+  c.shared_devices = shared_devices;
+  c.private_devices = private_devices;
+  c.share_fraction = share_fraction;
+  return c;
+}
+
+pool::PoolConfig coaxial_pooled_switched(std::uint32_t n_hosts,
+                                         double share_fraction,
+                                         std::uint32_t shared_devices,
+                                         std::uint32_t private_devices) {
+  pool::PoolConfig c =
+      coaxial_pooled(n_hosts, share_fraction, shared_devices, private_devices);
+  c.name = "COAXIAL-pooled" + std::to_string(n_hosts) + "h-sw";
+  c.fabric_kind = fabric::TopologyKind::kStar;
+  return c;
+}
+
 ras::FaultPlan ras_crc_noise(double bit_error_rate) {
   ras::FaultPlan p;
   p.bit_error_rate = bit_error_rate;

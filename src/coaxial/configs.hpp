@@ -19,6 +19,7 @@
 #include "fabric/topology.hpp"
 #include "link/lane_config.hpp"
 #include "placement/tier_config.hpp"
+#include "pool/pool_config.hpp"
 #include "ras/fault_plan.hpp"
 
 namespace coaxial::sys {
@@ -138,6 +139,23 @@ SystemConfig coaxial_tiered(
 
 /// All five evaluated configurations in Table II order.
 std::vector<SystemConfig> all_configs();
+
+/// Multi-host pooled COAXIAL (DESIGN.md §12): `n_hosts` host slices, each
+/// with `private_devices` private Type-3 devices, sharing `shared_devices`
+/// pooled devices guarded by per-device coherence directories. Every host
+/// redirects `share_fraction` of its memory ops into the shared window
+/// (hot-subset skewed), which is what generates directory traffic.
+pool::PoolConfig coaxial_pooled(std::uint32_t n_hosts = 2,
+                                double share_fraction = 0.5,
+                                std::uint32_t shared_devices = 2,
+                                std::uint32_t private_devices = 1);
+
+/// Switched variant: each host reaches its devices through a shared CXL
+/// switch, so back-invalidations and recall acks pay the switch hops too.
+pool::PoolConfig coaxial_pooled_switched(std::uint32_t n_hosts = 2,
+                                         double share_fraction = 0.5,
+                                         std::uint32_t shared_devices = 4,
+                                         std::uint32_t private_devices = 1);
 
 // ---- Named RAS fault presets (assign to SystemConfig::fault_plan) ----
 

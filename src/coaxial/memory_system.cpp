@@ -159,6 +159,9 @@ CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels
         "CxlMemory: AddressMap devices (" + std::to_string(amap_.devices()) +
         ") must match fabric devices (" + std::to_string(fabric_->devices()) + ")");
   }
+  // Debug guard: any decode past the fabric's device list now throws
+  // instead of silently misrouting into per-device state.
+  amap_.set_device_bound(fabric_->devices());
   plan_.validate();
   fabric_->arm_faults(plan_);
   n_devices_ = fabric_->devices();

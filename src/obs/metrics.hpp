@@ -134,6 +134,16 @@ class Scope {
     return valid() ? Scope(reg_, join(name)) : Scope();
   }
 
+  /// Feature-gated subtree: `sub(name)` when `enabled`, an inert Scope
+  /// otherwise. This is the shared "subtree registered only when the
+  /// feature is on" pattern (`ras/*`, `tier/*`, `svc/*`, `pool/*`):
+  /// registration code stays unconditional while the metrics-tree shape —
+  /// and therefore the golden stats document — is untouched whenever the
+  /// feature is off.
+  Scope sub(const std::string& name, bool enabled) const {
+    return enabled ? sub(name) : Scope();
+  }
+
   Counter* counter(const std::string& name) const {
     return valid() ? &reg_->counter(join(name)) : nullptr;
   }

@@ -117,6 +117,13 @@ AddressMap AddressMap::tiered(const TierConfig& cfg) {
   return m;
 }
 
+void AddressMap::throw_device_bound(std::uint32_t dev) const {
+  throw std::logic_error(
+      "placement::AddressMap: decoded device " + std::to_string(dev) +
+      " >= fabric device count " + std::to_string(device_bound_) +
+      " (stage-2 interleave and fabric topology disagree)");
+}
+
 int AddressMap::range_of(Addr page) const {
   // Binary search over the sorted ranges (HDM decoders are priority-ordered
   // comparators in hardware; non-overlap makes order irrelevant here).

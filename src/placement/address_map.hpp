@@ -84,10 +84,27 @@ class AddressMap {
 
   // ---- pass-through (stage 2) API ----
 
-  fabric::Router::Route route(Addr line) const { return router_.route(line); }
-  std::uint32_t device_of(Addr line) const { return router_.device_of(line); }
+  fabric::Router::Route route(Addr line) const {
+    fabric::Router::Route r = router_.route(line);
+    check_device(r.device);
+    return r;
+  }
+  std::uint32_t device_of(Addr line) const {
+    const std::uint32_t dev = router_.device_of(line);
+    check_device(dev);
+    return dev;
+  }
   std::uint32_t devices() const { return devices_; }
   fabric::Interleave interleave() const { return router_.policy(); }
+
+  /// Debug guard against stage-2 / fabric disagreement: once the owning
+  /// memory system declares the fabric's device count, any decode landing
+  /// at or past it throws std::logic_error in debug builds instead of
+  /// silently indexing past the per-device state. 0 (the default) disables
+  /// the check; release builds compile it out entirely.
+  void set_device_bound(std::uint32_t fabric_devices) {
+    device_bound_ = fabric_devices;
+  }
 
   // ---- tiered (stage 1) API: lookups (pure) ----
 
@@ -138,6 +155,19 @@ class AddressMap {
  private:
   AddressMap() = default;
 
+  // Active in debug builds; COAXIAL_DEVICE_BOUND_CHECK re-enables it in
+  // optimised translation units (the negative test compiles with it so the
+  // guard is exercised whatever the library build type).
+  void check_device(std::uint32_t dev) const {
+#if !defined(NDEBUG) || defined(COAXIAL_DEVICE_BOUND_CHECK)
+    if (device_bound_ != 0 && dev >= device_bound_) throw_device_bound(dev);
+#endif
+    (void)dev;
+  }
+
+  /// Out-of-line so the header stays free of <stdexcept> formatting.
+  [[noreturn]] void throw_device_bound(std::uint32_t dev) const;
+
   /// Index into ranges_ containing `page`, or -1.
   int range_of(Addr page) const;
 
@@ -147,6 +177,7 @@ class AddressMap {
   // Pass-through state.
   bool tiered_ = false;
   std::uint32_t devices_ = 1;
+  std::uint32_t device_bound_ = 0;  ///< Fabric device count; 0 = unchecked.
   fabric::Router router_{fabric::Interleave::kLine, 1, 1, 1, 1};
 
   // Tiered state.

@@ -1,0 +1,138 @@
+// Multi-host pooled-memory configuration (DESIGN.md §12).
+//
+// A pooled deployment gives every host slice the same address layout:
+//
+//   * a private HDM range [0, private_pages * page_lines) backed by that
+//     host's own Type-3 devices — never shared, never tracked;
+//   * a shared pooled window at kPoolSharedBaseLine, backed by pooled
+//     devices every host reaches through its own fabric head. Shared pages
+//     are tracked by a per-device coherence directory (pool::Directory).
+//
+// Stage 1 of the decode reuses placement::AddressMap::tiered() — the shared
+// window is declared as an HDM range, so "tier 0" means the pooled window
+// (compacted to a pool-global line space identical across hosts) and
+// "tier 1" means the host's private capacity. Each host owns its own map
+// instance, mirroring per-host HDM decoder programming.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "common/validate.hpp"
+#include "dram/timing.hpp"
+#include "fabric/topology.hpp"
+#include "link/lane_config.hpp"
+
+namespace coaxial::pool {
+
+/// Host-local line index where the shared pooled window is decoded. High
+/// enough that no private footprint (private_pages * page_lines) reaches
+/// it; page-aligned for every page_lines used in practice.
+inline constexpr Addr kPoolSharedBaseLine = Addr{1} << 40;
+
+/// Lifetime totals kept by PooledMemory, sampled by the pool/* probes.
+struct PoolCounters {
+  std::uint64_t shared_reads = 0;    ///< Admitted into pooled-device DRAM.
+  std::uint64_t shared_writes = 0;
+  std::uint64_t private_reads = 0;   ///< Admitted into private-device DRAM.
+  std::uint64_t private_writes = 0;
+
+  std::uint64_t dir_inserts = 0;
+  std::uint64_t dir_evictions = 0;       ///< Capacity victims recalled.
+  std::uint64_t txns = 0;                ///< Coherence transactions started.
+  std::uint64_t invals_sent = 0;         ///< Back-invalidations put on a wire.
+  std::uint64_t invals_acked = 0;        ///< Acks received back at the device.
+  std::uint64_t recalls_dirty = 0;       ///< Targets recalled from M (data back).
+  std::uint64_t recall_writebacks = 0;   ///< Recall data written into DRAM.
+  std::uint64_t upgrades_silent = 0;     ///< S->M with no other sharer.
+  std::uint64_t pingpong_transitions = 0;///< M ownership handoffs (write on remote M).
+};
+
+struct PoolConfig {
+  std::string name = "pooled";
+
+  std::uint32_t n_hosts = 0;  ///< 0 disables pooling (RunRequest dispatch).
+
+  // Per-host private backing and the shared pool, in devices.
+  std::uint32_t private_devices = 1;  ///< Per host.
+  std::uint32_t shared_devices = 2;   ///< Pooled, reachable from every host.
+  std::uint32_t ddr_per_device = 1;   ///< 2 subchannels per DDR channel.
+
+  // Address-space sizing (4 KiB pages when page_lines == 64).
+  std::uint64_t private_pages = 1ull << 16;  ///< 256 MiB per host.
+  std::uint64_t shared_pages = 1ull << 14;   ///< 64 MiB pooled window.
+  std::uint32_t page_lines = 64;
+
+  // Fabric shape replicated per host head (each host owns its own fabric
+  // over shared_devices + private_devices endpoints; shared devices are
+  // multi-headed). Counts of 0 resolve to the per-host device total.
+  fabric::TopologyKind fabric_kind = fabric::TopologyKind::kDirect;
+  std::uint32_t host_links = 0;          ///< Switched fabrics only.
+  double switch_port_ns = 25.0;
+  double cxl_port_ns = 12.5;
+  bool asym_lanes = false;
+
+  dram::Timing dram_timing;
+  dram::Geometry dram_geometry;
+
+  // Directory sizing (per pooled device).
+  std::uint32_t directory_entries = 4096;
+  std::uint32_t directory_max_txns = 32;  ///< Concurrent coherence txns.
+
+  // Host-slice engine: catalog workload name and the per-host knobs that
+  // turn its private-region stream into pooled traffic.
+  std::string workload = "pool-pingpong";
+  std::uint32_t host_window = 16;  ///< Outstanding reads per host.
+  double share_fraction = 0.5;     ///< P(memory op redirected to the pool).
+  /// Per-host override of share_fraction (empty => uniform). Lets a bench
+  /// pin a victim tenant at 0.0 next to a noisy sharer.
+  std::vector<double> share_fraction_per_host;
+  std::uint64_t shared_hot_pages = 8;  ///< Contended subset of the window.
+  double shared_hot_prob = 0.8;        ///< P(pool access hits the hot subset).
+
+  bool enabled() const { return n_hosts > 0; }
+
+  double host_share_fraction(std::uint32_t host) const {
+    return host < share_fraction_per_host.size() ? share_fraction_per_host[host]
+                                                 : share_fraction;
+  }
+
+  std::uint32_t subchannels_per_device() const { return ddr_per_device * 2; }
+
+  void validate() const {
+    if (!enabled()) return;
+    const char* owner = "pool::PoolConfig";
+    validate::require_in_range(owner, "n_hosts", n_hosts, 1u, 64u);
+    validate::require_nonzero(owner, "private_devices", private_devices);
+    validate::require_nonzero(owner, "shared_devices", shared_devices);
+    validate::require_nonzero(owner, "ddr_per_device", ddr_per_device);
+    validate::require_nonzero(owner, "private_pages", private_pages);
+    validate::require_nonzero(owner, "shared_pages", shared_pages);
+    validate::require_nonzero(owner, "page_lines", page_lines);
+    validate::require_nonzero(owner, "directory_entries", directory_entries);
+    validate::require_nonzero(owner, "directory_max_txns", directory_max_txns);
+    validate::require_nonzero(owner, "host_window", host_window);
+    validate::require_in_range(owner, "share_fraction", share_fraction, 0.0, 1.0);
+    for (double f : share_fraction_per_host) {
+      validate::require_in_range(owner, "share_fraction_per_host[]", f, 0.0, 1.0);
+    }
+    validate::require_in_range(owner, "shared_hot_prob", shared_hot_prob, 0.0, 1.0);
+    if (shared_hot_pages > shared_pages) {
+      validate::fail(owner, "shared_hot_pages", "must fit the shared window",
+                     std::to_string(shared_hot_pages) + " > " +
+                         std::to_string(shared_pages));
+    }
+    if (private_pages * page_lines >= kPoolSharedBaseLine) {
+      validate::fail(owner, "private_pages",
+                     "private footprint must stay below the shared window base",
+                     std::to_string(private_pages));
+    }
+    if (workload.empty()) {
+      validate::fail(owner, "workload", "must name a catalog workload", "\"\"");
+    }
+  }
+};
+
+}  // namespace coaxial::pool

@@ -1,0 +1,666 @@
+#include "pool/pooled_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "link/lane_config.hpp"
+
+namespace coaxial::pool {
+
+namespace {
+
+/// Per (sub-channel, host) ingress bound, mirroring CxlMemory's device
+/// ingress depth.
+constexpr std::uint32_t kIngressDepth = 64;
+
+std::uint32_t popcount64(std::uint64_t v) {
+  std::uint32_t n = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++n;
+  }
+  return n;
+}
+
+placement::TierConfig shared_window_decode(const PoolConfig& cfg) {
+  placement::TierConfig tc;
+  tc.enabled = true;
+  tc.policy = placement::PolicyKind::kStaticInterleave;
+  tc.page_lines = cfg.page_lines;
+  tc.fast_capacity_pages = cfg.shared_pages;
+  tc.hdm_fast_ranges = {
+      {kPoolSharedBaseLine, cfg.shared_pages * cfg.page_lines}};
+  return tc;
+}
+
+fabric::FabricConfig head_fabric(const PoolConfig& cfg) {
+  fabric::FabricConfig fc;
+  fc.kind = cfg.fabric_kind;
+  fc.devices = cfg.shared_devices + cfg.private_devices;
+  // Direct fabrics pair one root port per device; switched heads default to
+  // two root ports in front of the switch (the coaxial_switched shape).
+  fc.host_links = cfg.host_links != 0
+                      ? cfg.host_links
+                      : (fc.switched() ? 2u : 0u);
+  fc.switch_port_ns = cfg.switch_port_ns;
+  return fc;
+}
+
+}  // namespace
+
+PooledMemory::PooledMemory(const PoolConfig& cfg, obs::Scope scope)
+    : cfg_(cfg),
+      n_hosts_(cfg.n_hosts),
+      spd_(cfg.subchannels_per_device()),
+      s_devs_(cfg.shared_devices),
+      p_devs_(cfg.private_devices),
+      s_subs_(cfg.shared_devices * cfg.subchannels_per_device()),
+      p_subs_(cfg.private_devices * cfg.subchannels_per_device()),
+      shared_map_(placement::AddressMap::passthrough(
+          fabric::Interleave::kPage, cfg.shared_devices,
+          cfg.subchannels_per_device(), cfg.page_lines, 1ull << 24)),
+      private_map_(placement::AddressMap::passthrough(
+          fabric::Interleave::kLine, cfg.private_devices,
+          cfg.subchannels_per_device(), cfg.page_lines, 1ull << 24)) {
+  cfg_.validate();
+  if (!cfg_.enabled()) {
+    throw std::invalid_argument("pool::PooledMemory: n_hosts == 0");
+  }
+  // Stage-2 decodes may never reach past their device class.
+  shared_map_.set_device_bound(s_devs_);
+  private_map_.set_device_bound(p_devs_);
+
+  // Stage 1: every host programs the same HDM layout, but owns its own
+  // decoder instance (per-host map state, like per-host HDM registers).
+  const placement::TierConfig tc = shared_window_decode(cfg_);
+  stage1_.reserve(n_hosts_);
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    stage1_.push_back(placement::AddressMap::tiered(tc));
+  }
+
+  const fabric::FabricConfig fc = head_fabric(cfg_);
+  const link::LaneConfig lanes = cfg_.asym_lanes
+                                     ? link::LaneConfig::x8_asym(cfg_.cxl_port_ns)
+                                     : link::LaneConfig::x8(cfg_.cxl_port_ns);
+  fab_.reserve(n_hosts_);
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    fab_.push_back(std::make_unique<fabric::Fabric>(
+        fc, s_devs_ + p_devs_, lanes, scope.sub("host/" + obs::idx(h))));
+  }
+
+  shared_ctrls_.reserve(s_subs_);
+  for (std::uint32_t s = 0; s < s_subs_; ++s) {
+    shared_ctrls_.push_back(std::make_unique<dram::Controller>(
+        cfg_.dram_timing, cfg_.dram_geometry, 64, 64,
+        scope.sub("pooled/dram/ctrl" + obs::idx(s))));
+  }
+  priv_ctrls_.resize(n_hosts_);
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    priv_ctrls_[h].reserve(p_subs_);
+    for (std::uint32_t s = 0; s < p_subs_; ++s) {
+      priv_ctrls_[h].push_back(std::make_unique<dram::Controller>(
+          cfg_.dram_timing, cfg_.dram_geometry, 64, 64,
+          scope.sub("host/" + obs::idx(h) + "/dram/ctrl" + obs::idx(s))));
+    }
+  }
+
+  dirs_.reserve(s_devs_);
+  for (std::uint32_t d = 0; d < s_devs_; ++d) {
+    dirs_.push_back(std::make_unique<Directory>(cfg_.directory_entries, n_hosts_));
+  }
+
+  shared_ingress_.assign(s_subs_, std::vector<std::deque<DeviceMsg>>(n_hosts_));
+  priv_ingress_.assign(n_hosts_, std::vector<std::deque<DeviceMsg>>(p_subs_));
+  shared_wake_.assign(s_subs_, 0);
+  priv_wake_.assign(n_hosts_, std::vector<Cycle>(p_subs_, 0));
+  tx_inflight_shared_.assign(s_subs_, std::vector<std::uint32_t>(n_hosts_, 0));
+  tx_inflight_priv_.assign(n_hosts_, std::vector<std::uint32_t>(p_subs_, 0));
+
+  inflight_.resize(n_hosts_);
+  free_slots_.resize(n_hosts_);
+  pending_rx_.resize(n_hosts_);
+  out_.resize(n_hosts_);
+  host_invals_.resize(n_hosts_);
+  wire_pool_.resize(n_hosts_);
+  free_wire_.resize(n_hosts_);
+  txns_per_dev_.assign(s_devs_, 0);
+  host_ctr_.resize(n_hosts_);
+}
+
+std::uint32_t PooledMemory::alloc_slot(std::uint32_t host, std::uint64_t token,
+                                       Cycle now) {
+  auto& fl = inflight_[host];
+  auto& free = free_slots_[host];
+  std::uint32_t slot;
+  if (!free.empty()) {
+    slot = free.back();
+    free.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(fl.size());
+    fl.emplace_back();
+  }
+  fl[slot] = {token, now, true};
+  ++inflight_reads_;
+  return slot;
+}
+
+void PooledMemory::finish_read(std::uint32_t host, std::uint32_t slot,
+                               Cycle arrival) {
+  InflightRead& fl = inflight_[host][slot];
+  assert(fl.busy);
+  out_[host].push_back({fl.token, arrival});
+  fl.busy = false;
+  free_slots_[host].push_back(slot);
+  --inflight_reads_;
+}
+
+std::uint32_t PooledMemory::alloc_txn() {
+  if (!free_txns_.empty()) {
+    const std::uint32_t t = free_txns_.back();
+    free_txns_.pop_back();
+    return t;
+  }
+  txns_.emplace_back();
+  return static_cast<std::uint32_t>(txns_.size() - 1);
+}
+
+std::uint32_t PooledMemory::alloc_wire(std::uint32_t host, const WireMsg& msg) {
+  auto& pool = wire_pool_[host];
+  auto& free = free_wire_[host];
+  std::uint32_t m;
+  if (!free.empty()) {
+    m = free.back();
+    free.pop_back();
+  } else {
+    m = static_cast<std::uint32_t>(pool.size());
+    pool.emplace_back();
+  }
+  pool[m] = msg;
+  return m;
+}
+
+bool PooledMemory::can_accept(std::uint32_t host, Addr line, bool is_write,
+                              Cycle now) const {
+  (void)is_write;
+  const placement::Translation t = stage1_[host].translate(line);
+  if (t.tier == 0) {
+    const fabric::Router::Route r = shared_map_.route(t.local_line);
+    if (!fab_[host]->can_send_tx(r.device, now)) return false;
+    return shared_ingress_[r.sub][host].size() +
+               tx_inflight_shared_[r.sub][host] <
+           kIngressDepth;
+  }
+  const fabric::Router::Route r = private_map_.route(t.local_line);
+  if (!fab_[host]->can_send_tx(s_devs_ + r.device, now)) return false;
+  return priv_ingress_[host][r.sub].size() + tx_inflight_priv_[host][r.sub] <
+         kIngressDepth;
+}
+
+void PooledMemory::access(std::uint32_t host, Addr line, bool is_write, Cycle now,
+                          std::uint64_t token) {
+  const placement::Translation t = stage1_[host].translate(line);
+  const bool shared = t.tier == 0;
+  const fabric::Router::Route r =
+      shared ? shared_map_.route(t.local_line) : private_map_.route(t.local_line);
+  const std::uint32_t fab_dev = shared ? r.device : s_devs_ + r.device;
+
+  DeviceMsg msg;
+  msg.local_line = r.local;
+  msg.is_write = is_write;
+  msg.page = shared ? t.local_line / cfg_.page_lines : 0;
+  std::uint32_t bytes = link::kWriteMessageBytes;
+  if (!is_write) {
+    msg.token = alloc_slot(host, token, now);
+    bytes = link::kReadRequestBytes;
+  }
+
+  fabric::Fabric& fab = *fab_[host];
+  if (fab.direct()) {
+    const link::SendResult sr = fab.send_tx(fab_dev, bytes, now, 0);
+    msg.arrival = sr.at;
+    if (shared) {
+      shared_ingress_[r.sub][host].push_back(msg);
+      shared_wake_[r.sub] = std::min(shared_wake_[r.sub], msg.arrival);
+    } else {
+      priv_ingress_[host][r.sub].push_back(msg);
+      priv_wake_[host][r.sub] = std::min(priv_wake_[host][r.sub], msg.arrival);
+    }
+  } else {
+    WireMsg wm;
+    wm.kind = WireMsg::kDemand;
+    wm.is_write = is_write;
+    wm.shared = shared;
+    wm.sub = r.sub;
+    wm.slot = static_cast<std::uint32_t>(msg.token);
+    wm.line = r.local;
+    wm.page = msg.page;
+    fab.send_tx(fab_dev, bytes, now, alloc_wire(host, wm));
+    ++fabric_msgs_inflight_;
+    if (shared) {
+      ++tx_inflight_shared_[r.sub][host];
+    } else {
+      ++tx_inflight_priv_[host][r.sub];
+    }
+  }
+}
+
+void PooledMemory::deliver_inval(std::uint32_t target, std::uint32_t txn,
+                                 bool dirty, Cycle arrival) {
+  host_invals_[target].push_back({arrival, txn, dirty});
+}
+
+void PooledMemory::deliver_ack(std::uint32_t txn, bool dirty, Cycle arrival) {
+  dev_acks_.push_back({arrival, txn, dirty});
+}
+
+void PooledMemory::start_txn(const Directory::Decision& d, const DeviceMsg& msg,
+                             std::uint32_t host, std::uint32_t shared_sub,
+                             Cycle now) {
+  const std::uint32_t t = alloc_txn();
+  CohTxn& x = txns_[t];
+  x = CohTxn{};
+  x.live = true;
+  x.sdev = shared_sub / spd_;
+  x.page = msg.page;
+  x.send_clean = d.clean_mask;
+  x.send_dirty = d.dirty_mask;
+  x.acks_pending = popcount64(d.clean_mask | d.dirty_mask);
+  x.parked = msg;
+  x.park_host = host;
+  x.park_sub = shared_sub;
+  if (d.dirty_mask != 0) {
+    if (d.evicted) {
+      // Victim recall: its line 0 stands in for the page's dirty data.
+      const fabric::Router::Route wr =
+          shared_map_.route(d.evicted_page * cfg_.page_lines);
+      x.wb_sub = wr.sub;
+      x.wb_line = wr.local;
+    } else {
+      x.wb_sub = shared_sub;
+      x.wb_line = msg.local_line;
+    }
+  }
+  ++ctr_.txns;
+  ++txns_per_dev_[x.sdev];
+  ++live_txns_;
+  pump_txn_sends(t, now);
+}
+
+void PooledMemory::pump_txn_sends(std::uint32_t t, Cycle now) {
+  CohTxn& x = txns_[t];
+  for (std::uint32_t h = 0; h < n_hosts_ && (x.send_clean | x.send_dirty) != 0;
+       ++h) {
+    const std::uint64_t bit = std::uint64_t{1} << h;
+    const bool dirty = (x.send_dirty & bit) != 0;
+    if (!dirty && (x.send_clean & bit) == 0) continue;
+    // The invalidation rides the target host's return path from the pooled
+    // device — the same pipe as its read responses, so invalidation latency
+    // is load- and topology-dependent.
+    fabric::Fabric& fab = *fab_[h];
+    if (!fab.can_send_rx(x.sdev, now)) continue;
+    if (fab.direct()) {
+      const link::SendResult sr =
+          fab.send_rx(x.sdev, link::kReadRequestBytes, now, 0);
+      deliver_inval(h, t, dirty, sr.at);
+    } else {
+      WireMsg wm;
+      wm.kind = WireMsg::kInval;
+      wm.dirty = dirty;
+      wm.txn = t;
+      fab.send_rx(x.sdev, link::kReadRequestBytes, now, alloc_wire(h, wm));
+      ++fabric_msgs_inflight_;
+    }
+    ++ctr_.invals_sent;
+    if (dirty) {
+      x.send_dirty &= ~bit;
+    } else {
+      x.send_clean &= ~bit;
+    }
+  }
+}
+
+Cycle PooledMemory::tick(Cycle now) {
+  Cycle wake = kNoCycle;
+
+  // -- Phase A: switched fabrics deliver; direct fabrics are analytic. ----
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    fabric::Fabric& fab = *fab_[h];
+    if (fab.direct()) continue;
+    wake = std::min(wake, fab.tick(now));
+    for (const fabric::Delivery& d : fab.tx_deliveries()) {
+      const std::uint32_t m = static_cast<std::uint32_t>(d.payload);
+      const WireMsg wm = wire_pool_[h][m];
+      free_wire_[h].push_back(m);
+      --fabric_msgs_inflight_;
+      if (wm.kind == WireMsg::kDemand) {
+        DeviceMsg msg;
+        msg.arrival = d.arrival;
+        msg.local_line = wm.line;
+        msg.page = wm.page;
+        msg.token = wm.slot;
+        msg.is_write = wm.is_write;
+        if (wm.shared) {
+          shared_ingress_[wm.sub][h].push_back(msg);
+          shared_wake_[wm.sub] = std::min(shared_wake_[wm.sub], d.arrival);
+          --tx_inflight_shared_[wm.sub][h];
+        } else {
+          priv_ingress_[h][wm.sub].push_back(msg);
+          priv_wake_[h][wm.sub] = std::min(priv_wake_[h][wm.sub], d.arrival);
+          --tx_inflight_priv_[h][wm.sub];
+        }
+      } else {
+        assert(wm.kind == WireMsg::kAck);
+        deliver_ack(wm.txn, wm.dirty, d.arrival);
+      }
+    }
+    fab.tx_deliveries().clear();
+    for (const fabric::Delivery& d : fab.rx_deliveries()) {
+      const std::uint32_t m = static_cast<std::uint32_t>(d.payload);
+      const WireMsg wm = wire_pool_[h][m];
+      free_wire_[h].push_back(m);
+      --fabric_msgs_inflight_;
+      if (wm.kind == WireMsg::kResp) {
+        finish_read(h, wm.slot, d.arrival);
+      } else {
+        assert(wm.kind == WireMsg::kInval);
+        deliver_inval(h, wm.txn, wm.dirty, d.arrival);
+      }
+    }
+    fab.rx_deliveries().clear();
+  }
+
+  // -- Phase B: acks arriving at pooled devices retire invalidations. -----
+  {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < dev_acks_.size(); ++i) {
+      const DevAck a = dev_acks_[i];
+      if (a.arrival > now) {
+        dev_acks_[kept++] = a;
+        continue;
+      }
+      CohTxn& x = txns_[a.txn];
+      assert(x.live && x.acks_pending > 0);
+      --x.acks_pending;
+      ++ctr_.invals_acked;
+      if (a.dirty) {
+        // The recalled line's data came back with the ack; it still has to
+        // be written into device DRAM (drained in the sub-channel pass).
+        pending_wbs_.push_back({x.wb_sub, x.wb_line});
+        shared_wake_[x.wb_sub] = std::min(shared_wake_[x.wb_sub], now);
+      }
+    }
+    dev_acks_.resize(kept);
+  }
+
+  // -- Phase C: transactions send remaining invals; completed ones admit
+  //    their parked access (in transaction-id order, deterministically). --
+  for (std::uint32_t t = 0; t < txns_.size(); ++t) {
+    CohTxn& x = txns_[t];
+    if (!x.live) continue;
+    pump_txn_sends(t, now);
+    if ((x.send_clean | x.send_dirty) != 0 || x.acks_pending != 0) continue;
+    dram::Controller& ctrl = *shared_ctrls_[x.park_sub];
+    if (!ctrl.can_accept(x.parked.is_write)) continue;
+    const DeviceMsg& msg = x.parked;
+    if (msg.is_write) {
+      ctrl.enqueue(msg.local_line, true, now, 0);
+      ++ctr_.shared_writes;
+      ++host_ctr_[x.park_host].writes;
+    } else {
+      ctrl.enqueue(msg.local_line, false, now,
+                   (std::uint64_t{x.park_host} << 32) | msg.token);
+      ++ctr_.shared_reads;
+      ++host_ctr_[x.park_host].reads;
+    }
+    ++host_ctr_[x.park_host].shared;
+    shared_wake_[x.park_sub] = std::min(shared_wake_[x.park_sub], now);
+    dirs_[x.sdev]->unlock(x.page);
+    x.live = false;
+    --txns_per_dev_[x.sdev];
+    --live_txns_;
+    free_txns_.push_back(t);
+  }
+
+  // -- Phase D: pooled sub-channels — recall writebacks, merged admission
+  //    through the directory, DRAM tick, completions. ---------------------
+  for (std::uint32_t sub = 0; sub < s_subs_; ++sub) {
+    if (!force_tick_ && shared_wake_[sub] > now) {
+      wake = std::min(wake, shared_wake_[sub]);
+      continue;
+    }
+    dram::Controller& ctrl = *shared_ctrls_[sub];
+    const std::uint32_t dev = sub / spd_;
+    bool wb_waiting = false;
+    {
+      // Recall data takes priority over new admissions, FIFO per sub.
+      std::size_t kept = 0;
+      bool blocked = false;
+      for (std::size_t i = 0; i < pending_wbs_.size(); ++i) {
+        const PendingWb w = pending_wbs_[i];
+        if (w.sub != sub || blocked || !ctrl.can_accept(true)) {
+          blocked = blocked || (w.sub == sub);
+          wb_waiting = wb_waiting || (w.sub == sub);
+          pending_wbs_[kept++] = w;
+          continue;
+        }
+        ctrl.enqueue(w.local_line, true, now, 0);
+        ++ctr_.recall_writebacks;
+      }
+      pending_wbs_.resize(kept);
+    }
+
+    std::uint64_t skipped = 0;
+    while (true) {
+      // Earliest-arrival-first merge across the per-host queues; host index
+      // breaks ties, so inter-host ordering is deterministic.
+      std::uint32_t best = n_hosts_;
+      Cycle best_at = kNoCycle;
+      for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+        if ((skipped >> h) & 1) continue;
+        const auto& q = shared_ingress_[sub][h];
+        if (q.empty() || q.front().arrival > now) continue;
+        if (q.front().arrival < best_at) {
+          best_at = q.front().arrival;
+          best = h;
+        }
+      }
+      if (best == n_hosts_) break;
+      auto& q = shared_ingress_[sub][best];
+      const DeviceMsg msg = q.front();
+      if (!ctrl.can_accept(msg.is_write)) break;
+      // A decision that needs a transaction must be able to start one; gate
+      // before access() because the directory transitions state eagerly.
+      if (txns_per_dev_[dev] >= cfg_.directory_max_txns) break;
+      const Directory::Decision dd = dirs_[dev]->access(msg.page, best, msg.is_write);
+      if (dd.blocked) {
+        skipped |= std::uint64_t{1} << best;  // Same-page txn in flight.
+        continue;
+      }
+      if (dd.evicted) ++ctr_.dir_evictions;
+      if (dd.upgrade_silent) ++ctr_.upgrades_silent;
+      if (dd.pingpong) ++ctr_.pingpong_transitions;
+      ctr_.recalls_dirty += popcount64(dd.dirty_mask);
+      q.pop_front();
+      if (dd.needs_txn) {
+        start_txn(dd, msg, best, sub, now);
+        continue;
+      }
+      if (msg.is_write) {
+        ctrl.enqueue(msg.local_line, true, now, 0);
+        ++ctr_.shared_writes;
+        ++host_ctr_[best].writes;
+      } else {
+        ctrl.enqueue(msg.local_line, false, now,
+                     (std::uint64_t{best} << 32) | msg.token);
+        ++ctr_.shared_reads;
+        ++host_ctr_[best].reads;
+      }
+      ++host_ctr_[best].shared;
+    }
+
+    Cycle sw = ctrl.tick(now);
+    for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+      const auto& q = shared_ingress_[sub][h];
+      if (q.empty()) continue;
+      // Future head wakes at its arrival; an arrived-but-blocked head
+      // (controller full, directory lock, txn-table gate) retries next
+      // cycle — conservative but mode-invariant.
+      sw = std::min(sw, q.front().arrival > now ? q.front().arrival : now + 1);
+    }
+    if (wb_waiting) sw = std::min(sw, now + 1);
+    shared_wake_[sub] = sw;
+    wake = std::min(wake, sw);
+
+    auto& done = ctrl.completions();
+    for (const auto& comp : done) {
+      const std::uint32_t h = static_cast<std::uint32_t>(comp.token >> 32);
+      pending_rx_[h].push_back(
+          {comp.done, dev, static_cast<std::uint32_t>(comp.token & 0xffffffffu)});
+    }
+    done.clear();
+  }
+
+  // -- Phase E: private sub-channels (plain CxlMemory-style FIFO). --------
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    for (std::uint32_t sub = 0; sub < p_subs_; ++sub) {
+      if (!force_tick_ && priv_wake_[h][sub] > now) {
+        wake = std::min(wake, priv_wake_[h][sub]);
+        continue;
+      }
+      dram::Controller& ctrl = *priv_ctrls_[h][sub];
+      auto& q = priv_ingress_[h][sub];
+      while (!q.empty() && q.front().arrival <= now &&
+             ctrl.can_accept(q.front().is_write)) {
+        const DeviceMsg& msg = q.front();
+        if (msg.is_write) {
+          ctrl.enqueue(msg.local_line, true, now, 0);
+          ++ctr_.private_writes;
+          ++host_ctr_[h].writes;
+        } else {
+          ctrl.enqueue(msg.local_line, false, now,
+                       (std::uint64_t{h} << 32) | msg.token);
+          ++ctr_.private_reads;
+          ++host_ctr_[h].reads;
+        }
+        q.pop_front();
+      }
+      Cycle sw = ctrl.tick(now);
+      if (!q.empty()) {
+        sw = std::min(sw, q.front().arrival > now ? q.front().arrival : now + 1);
+      }
+      priv_wake_[h][sub] = sw;
+      wake = std::min(wake, sw);
+
+      auto& done = ctrl.completions();
+      const std::uint32_t fab_dev = s_devs_ + sub / spd_;
+      for (const auto& comp : done) {
+        pending_rx_[h].push_back(
+            {comp.done, fab_dev,
+             static_cast<std::uint32_t>(comp.token & 0xffffffffu)});
+      }
+      done.clear();
+    }
+  }
+
+  // -- Phase F: ship ready responses up each host's return path. ----------
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    fabric::Fabric& fab = *fab_[h];
+    auto& pending = pending_rx_[h];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const PendingResponse p = pending[i];
+      if (p.ready > now || !fab.can_send_rx(p.device, now)) {
+        pending[kept++] = p;
+        continue;
+      }
+      if (fab.direct()) {
+        const link::SendResult sr =
+            fab.send_rx(p.device, link::kReadResponseBytes, now, 0);
+        finish_read(h, p.slot, sr.at);
+      } else {
+        WireMsg wm;
+        wm.kind = WireMsg::kResp;
+        wm.slot = p.slot;
+        fab.send_rx(p.device, link::kReadResponseBytes, now, alloc_wire(h, wm));
+        ++fabric_msgs_inflight_;
+      }
+    }
+    pending.resize(kept);
+    for (const PendingResponse& p : pending) {
+      const Cycle at = p.ready > now ? p.ready : fab.rx_credit_cycle(p.device, now);
+      wake = std::min(wake, std::max(at, now + 1));
+    }
+  }
+
+  // -- Phase G: hosts ack delivered invalidations on their request path. --
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    fabric::Fabric& fab = *fab_[h];
+    auto& invals = host_invals_[h];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < invals.size(); ++i) {
+      const HostInval iv = invals[i];
+      const std::uint32_t sdev = txns_[iv.txn].sdev;
+      if (iv.arrival > now || !fab.can_send_tx(sdev, now)) {
+        invals[kept++] = iv;
+        wake = std::min(wake,
+                        std::max(iv.arrival > now ? iv.arrival : now + 1, now + 1));
+        continue;
+      }
+      // A dirty recall ack carries the line back; a clean ack is control.
+      const std::uint32_t bytes =
+          iv.dirty ? link::kWriteMessageBytes : link::kReadRequestBytes;
+      if (fab.direct()) {
+        const link::SendResult sr = fab.send_tx(sdev, bytes, now, 0);
+        deliver_ack(iv.txn, iv.dirty, sr.at);
+      } else {
+        WireMsg wm;
+        wm.kind = WireMsg::kAck;
+        wm.dirty = iv.dirty;
+        wm.txn = iv.txn;
+        fab.send_tx(sdev, bytes, now, alloc_wire(h, wm));
+        ++fabric_msgs_inflight_;
+      }
+      ++host_ctr_[h].acks_sent;
+      ++host_ctr_[h].invals_received;
+    }
+    invals.resize(kept);
+  }
+
+  // -- Wake assembly for the remaining coherence state. -------------------
+  if (live_txns_ != 0 || !pending_wbs_.empty()) wake = std::min(wake, now + 1);
+  for (const DevAck& a : dev_acks_) {
+    wake = std::min(wake, std::max(a.arrival, now + 1));
+  }
+  return wake;
+}
+
+bool PooledMemory::coherence_idle() const {
+  if (live_txns_ != 0 || !dev_acks_.empty() || !pending_wbs_.empty()) return false;
+  for (const auto& iv : host_invals_) {
+    if (!iv.empty()) return false;
+  }
+  return true;
+}
+
+bool PooledMemory::quiescent() const {
+  if (inflight_reads_ != 0 || fabric_msgs_inflight_ != 0 || !coherence_idle()) {
+    return false;
+  }
+  for (const auto& per_host : shared_ingress_) {
+    for (const auto& q : per_host) {
+      if (!q.empty()) return false;
+    }
+  }
+  for (const auto& per_sub : priv_ingress_) {
+    for (const auto& q : per_sub) {
+      if (!q.empty()) return false;
+    }
+  }
+  for (const auto& p : pending_rx_) {
+    if (!p.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace coaxial::pool

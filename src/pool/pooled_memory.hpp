@@ -1,0 +1,239 @@
+// Pooled CXL memory shared by N host slices (DESIGN.md §12).
+//
+// Generalises coaxial::CxlMemory from one host to N: every host owns its
+// own fabric::Fabric head whose endpoint list is [shared pooled devices,
+// host-private devices] — pooled devices are multi-headed (one uplink per
+// host), private devices are reachable from their owner only. DRAM behind
+// the pooled devices is one global set of controllers; private DRAM is
+// per host.
+//
+// Every access admitted at a pooled device is presented to that device's
+// pool::Directory. When the decision demands a coherence round (remote
+// read of a modified page, write to a shared page, capacity eviction), the
+// access parks in a transaction and the invalidations travel the real
+// fabric: device -> sharer host on the sharer's return path (contending
+// with its read responses), ack host -> device on the sharer's request
+// path (contending with its demand traffic). Invalidation latency is
+// therefore topology-dependent — a switched fabric pays its switch hops —
+// and a dirty recall additionally writes the recalled line into device
+// DRAM before the parked access is admitted.
+//
+// Determinism contract (same as mem::MemorySystem): can_accept() is pure;
+// all state mutates inside access()/tick(); every action is keyed on
+// message arrival cycles and fixed scan orders (sub-channel index, then
+// host index), never on how often tick() was polled; tick() returns a
+// conservative wake bound (any live coherence state wakes at now + 1), so
+// the event-driven and tick-every-cycle schedulers agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/controller.hpp"
+#include "fabric/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "placement/address_map.hpp"
+#include "pool/directory.hpp"
+#include "pool/pool_config.hpp"
+
+namespace coaxial::pool {
+
+/// A finished read for one host slice.
+struct HostCompletion {
+  std::uint64_t token = 0;
+  Cycle done = 0;
+};
+
+/// Per-host admission/protocol counters (pool/host/NN/*).
+struct HostCounters {
+  std::uint64_t reads = 0;   ///< Demand reads admitted to DRAM.
+  std::uint64_t writes = 0;  ///< Demand writes admitted to DRAM.
+  std::uint64_t shared = 0;  ///< Of those, pooled-window accesses.
+  std::uint64_t invals_received = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+class PooledMemory {
+ public:
+  PooledMemory(const PoolConfig& cfg, obs::Scope scope = {});
+
+  /// Pure admission check for `host` (mirrors mem::MemorySystem).
+  bool can_accept(std::uint32_t host, Addr line, bool is_write, Cycle now) const;
+
+  /// Issue an access; must only be called when can_accept() returned true
+  /// this cycle. Reads echo `token` in the host's completions; writes are
+  /// posted.
+  void access(std::uint32_t host, Addr line, bool is_write, Cycle now,
+              std::uint64_t token);
+
+  /// Advance everything (fabrics, directories, coherence transactions,
+  /// DRAM); returns a conservative wake bound.
+  Cycle tick(Cycle now);
+
+  void set_force_tick(bool force) { force_tick_ = force; }
+
+  std::vector<HostCompletion>& completions(std::uint32_t host) {
+    return out_[host];
+  }
+
+  /// True once no read, coherence message or writeback is in flight
+  /// anywhere (the drain condition; implies invals_sent == invals_acked).
+  bool quiescent() const;
+
+  const PoolConfig& config() const { return cfg_; }
+  const Directory& directory(std::uint32_t shared_dev) const {
+    return *dirs_[shared_dev];
+  }
+  const PoolCounters& counters() const { return ctr_; }
+  const HostCounters& host_counters(std::uint32_t host) const {
+    return host_ctr_[host];
+  }
+
+ private:
+  // One queued device-side message (host identified by the queue index).
+  struct DeviceMsg {
+    Cycle arrival = 0;
+    Addr local_line = 0;      ///< Sub-channel-local line.
+    Addr page = 0;            ///< Pool-global shared page id (shared only).
+    std::uint64_t token = 0;  ///< Read slot; unused for writes.
+    bool is_write = false;
+  };
+
+  // A read in flight for one host.
+  struct InflightRead {
+    std::uint64_t token = 0;
+    Cycle start = 0;
+    bool busy = false;
+  };
+
+  // A DRAM read completion waiting for return-path credit.
+  struct PendingResponse {
+    Cycle ready = 0;
+    std::uint32_t device = 0;  ///< Host-fabric device index.
+    std::uint32_t slot = 0;
+  };
+
+  // A coherence transaction parked at a pooled device.
+  struct CohTxn {
+    bool live = false;
+    std::uint32_t sdev = 0;  ///< Pooled device (== fabric index on every host).
+    Addr page = 0;           ///< Locked directory page (the requester's).
+    std::uint64_t send_clean = 0;  ///< Target hosts not yet sent (clean inval).
+    std::uint64_t send_dirty = 0;  ///< Ditto, dirty recall.
+    std::uint32_t acks_pending = 0;
+    std::uint32_t wb_sub = 0;  ///< Where a dirty recall writes its line back.
+    Addr wb_line = 0;
+    DeviceMsg parked;
+    std::uint32_t park_host = 0;
+    std::uint32_t park_sub = 0;  ///< Shared sub-channel of the parked access.
+  };
+
+  // An invalidation delivered to a host, waiting to be acked.
+  struct HostInval {
+    Cycle arrival = 0;
+    std::uint32_t txn = 0;
+    bool dirty = false;
+  };
+
+  // An ack travelling back, delivered to the device side.
+  struct DevAck {
+    Cycle arrival = 0;
+    std::uint32_t txn = 0;
+    bool dirty = false;
+  };
+
+  // A recalled dirty line waiting for a DRAM write-queue slot.
+  struct PendingWb {
+    std::uint32_t sub = 0;
+    Addr local_line = 0;
+  };
+
+  // Wire cookie for switched fabrics (direct fabrics deliver analytically).
+  struct WireMsg {
+    enum Kind : std::uint8_t { kDemand, kAck, kResp, kInval } kind = kDemand;
+    bool is_write = false;  ///< kDemand.
+    bool shared = false;    ///< kDemand: pooled vs private class.
+    bool dirty = false;     ///< kAck / kInval.
+    std::uint32_t sub = 0;  ///< kDemand: class-local sub-channel.
+    std::uint32_t txn = 0;  ///< kAck / kInval.
+    std::uint32_t slot = 0; ///< kResp / kDemand(read).
+    Addr line = 0;          ///< kDemand: sub-local line.
+    Addr page = 0;          ///< kDemand: shared page id.
+  };
+
+  std::uint32_t shared_sub_of(std::uint32_t device, std::uint32_t sub_in_dev) const {
+    return device * spd_ + sub_in_dev;
+  }
+
+  std::uint32_t alloc_slot(std::uint32_t host, std::uint64_t token, Cycle now);
+  void finish_read(std::uint32_t host, std::uint32_t slot, Cycle arrival);
+  std::uint32_t alloc_txn();
+  std::uint32_t alloc_wire(std::uint32_t host, const WireMsg& msg);
+  void deliver_inval(std::uint32_t target, std::uint32_t txn, bool dirty,
+                     Cycle arrival);
+  void deliver_ack(std::uint32_t txn, bool dirty, Cycle arrival);
+  void start_txn(const Directory::Decision& d, const DeviceMsg& msg,
+                 std::uint32_t host, std::uint32_t shared_sub, Cycle now);
+  void pump_txn_sends(std::uint32_t t, Cycle now);
+  bool coherence_idle() const;
+
+  PoolConfig cfg_;
+  std::uint32_t n_hosts_ = 0;
+  std::uint32_t spd_ = 0;       ///< Sub-channels per device.
+  std::uint32_t s_devs_ = 0;    ///< Pooled devices (fabric indices [0, S)).
+  std::uint32_t p_devs_ = 0;    ///< Private devices per host ([S, S+P)).
+  std::uint32_t s_subs_ = 0;    ///< s_devs_ * spd_.
+  std::uint32_t p_subs_ = 0;    ///< p_devs_ * spd_.
+  bool force_tick_ = false;
+
+  // Address decode: stage 1 per host (shared-window range decode), stage 2
+  // per device class.
+  std::vector<placement::AddressMap> stage1_;
+  placement::AddressMap shared_map_;   ///< kPage over pooled devices.
+  placement::AddressMap private_map_;  ///< kLine over private devices.
+
+  std::vector<std::unique_ptr<fabric::Fabric>> fab_;  ///< Per host.
+
+  // DRAM: pooled controllers are global, private ones per host.
+  std::vector<std::unique_ptr<dram::Controller>> shared_ctrls_;  ///< [s_subs_].
+  std::vector<std::vector<std::unique_ptr<dram::Controller>>> priv_ctrls_;
+
+  // Ingress: pooled subs keep one queue per host (merged at admission by
+  // earliest arrival, host index breaking ties); private subs one queue.
+  std::vector<std::vector<std::deque<DeviceMsg>>> shared_ingress_;  ///< [sub][host].
+  std::vector<std::vector<std::deque<DeviceMsg>>> priv_ingress_;    ///< [host][sub].
+  std::vector<Cycle> shared_wake_;               ///< Per pooled sub.
+  std::vector<std::vector<Cycle>> priv_wake_;    ///< [host][sub].
+  std::vector<std::vector<std::uint32_t>> tx_inflight_shared_;  ///< [sub][host].
+  std::vector<std::vector<std::uint32_t>> tx_inflight_priv_;    ///< [host][sub].
+
+  // Per-host read slots and return-path queues.
+  std::vector<std::vector<InflightRead>> inflight_;     ///< [host][slot].
+  std::vector<std::vector<std::uint32_t>> free_slots_;  ///< [host].
+  std::vector<std::vector<PendingResponse>> pending_rx_;
+  std::vector<std::vector<HostCompletion>> out_;
+  std::uint64_t inflight_reads_ = 0;
+
+  // Coherence machinery.
+  std::vector<std::unique_ptr<Directory>> dirs_;  ///< Per pooled device.
+  std::vector<CohTxn> txns_;
+  std::vector<std::uint32_t> free_txns_;
+  std::vector<std::uint32_t> txns_per_dev_;
+  std::uint32_t live_txns_ = 0;
+  std::vector<std::vector<HostInval>> host_invals_;  ///< [host].
+  std::vector<DevAck> dev_acks_;
+  std::vector<PendingWb> pending_wbs_;
+
+  // Switched-fabric cookie pools, per host.
+  std::vector<std::vector<WireMsg>> wire_pool_;
+  std::vector<std::vector<std::uint32_t>> free_wire_;
+  std::uint64_t fabric_msgs_inflight_ = 0;
+
+  PoolCounters ctr_;
+  std::vector<HostCounters> host_ctr_;
+};
+
+}  // namespace coaxial::pool

@@ -1,0 +1,286 @@
+#include "sim/pooled_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "workload/catalog.hpp"
+
+namespace coaxial::sim {
+
+PooledSystem::PooledSystem(const pool::PoolConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {
+  cfg_.validate();
+  if (!cfg_.enabled()) {
+    throw std::invalid_argument("sim::PooledSystem: n_hosts == 0");
+  }
+  private_lines_ = cfg_.private_pages * cfg_.page_lines;
+
+  const obs::Scope pool = obs::Scope(&metrics_, "").sub("pool", cfg_.enabled());
+  memory_ = std::make_unique<pool::PooledMemory>(cfg_, pool.sub("mem"));
+
+  const workload::WorkloadParams& wp = workload::find_workload(cfg_.workload);
+  slices_.reserve(cfg_.n_hosts);
+  for (std::uint32_t h = 0; h < cfg_.n_hosts; ++h) {
+    Slice s;
+    s.gen = std::make_unique<workload::Generator>(wp, h, seed);
+    // The share redirect draws from its own stream so turning sharing on or
+    // off for one host never perturbs another host's instruction sequence.
+    s.share_rng = Rng(seed ^ (0x9e3779b97f4a7c15ull * (h + 1)));
+    s.credit = wp.max_ipc;
+    s.slots.resize(cfg_.host_window);
+    s.free_slots.reserve(cfg_.host_window);
+    for (std::uint32_t i = cfg_.host_window; i > 0; --i) {
+      s.free_slots.push_back(i - 1);
+    }
+    slices_.push_back(std::move(s));
+  }
+  register_metrics();
+}
+
+void PooledSystem::fetch(Slice& s, std::uint32_t h) {
+  s.cur = s.gen->next();
+  if (s.cur.kind != workload::InstrKind::kAlu) {
+    Addr line = (s.cur.addr / kLineBytes) % private_lines_;
+    bool shared = false;
+    const double f = cfg_.host_share_fraction(h);
+    // Hosts pinned at fraction 0 never touch the share RNG at all, so a
+    // victim tenant's whole access stream is independent of its neighbours.
+    if (f > 0.0 && s.share_rng.chance(f)) {
+      shared = true;
+      const bool hot = cfg_.shared_hot_pages != 0 &&
+                       s.share_rng.chance(cfg_.shared_hot_prob);
+      const Addr page = hot ? s.share_rng.next_below(cfg_.shared_hot_pages)
+                            : s.share_rng.next_below(cfg_.shared_pages);
+      line = pool::kPoolSharedBaseLine + page * cfg_.page_lines +
+             s.share_rng.next_below(cfg_.page_lines);
+    }
+    s.cur_line = line;
+    s.cur_shared = shared;
+  }
+  s.cur_valid = true;
+}
+
+void PooledSystem::step_slice(std::uint32_t h, Cycle now) {
+  Slice& s = slices_[h];
+  if (s.halted) return;
+
+  // Free read slots whose completions have landed.
+  if (s.busy_slots != 0) {
+    for (std::uint32_t i = 0; i < s.slots.size(); ++i) {
+      Slot& sl = s.slots[i];
+      if (sl.busy && sl.done != kNoCycle && sl.done <= now) {
+        sl.busy = false;
+        s.free_slots.push_back(i);
+        --s.busy_slots;
+      }
+    }
+  }
+
+  const double max_ipc = s.gen->params().max_ipc;
+  if (now > s.last_step) {
+    s.credit = std::min(
+        max_ipc, s.credit + max_ipc * static_cast<double>(now - s.last_step));
+    s.last_step = now;
+  }
+
+  while (s.credit >= 1.0) {
+    if (!s.cur_valid) fetch(s, h);
+    if (s.cur.kind == workload::InstrKind::kLoad) {
+      if (s.cur.depends_on_prev_load && s.last_load_valid &&
+          s.slots[s.last_load_slot].busy) {
+        ++s.dep_stall_cycles;
+        return;
+      }
+      if (s.free_slots.empty()) {
+        ++s.window_stall_cycles;
+        return;
+      }
+      if (!memory_->can_accept(h, s.cur_line, false, now)) {
+        ++s.bp_stall_cycles;
+        return;
+      }
+      const std::uint32_t slot = s.free_slots.back();
+      s.free_slots.pop_back();
+      s.slots[slot] = {now, kNoCycle, true};
+      ++s.busy_slots;
+      memory_->access(h, s.cur_line, false, now, slot);
+      s.last_load_slot = slot;
+      s.last_load_valid = true;
+      ++s.reads;
+      if (s.cur_shared) ++s.shared_ops;
+    } else if (s.cur.kind == workload::InstrKind::kStore) {
+      if (!memory_->can_accept(h, s.cur_line, true, now)) {
+        ++s.bp_stall_cycles;
+        return;
+      }
+      memory_->access(h, s.cur_line, true, now, 0);
+      ++s.writes;
+      if (s.cur_shared) ++s.shared_ops;
+    }
+    s.cur_valid = false;
+    s.credit -= 1.0;
+    ++s.retired;
+    if (s.retired >= budget_) {
+      s.halted = true;
+      return;
+    }
+  }
+}
+
+void PooledSystem::step(Cycle now) {
+  for (std::uint32_t h = 0; h < cfg_.n_hosts; ++h) step_slice(h, now);
+  mem_wake_ = memory_->tick(now);
+  for (std::uint32_t h = 0; h < cfg_.n_hosts; ++h) {
+    Slice& s = slices_[h];
+    auto& done = memory_->completions(h);
+    for (const pool::HostCompletion& c : done) {
+      Slot& sl = s.slots[static_cast<std::uint32_t>(c.token)];
+      sl.done = c.done;
+      if (window_open_ && sl.start >= window_start_) {
+        s.lat.add(c.done - sl.start);
+      }
+    }
+    done.clear();
+  }
+}
+
+Cycle PooledSystem::next_event_after(Cycle now) const {
+  Cycle next = mem_wake_;
+  for (const Slice& s : slices_) {
+    if (!s.halted) return std::min(next, now + 1);
+  }
+  return next;
+}
+
+PooledStats PooledSystem::run(std::uint64_t warmup_instr,
+                              std::uint64_t measure_instr) {
+  budget_ = warmup_instr + measure_instr;
+  const bool force = tick_every_cycle_ || env_flag("COAXIAL_TICK_EVERY_CYCLE");
+  memory_->set_force_tick(force);
+
+  Cycle now = 0;
+  Cycle window_end = 0;
+  Cycle total = 0;
+  bool window_closed = false;
+  while (true) {
+    step(now);
+    if (!window_open_) {
+      bool all_warm = true;
+      for (const Slice& s : slices_) {
+        all_warm = all_warm && s.retired >= warmup_instr;
+      }
+      if (all_warm) {
+        window_open_ = true;
+        window_start_ = now;
+        for (Slice& s : slices_) s.retired_base = s.retired;
+      }
+    }
+    if (window_open_ && !window_closed) {
+      bool all_done = true;
+      for (const Slice& s : slices_) all_done = all_done && s.halted;
+      if (all_done) {
+        window_closed = true;
+        window_end = now;
+      }
+    }
+    if (window_closed && memory_->quiescent()) {
+      total = now;
+      break;
+    }
+    const Cycle next = next_event_after(now);
+    now = (force || next == kNoCycle) ? now + 1 : std::max(next, now + 1);
+  }
+
+  PooledStats st;
+  st.window_cycles = window_end - window_start_;
+  st.total_cycles = total;
+  FixedHistogram merged;
+  double ipc_sum = 0;
+  for (const Slice& s : slices_) {
+    const std::uint64_t instr = s.retired - s.retired_base;
+    st.instructions += instr;
+    const double ipc = st.window_cycles != 0
+                           ? static_cast<double>(instr) /
+                                 static_cast<double>(st.window_cycles)
+                           : 0.0;
+    st.host_ipc.push_back(ipc);
+    ipc_sum += ipc;
+    merged.merge(s.lat);
+  }
+  st.ipc_mean = ipc_sum / static_cast<double>(cfg_.n_hosts);
+  if (merged.count() != 0) {
+    st.read_p50_ns = cycles_to_ns(merged.percentile(0.50));
+    st.read_p99_ns = cycles_to_ns(merged.percentile(0.99));
+  }
+  st.pool = memory_->counters();
+  return st;
+}
+
+void PooledSystem::register_metrics() {
+  const obs::Scope pool = obs::Scope(&metrics_, "").sub("pool", cfg_.enabled());
+  const pool::PooledMemory* mem = memory_.get();
+  const std::uint32_t s_devs = cfg_.shared_devices;
+  const std::uint32_t n_hosts = cfg_.n_hosts;
+
+  pool.expose_counter("hosts", [n_hosts] { return std::uint64_t{n_hosts}; });
+
+  pool.expose_counter("dir/occupancy", [mem, s_devs] {
+    std::uint64_t v = 0;
+    for (std::uint32_t d = 0; d < s_devs; ++d) v += mem->directory(d).occupancy();
+    return v;
+  });
+  pool.expose_counter("dir/inserts", [mem, s_devs] {
+    std::uint64_t v = 0;
+    for (std::uint32_t d = 0; d < s_devs; ++d) v += mem->directory(d).inserts();
+    return v;
+  });
+  pool.expose_counter("dir/evictions", [mem, s_devs] {
+    std::uint64_t v = 0;
+    for (std::uint32_t d = 0; d < s_devs; ++d) v += mem->directory(d).evictions();
+    return v;
+  });
+  for (std::uint32_t d = 0; d < s_devs; ++d) {
+    const obs::Scope ds = pool.sub("dev/" + obs::idx(d));
+    ds.expose_counter("occupancy",
+                      [mem, d] { return std::uint64_t{mem->directory(d).occupancy()}; });
+    ds.expose_counter("inserts", [mem, d] { return mem->directory(d).inserts(); });
+    ds.expose_counter("evictions",
+                      [mem, d] { return mem->directory(d).evictions(); });
+  }
+
+  const pool::PoolCounters* c = &memory_->counters();
+  const obs::Scope coh = pool.sub("coh");
+  coh.expose_counter("txns", [c] { return c->txns; });
+  coh.expose_counter("invals_sent", [c] { return c->invals_sent; });
+  coh.expose_counter("invals_acked", [c] { return c->invals_acked; });
+  coh.expose_counter("recalls_dirty", [c] { return c->recalls_dirty; });
+  coh.expose_counter("recall_writebacks", [c] { return c->recall_writebacks; });
+  coh.expose_counter("upgrades_silent", [c] { return c->upgrades_silent; });
+  coh.expose_counter("pingpong", [c] { return c->pingpong_transitions; });
+
+  const obs::Scope adm = pool.sub("admitted");
+  adm.expose_counter("shared_reads", [c] { return c->shared_reads; });
+  adm.expose_counter("shared_writes", [c] { return c->shared_writes; });
+  adm.expose_counter("private_reads", [c] { return c->private_reads; });
+  adm.expose_counter("private_writes", [c] { return c->private_writes; });
+
+  for (std::uint32_t h = 0; h < n_hosts; ++h) {
+    const obs::Scope hs = pool.sub("host/" + obs::idx(h));
+    const Slice* s = &slices_[h];
+    hs.expose_counter("instructions", [s] { return s->retired; });
+    hs.expose_counter("reads", [s] { return s->reads; });
+    hs.expose_counter("writes", [s] { return s->writes; });
+    hs.expose_counter("shared", [s] { return s->shared_ops; });
+    hs.expose_counter("bp_stall_cycles", [s] { return s->bp_stall_cycles; });
+    hs.expose_counter("dep_stall_cycles", [s] { return s->dep_stall_cycles; });
+    hs.expose_counter("window_stall_cycles",
+                      [s] { return s->window_stall_cycles; });
+    const pool::HostCounters* hc = &memory_->host_counters(h);
+    hs.expose_counter("invals_received", [hc] { return hc->invals_received; });
+    hs.expose_counter("acks_sent", [hc] { return hc->acks_sent; });
+    hs.expose_fixed_histogram("lat", s->lat);
+  }
+}
+
+}  // namespace coaxial::sim

@@ -1,0 +1,117 @@
+// Multi-host pooled-memory driver (DESIGN.md §12).
+//
+// Ticks N host slices against one pool::PooledMemory under the unified
+// scheduler. Each slice is the closed-loop core model from sim::System
+// reduced to one core: a workload::Generator stream, an IPC credit bucket,
+// a bounded window of outstanding reads, and load->load dependency stalls.
+// A per-slice share RNG redirects a configured fraction of memory ops from
+// the slice's private region into the shared pooled window (with a hot
+// contended subset), which is what exercises the coherence directory.
+//
+// Determinism: slices are stepped in host order every cycle while any host
+// is still retiring (each live slice arms a now+1 wake), so the per-step
+// stall counters are identical whether the scheduler runs event-driven or
+// with COAXIAL_TICK_EVERY_CYCLE=1; event skipping only compresses the
+// final drain. Inter-host ordering inside the memory is fixed by
+// PooledMemory's own scan orders.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "pool/pooled_memory.hpp"
+#include "workload/generator.hpp"
+
+namespace coaxial::sim {
+
+/// Measurement-window results of one pooled run.
+struct PooledStats {
+  Cycle window_cycles = 0;  ///< Joint window (all hosts warm .. all done).
+  Cycle total_cycles = 0;   ///< Full run including warmup and drain.
+  std::uint64_t instructions = 0;  ///< Window retirements, summed over hosts.
+  std::vector<double> host_ipc;    ///< Per-host window IPC.
+  double ipc_mean = 0;
+  double read_p50_ns = 0;  ///< Merged read-latency percentiles (window).
+  double read_p99_ns = 0;
+  pool::PoolCounters pool;  ///< Lifetime protocol totals at end of run.
+};
+
+/// N closed-loop host slices sharing a pooled CXL memory.
+class PooledSystem {
+ public:
+  PooledSystem(const pool::PoolConfig& cfg, std::uint64_t seed);
+
+  /// Run until every host has retired warmup + measure instructions, then
+  /// drain the memory system to quiescence. The measurement window opens
+  /// when the last host crosses `warmup_instr` and closes when the last
+  /// host crosses the full budget.
+  PooledStats run(std::uint64_t warmup_instr, std::uint64_t measure_instr);
+
+  /// Force the per-cycle scheduler (also via COAXIAL_TICK_EVERY_CYCLE=1).
+  void set_tick_every_cycle(bool on) { tick_every_cycle_ = on; }
+
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  const pool::PooledMemory& memory() const { return *memory_; }
+  const pool::PoolConfig& config() const { return cfg_; }
+
+ private:
+  struct Slot {
+    Cycle start = 0;
+    Cycle done = kNoCycle;
+    bool busy = false;
+  };
+
+  struct Slice {
+    std::unique_ptr<workload::Generator> gen;
+    Rng share_rng{0};
+    workload::Instr cur;         ///< Buffered head instruction.
+    Addr cur_line = 0;           ///< Its post-redirect line address.
+    bool cur_valid = false;
+    bool cur_shared = false;
+    double credit = 0;
+    Cycle last_step = 0;
+    std::vector<Slot> slots;     ///< host_window outstanding reads.
+    std::vector<std::uint32_t> free_slots;
+    std::uint32_t busy_slots = 0;
+    std::uint32_t last_load_slot = 0;
+    bool last_load_valid = false;
+    bool halted = false;
+    std::uint64_t retired = 0;
+    std::uint64_t retired_base = 0;  ///< Snapshot at window open.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t shared_ops = 0;    ///< Accesses redirected to the pool.
+    std::uint64_t bp_stall_cycles = 0;      ///< Memory would not accept.
+    std::uint64_t dep_stall_cycles = 0;     ///< Load->load dependency.
+    std::uint64_t window_stall_cycles = 0;  ///< All read slots busy.
+    FixedHistogram lat;  ///< Read latency, cycles, window-issued only.
+  };
+
+  void step(Cycle now);
+  void step_slice(std::uint32_t h, Cycle now);
+  void fetch(Slice& s, std::uint32_t h);
+  Cycle next_event_after(Cycle now) const;
+  void register_metrics();
+
+  pool::PoolConfig cfg_;
+  std::uint64_t seed_ = 0;
+  Addr private_lines_ = 0;
+  bool tick_every_cycle_ = false;
+
+  // The registry must outlive (so: precede) everything that registers.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<pool::PooledMemory> memory_;
+  std::vector<Slice> slices_;
+
+  Cycle mem_wake_ = 0;
+  std::uint64_t budget_ = 0;  ///< Per-host warmup + measure retirements.
+  bool window_open_ = false;
+  Cycle window_start_ = 0;
+};
+
+}  // namespace coaxial::sim

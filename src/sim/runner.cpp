@@ -48,9 +48,34 @@ RunResult run_service(const RunRequest& request) {
   return result;
 }
 
+/// Multi-host pooled dispatch: the pool config names its own workload and
+/// the instruction budgets apply per host slice. The metrics snapshot
+/// carries the whole pool/* subtree, so the JSON document shape is the same
+/// as any closed-loop run.
+RunResult run_pooled(const RunRequest& request) {
+  PooledSystem system(request.pool, request.seed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const PooledStats stats =
+      system.run(request.warmup_instr, request.measure_instr);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  RunResult result;
+  result.config_name = request.pool.name;
+  result.workload_name = request.pool.workload;
+  result.seed = request.seed;
+  result.warmup_instr = request.warmup_instr;
+  result.measure_instr = request.measure_instr;
+  result.host_seconds = wall.count();
+  result.pooled = stats;
+  result.metrics = system.metrics().snapshot();
+  return result;
+}
+
 }  // namespace
 
 RunResult run_one(const RunRequest& request) {
+  if (request.pool.enabled()) return run_pooled(request);
   if (request.service.enabled()) return run_service(request);
   const std::uint32_t cores = request.config.uarch.cores;
   std::vector<workload::WorkloadParams> per_core;

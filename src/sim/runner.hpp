@@ -8,6 +8,7 @@
 
 #include "coaxial/configs.hpp"
 #include "obs/metrics.hpp"
+#include "sim/pooled_system.hpp"
 #include "sim/service.hpp"
 #include "sim/system.hpp"
 #include "workload/catalog.hpp"
@@ -28,6 +29,12 @@ struct RunRequest {
   /// budgets and workload names above are ignored, and end-of-run is defined
   /// by the simulated-time horizon instead of per-core trace length.
   ServiceConfig service;
+
+  /// Multi-host pooled-memory run. When `pool.enabled()` (n_hosts > 0) the
+  /// run is a sim::PooledSystem run: `config` and `workloads` above are
+  /// ignored (the pool config carries its own workload name) and the
+  /// instruction budgets apply per host slice. Checked before `service`.
+  pool::PoolConfig pool;
 
   /// Tiering overrides applied on top of `config.tiering` (sweep knobs for
   /// benches/tools; defaults leave the config untouched). `tier_policy`
@@ -52,6 +59,7 @@ struct RunResult {
   double host_seconds = 0;  ///< Host wall-clock spent inside run().
   RunStats stats;             ///< Closed-loop window results (zero when open_loop).
   ServiceStats service;       ///< Open-loop window results (zero otherwise).
+  PooledStats pooled;         ///< Multi-host pooled results (zero otherwise).
   std::vector<SloCheck> slo;  ///< Declared-SLO outcomes (open-loop only).
   obs::Snapshot metrics;  ///< Full registry snapshot taken after run().
 };

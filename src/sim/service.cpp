@@ -61,13 +61,14 @@ ServiceDriver::ServiceDriver(const sys::SystemConfig& cfg, const ServiceConfig& 
 }
 
 void ServiceDriver::register_metrics() {
-  // Everything lives under svc/*; the subtree exists only when a
-  // ServiceDriver was constructed, which is what keeps the closed-loop
+  // Everything lives under svc/*, behind the shared feature-gated Scope
+  // (obs::Scope::sub(name, enabled)); the subtree exists only when an
+  // open-loop config was supplied, which is what keeps the closed-loop
   // golden stats tree byte-identical (the golden-inertness test).
-  metrics_.expose_counter("svc/horizon_cycles", [this] { return horizon_; });
-  metrics_.expose_counter("svc/warmup_cycles",
-                          [this] { return svc_.warmup_cycles; });
-  metrics_.expose_counter("svc/tenants", [this] {
+  const obs::Scope svc = obs::Scope(&metrics_, "").sub("svc", svc_.enabled());
+  svc.expose_counter("horizon_cycles", [this] { return horizon_; });
+  svc.expose_counter("warmup_cycles", [this] { return svc_.warmup_cycles; });
+  svc.expose_counter("tenants", [this] {
     return static_cast<std::uint64_t>(tenants_.size());
   });
 
@@ -76,41 +77,37 @@ void ServiceDriver::register_metrics() {
     for (const TenantState& t : tenants_) v += t.*field;
     return v;
   };
-  metrics_.expose_counter("svc/all/generated",
-                          [sum] { return sum(&TenantState::generated); });
-  metrics_.expose_counter("svc/all/admitted",
-                          [sum] { return sum(&TenantState::admitted); });
-  metrics_.expose_counter("svc/all/completed",
-                          [sum] { return sum(&TenantState::completed); });
-  metrics_.expose_counter("svc/all/reg_stall_cycles",
-                          [sum] { return sum(&TenantState::reg_stall_cycles); });
-  metrics_.expose_counter("svc/all/bp_stall_cycles",
-                          [sum] { return sum(&TenantState::bp_stall_cycles); });
-  metrics_.expose_counter("svc/all/backlog_at_end", [this] {
+  const obs::Scope all = svc.sub("all");
+  all.expose_counter("generated", [sum] { return sum(&TenantState::generated); });
+  all.expose_counter("admitted", [sum] { return sum(&TenantState::admitted); });
+  all.expose_counter("completed", [sum] { return sum(&TenantState::completed); });
+  all.expose_counter("reg_stall_cycles",
+                     [sum] { return sum(&TenantState::reg_stall_cycles); });
+  all.expose_counter("bp_stall_cycles",
+                     [sum] { return sum(&TenantState::bp_stall_cycles); });
+  all.expose_counter("backlog_at_end", [this] {
     std::uint64_t v = 0;
     for (const TenantState& t : tenants_) v += t.queue.size();
     return v;
   });
-  metrics_.expose_fixed_histogram("svc/all/lat", all_lat_);
+  all.expose_fixed_histogram("lat", all_lat_);
 
   for (std::uint32_t i = 0; i < tenants_.size(); ++i) {
     // tenants_ is fully built before this loop and never resized after, so
     // the captured element pointers stay valid for the registry's lifetime.
     const TenantState* t = &tenants_[i];
-    const std::string base = "svc/tenant/" + obs::idx(i);
-    metrics_.expose_counter(base + "/generated", [t] { return t->generated; });
-    metrics_.expose_counter(base + "/admitted", [t] { return t->admitted; });
-    metrics_.expose_counter(base + "/reads", [t] { return t->reads; });
-    metrics_.expose_counter(base + "/writes", [t] { return t->writes; });
-    metrics_.expose_counter(base + "/completed", [t] { return t->completed; });
-    metrics_.expose_counter(base + "/reg_stall_cycles",
-                            [t] { return t->reg_stall_cycles; });
-    metrics_.expose_counter(base + "/bp_stall_cycles",
-                            [t] { return t->bp_stall_cycles; });
-    metrics_.expose_counter(base + "/backlog_at_end", [t] {
+    const obs::Scope tn = svc.sub("tenant/" + obs::idx(i));
+    tn.expose_counter("generated", [t] { return t->generated; });
+    tn.expose_counter("admitted", [t] { return t->admitted; });
+    tn.expose_counter("reads", [t] { return t->reads; });
+    tn.expose_counter("writes", [t] { return t->writes; });
+    tn.expose_counter("completed", [t] { return t->completed; });
+    tn.expose_counter("reg_stall_cycles", [t] { return t->reg_stall_cycles; });
+    tn.expose_counter("bp_stall_cycles", [t] { return t->bp_stall_cycles; });
+    tn.expose_counter("backlog_at_end", [t] {
       return static_cast<std::uint64_t>(t->queue.size());
     });
-    metrics_.expose_fixed_histogram(base + "/lat", t->lat);
+    tn.expose_fixed_histogram("lat", t->lat);
   }
 }
 

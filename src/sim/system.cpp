@@ -77,64 +77,59 @@ void System::build_shared_structures() {
   llc_hits_ = run.counter("llc/hits");
   llc_misses_ = run.counter("llc/misses");
   l2_miss_hist_ = run.histogram("l2_miss/latency_cycles");
-  // RAS observability is opt-in with the fault plan: registering the
-  // subtree unconditionally would change the metrics-tree shape and break
-  // golden-baseline comparisons for fault-free runs.
-  if (ras_enabled_) {
-    const obs::Scope rs = root.sub("ras");
-    rs.expose_counter("crc_errors",
-                      [this] { return memory_->ras_counters().crc_errors; });
-    rs.expose_counter("replays", [this] { return memory_->ras_counters().replays; });
-    rs.expose_counter("poisons_injected",
-                      [this] { return memory_->ras_counters().poisons_injected; });
-    rs.expose_counter("degraded_cycles",
-                      [this] { return memory_->ras_counters().degraded_cycles; });
-    rs.expose_counter("timeouts", [this] { return memory_->ras_counters().timeouts; });
-    rs.expose_counter("backoff_retries",
-                      [this] { return memory_->ras_counters().backoff_retries; });
-    rs.expose_counter("dup_drops", [this] { return memory_->ras_counters().dup_drops; });
-    rs.expose_counter("poisoned_writes",
-                      [this] { return memory_->ras_counters().poisoned_writes; });
-    // Machine checks fired by cores consuming poisoned data (measurement
-    // window; reset with the other per-window core counters).
-    rs.expose_counter("poisons_consumed", [this] {
-      std::uint64_t total = 0;
-      for (const auto& core : cores_) total += core->machine_checks();
-      return total;
-    });
-    for (std::uint32_t c = 0; c < u.cores; ++c) {
-      rs.expose_counter("core/" + obs::idx(c) + "/machine_checks",
-                        [this, c] { return cores_[c]->machine_checks(); });
-    }
+  // RAS observability is opt-in with the fault plan: the feature-gated
+  // Scope is inert for fault-free runs, so the metrics-tree shape (and the
+  // golden baseline) is unchanged while registration stays unconditional.
+  const obs::Scope rs = root.sub("ras", ras_enabled_);
+  rs.expose_counter("crc_errors",
+                    [this] { return memory_->ras_counters().crc_errors; });
+  rs.expose_counter("replays", [this] { return memory_->ras_counters().replays; });
+  rs.expose_counter("poisons_injected",
+                    [this] { return memory_->ras_counters().poisons_injected; });
+  rs.expose_counter("degraded_cycles",
+                    [this] { return memory_->ras_counters().degraded_cycles; });
+  rs.expose_counter("timeouts", [this] { return memory_->ras_counters().timeouts; });
+  rs.expose_counter("backoff_retries",
+                    [this] { return memory_->ras_counters().backoff_retries; });
+  rs.expose_counter("dup_drops", [this] { return memory_->ras_counters().dup_drops; });
+  rs.expose_counter("poisoned_writes",
+                    [this] { return memory_->ras_counters().poisoned_writes; });
+  // Machine checks fired by cores consuming poisoned data (measurement
+  // window; reset with the other per-window core counters).
+  rs.expose_counter("poisons_consumed", [this] {
+    std::uint64_t total = 0;
+    for (const auto& core : cores_) total += core->machine_checks();
+    return total;
+  });
+  for (std::uint32_t c = 0; c < u.cores; ++c) {
+    rs.expose_counter("core/" + obs::idx(c) + "/machine_checks",
+                      [this, c] { return cores_[c]->machine_checks(); });
   }
-  // Like ras/*, the tier/* subtree is opt-in with the feature so the
-  // metrics-tree shape (and the golden baseline) is unchanged when tiering
-  // is disabled. Counters are lifetime totals sampled at snapshot time.
-  if (cfg_.tiering.enabled) {
-    const obs::Scope ts = root.sub("tier");
-    ts.expose_counter("epochs", [this] { return memory_->tier_counters().epochs; });
-    ts.expose_counter("jobs_started",
-                      [this] { return memory_->tier_counters().jobs_started; });
-    ts.expose_counter("installs", [this] { return memory_->tier_counters().installs; });
-    ts.expose_counter("promotions",
-                      [this] { return memory_->tier_counters().promotions; });
-    ts.expose_counter("demotions",
-                      [this] { return memory_->tier_counters().demotions; });
-    ts.expose_counter("migration_reads",
-                      [this] { return memory_->tier_counters().migration_reads; });
-    ts.expose_counter("migration_writes",
-                      [this] { return memory_->tier_counters().migration_writes; });
-    ts.expose_counter("migration_bytes",
-                      [this] { return memory_->tier_counters().migration_bytes; });
-    ts.expose_counter("remap_occupancy",
-                      [this] { return memory_->tier_counters().remap_occupancy; });
-    ts.expose_counter("fast/accesses",
-                      [this] { return memory_->tier_counters().fast_accesses; });
-    ts.expose_counter("capacity/accesses",
-                      [this] { return memory_->tier_counters().capacity_accesses; });
-    ts.expose("fast/fraction",
-              [this] { return memory_->tier_counters().fast_fraction(); });
-  }
+  // Like ras/*, the tier/* subtree is opt-in with the feature. Counters are
+  // lifetime totals sampled at snapshot time.
+  const obs::Scope ts = root.sub("tier", cfg_.tiering.enabled);
+  ts.expose_counter("epochs", [this] { return memory_->tier_counters().epochs; });
+  ts.expose_counter("jobs_started",
+                    [this] { return memory_->tier_counters().jobs_started; });
+  ts.expose_counter("installs", [this] { return memory_->tier_counters().installs; });
+  ts.expose_counter("promotions",
+                    [this] { return memory_->tier_counters().promotions; });
+  ts.expose_counter("demotions",
+                    [this] { return memory_->tier_counters().demotions; });
+  ts.expose_counter("migration_reads",
+                    [this] { return memory_->tier_counters().migration_reads; });
+  ts.expose_counter("migration_writes",
+                    [this] { return memory_->tier_counters().migration_writes; });
+  ts.expose_counter("migration_bytes",
+                    [this] { return memory_->tier_counters().migration_bytes; });
+  ts.expose_counter("remap_occupancy",
+                    [this] { return memory_->tier_counters().remap_occupancy; });
+  ts.expose_counter("fast/accesses",
+                    [this] { return memory_->tier_counters().fast_accesses; });
+  ts.expose_counter("capacity/accesses",
+                    [this] { return memory_->tier_counters().capacity_accesses; });
+  ts.expose("fast/fraction",
+            [this] { return memory_->tier_counters().fast_fraction(); });
   for (std::uint32_t p = 0; p < memory_->ports(); ++p) {
     port_tile_.push_back(mesh_.memory_tile(p, memory_->ports()));
   }

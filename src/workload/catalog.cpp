@@ -134,6 +134,8 @@ const WorkloadParams& find_workload(const std::string& name) {
   if (name == interleave_stress().name) return interleave_stress();
   if (name == tiered_hotcold().name) return tiered_hotcold();
   if (name == tiered_hotcold_wide().name) return tiered_hotcold_wide();
+  if (name == pool_pingpong().name) return pool_pingpong();
+  if (name == pool_shared_skew().name) return pool_shared_skew();
   throw std::out_of_range("unknown workload: " + name);
 }
 
@@ -197,6 +199,46 @@ const WorkloadParams& tiered_hotcold_wide() {
     // must demote, while large ones still capture the whole set.
     p.cold_hot_fraction = 0.015;
     p.cold_hot_prob = 0.75;
+    return p;
+  }();
+  return preset;
+}
+
+const WorkloadParams& pool_pingpong() {
+  static const WorkloadParams preset = [] {
+    // Random-dominated and store-heavy: half the memory ops are writes, so
+    // once the pooled driver folds a share of them onto the hot shared
+    // pages, two or more hosts keep writing the same pages and every write
+    // finds the page modified by another owner — the worst case for a
+    // sharer-tracking directory (recall + ownership handoff per write).
+    // Steady (low burst) so contention pressure is continuous.
+    const Shape s = {"pool-pingpong", "POOL",
+                     /*seq=*/0.05, /*p_hot=*/0.25, /*p_mid=*/0.15,
+                     /*store=*/0.50, /*dep=*/0.20, /*max_ipc=*/2.0,
+                     /*ipc=*/0.50, /*mpki=*/50,
+                     /*mid_kb=*/1152, /*hot_kb=*/128, /*cold_kb=*/16384,
+                     /*burst=*/0.2};
+    WorkloadParams p = make(s);
+    p.streams = 4;
+    return p;
+  }();
+  return preset;
+}
+
+const WorkloadParams& pool_shared_skew() {
+  static const WorkloadParams preset = [] {
+    // Read-mostly with dependent loads: many hosts accumulate on the hot
+    // pages' sharer lists, and the occasional store pays a fan-out of clean
+    // back-invalidations proportional to the sharer count. The dependency
+    // chain makes invalidation-round latency visible in IPC.
+    const Shape s = {"pool-shared-skew", "POOL",
+                     /*seq=*/0.20, /*p_hot=*/0.25, /*p_mid=*/0.15,
+                     /*store=*/0.12, /*dep=*/0.35, /*max_ipc=*/2.0,
+                     /*ipc=*/0.60, /*mpki=*/40,
+                     /*mid_kb=*/1152, /*hot_kb=*/128, /*cold_kb=*/32768,
+                     /*burst=*/0.4};
+    WorkloadParams p = make(s);
+    p.streams = 6;
     return p;
   }();
   return preset;

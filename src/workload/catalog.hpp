@@ -49,4 +49,18 @@ const WorkloadParams& tiered_hotcold();
 /// (promotion churn, LRU demotion, bandwidth spill).
 const WorkloadParams& tiered_hotcold_wide();
 
+/// Pooling contention preset ("pool-pingpong") for the multi-host studies
+/// (DESIGN.md §12): random-dominated, store-heavy traffic. When the pooled
+/// driver redirects a share of it into the hot subset of the shared window,
+/// concurrent writers bounce page ownership through the coherence directory
+/// (M->M handoffs with dirty recalls). Catalog-external; find_workload
+/// resolves it by name.
+const WorkloadParams& pool_pingpong();
+
+/// Read-mostly multi-tenant preset ("pool-shared-skew"): dependent reads
+/// over a skewed shared working set — sharer lists grow wide, so a single
+/// writer triggers broad back-invalidation fan-out while readers mostly
+/// coexist in the shared state.
+const WorkloadParams& pool_shared_skew();
+
 }  // namespace coaxial::workload

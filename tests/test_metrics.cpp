@@ -346,6 +346,34 @@ TEST(StatDiff, TierSubtreeGlobRules) {
   EXPECT_EQ(diffs[0].path, "tier/promotions");
 }
 
+TEST(StatDiff, PoolSubtreeGlobRules) {
+  // The pooled CI smoke pins the whole pool/* subtree exact with one glob:
+  // directory decisions, invalidation counts and per-host admissions are
+  // all functions of the deterministic inter-host ordering, so two runs
+  // (and both scheduler modes) must agree bit-for-bit. The glob covers the
+  // nested mem/ scope too (fabric links, pooled DRAM controllers).
+  EXPECT_TRUE(glob_match("pool/*", "pool/coh/invals_sent"));
+  EXPECT_TRUE(glob_match("pool/*", "pool/host/01/lat/p99"));
+  EXPECT_TRUE(glob_match("pool/*", "pool/dev/00/occupancy"));
+  EXPECT_TRUE(glob_match("pool/*", "pool/mem/host/00/cxl/link00/tx_messages"));
+  EXPECT_FALSE(glob_match("pool/*", "run/pool_like/counter"));
+  EXPECT_FALSE(glob_match("pool/*", "mem/pooled/dram/ctrl00/reads"));
+
+  const json::Flat a = flat(R"({"pool": {"coh": {"invals_sent": 40, "invals_acked": 40},
+                                         "host": {"00": {"instructions": 900}}},
+                                "lat": {"avg": 10.0}})");
+  const json::Flat b = flat(R"({"pool": {"coh": {"invals_sent": 41, "invals_acked": 41},
+                                         "host": {"00": {"instructions": 900}}},
+                                "lat": {"avg": 10.4}})");
+  DiffOptions opts;
+  opts.rules.push_back({"lat/", 0.1});
+  opts.rules.push_back({"pool/*", 0.0});
+  const auto diffs = diff_stats(a, b, opts);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].path, "pool/coh/invals_acked");
+  EXPECT_EQ(diffs[1].path, "pool/coh/invals_sent");
+}
+
 TEST(Registry, FixedHistogramViewFlattensTailLeaves) {
   // expose_fixed_histogram turns a component-owned FixedHistogram into the
   // service-latency leaf set; the cycle percentiles and max are integral so
