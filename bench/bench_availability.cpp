@@ -1,0 +1,168 @@
+// Availability through a planned device failure (DESIGN.md §13): tiered
+// COAXIAL runs straight through a capacity-device loss while the failure
+// lifecycle — health monitor, drain, evacuation, retirement — plays out
+// underneath it, and a pooled run loses a shared device and recovers its
+// coherence directory. Four rows:
+//
+//   healthy    the failover topology with the fault plan cleared (the
+//              throughput yardstick the failure rows are gated against)
+//   failing    escalating read errors trip the monitor, which evacuates
+//              the device's touched pages onto survivors and retires it
+//   surprise   the device vanishes with no warning; touched pages are
+//              discovered poisoned and retired on first touch
+//   pooled     two hosts lose shared device 1 under CRC noise; the
+//              directory resets and re-invalidates every stale sharer
+//
+// At full budget the harness asserts the acceptance gates and exits
+// non-zero on violation:
+//   1. The failing-device monitor trips exactly once and offlines exactly
+//      one device; the surprise row offlines one device with zero trips.
+//   2. Survivor throughput: both failure rows retain at least
+//      kRecoveryFloor of the healthy row's IPC (the fast tier and the
+//      three surviving capacity devices keep the slice running).
+//   3. Pooled recovery: the dead directory's sharers are re-invalidated
+//      and both hosts keep retiring (ipc_mean > 0).
+// Independent of budget it asserts the conservation invariants *exactly*:
+//   evac_pages_out == evac_pages_in + pages_retired   (single-host rows)
+//   invals_sent    == invals_acked                    (pooled row)
+// The page-level zero-lost-update check (every non-retired page readable
+// after evacuation) is unit-tested in test_avail; here the same property
+// is visible as exact conservation of evacuated pages.
+#include "bench/common/harness.hpp"
+
+#include "pool/pool_config.hpp"
+#include "ras/fault_plan.hpp"
+
+namespace {
+using namespace coaxial;
+
+std::uint64_t counter(const sim::RunResult& r, const std::string& path) {
+  const auto it = r.metrics.find(path);
+  return it == r.metrics.end() ? 0 : it->second.count;
+}
+
+constexpr double kRecoveryFloor = 0.30;
+
+}  // namespace
+
+int main() {
+  using namespace coaxial;
+  bench::announce("Availability", "tiered + pooled COAXIAL through a device failure");
+
+  const bench::Budget b = bench::budget();
+  const bool full_budget = b.measure >= 100'000;
+  // Land the failure inside the measurement window at full budget; at
+  // smoke budgets fire early so the lifecycle still executes end to end.
+  const Cycle at = full_budget ? 150'000 : 4'000;
+
+  std::vector<sim::RunRequest> requests;
+  {
+    sys::SystemConfig healthy = sys::coaxial_tiered_failover(ras::FailureMode::kFailing, at);
+    healthy.name += "/healthy";
+    healthy.fault_plan = ras::FaultPlan{};  // Same topology, no episode.
+    requests.push_back(sim::homogeneous(healthy, "tiered-hotcold", b.warmup, b.measure));
+  }
+  {
+    sys::SystemConfig failing = sys::coaxial_tiered_failover(ras::FailureMode::kFailing, at);
+    failing.name += "/failing";
+    requests.push_back(sim::homogeneous(failing, "tiered-hotcold", b.warmup, b.measure));
+  }
+  {
+    sys::SystemConfig surprise =
+        sys::coaxial_tiered_failover(ras::FailureMode::kSurpriseRemoval, at);
+    surprise.name += "/surprise";
+    requests.push_back(sim::homogeneous(surprise, "tiered-hotcold", b.warmup, b.measure));
+  }
+  {
+    sim::RunRequest req;
+    req.pool = sys::coaxial_pooled_faulty(2, at);
+    req.warmup_instr = b.warmup;
+    req.measure_instr = b.measure;
+    req.seed = 42;
+    requests.push_back(req);
+  }
+  const auto runs = sim::run_many(requests, bench::bench_threads());
+
+  report::Table table({"config", "ipc", "trips", "offlined", "evac_out", "evac_in",
+                       "retired", "bounced", "lost_writes"});
+  for (const sim::RunResult& r : runs) {
+    const double ipc = r.pooled.host_ipc.empty() ? r.stats.ipc_per_core
+                                                 : r.pooled.ipc_mean;
+    table.add_row({r.config_name, report::num(ipc, 4),
+                   std::to_string(counter(r, "ras/avail/monitor_trips")),
+                   std::to_string(counter(r, "ras/avail/devices_offlined")),
+                   std::to_string(counter(r, "ras/avail/evac_pages_out")),
+                   std::to_string(counter(r, "ras/avail/evac_pages_in")),
+                   std::to_string(counter(r, "ras/avail/pages_retired")),
+                   std::to_string(counter(r, "ras/avail/bounced_reads")),
+                   std::to_string(counter(r, "ras/avail/lost_writes"))});
+  }
+  table.print();
+
+  bool ok = true;
+  const sim::RunResult& healthy = runs[0];
+  const sim::RunResult& failing = runs[1];
+  const sim::RunResult& surprise = runs[2];
+  const sim::RunResult& pooled = runs[3];
+
+  // Exact conservation, independent of budget: every page that left the
+  // failed device either landed on a survivor or was retired.
+  for (const sim::RunResult* r : {&failing, &surprise}) {
+    const std::uint64_t out = counter(*r, "ras/avail/evac_pages_out");
+    const std::uint64_t in = counter(*r, "ras/avail/evac_pages_in");
+    const std::uint64_t retired = counter(*r, "ras/avail/pages_retired");
+    std::cout << "\n" << r->config_name << ": evac_out " << out << " = evac_in "
+              << in << " + retired " << retired;
+    if (out != in + retired) {
+      std::cout << "  VIOLATED (evacuated pages must be conserved)";
+      ok = false;
+    }
+  }
+  // Exact pooled conservation: directory recovery re-invalidations ride the
+  // same exactly-once ack protocol as demand invalidations.
+  const std::uint64_t sent = pooled.pooled.pool.invals_sent;
+  const std::uint64_t acked = pooled.pooled.pool.invals_acked;
+  std::cout << "\n" << pooled.config_name << ": invals_sent " << sent
+            << " == invals_acked " << acked;
+  if (sent != acked) {
+    std::cout << "  VIOLATED (every invalidation must be acked at quiescence)";
+    ok = false;
+  }
+
+  if (full_budget) {
+    // Gate 1: lifecycle shape. The failing device trips the monitor exactly
+    // once; the surprise device dies with no monitor involvement.
+    if (counter(failing, "ras/avail/monitor_trips") != 1 ||
+        counter(failing, "ras/avail/devices_offlined") != 1 ||
+        counter(failing, "ras/avail/evac_pages_out") == 0) {
+      std::cout << "\nVIOLATED: failing row must trip once, offline once, evacuate";
+      ok = false;
+    }
+    if (counter(surprise, "ras/avail/monitor_trips") != 0 ||
+        counter(surprise, "ras/avail/devices_offlined") != 1) {
+      std::cout << "\nVIOLATED: surprise row must offline once with zero trips";
+      ok = false;
+    }
+    // Gate 2: survivor throughput floor.
+    for (const sim::RunResult* r : {&failing, &surprise}) {
+      const double ratio = r->stats.ipc_per_core / healthy.stats.ipc_per_core;
+      std::cout << "\n" << r->config_name << ": IPC retention "
+                << report::num(ratio, 3) << " (floor " << kRecoveryFloor << ")";
+      if (ratio < kRecoveryFloor) {
+        std::cout << "  VIOLATED (survivors must keep the slice running)";
+        ok = false;
+      }
+    }
+    // Gate 3: pooled recovery actually happened and survivors progressed.
+    if (counter(pooled, "ras/avail/devices_offlined") != 1 ||
+        !(pooled.pooled.ipc_mean > 0.0)) {
+      std::cout << "\nVIOLATED: pooled row must offline the shared device and "
+                   "keep both hosts retiring";
+      ok = false;
+    }
+  }
+  std::cout << "\n";
+
+  bench::finish(table, "availability.csv", runs);
+  return ok ? 0 : 1;
+}

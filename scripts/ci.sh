@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the full test suite, verify the
 # golden stats document against the checked-in baseline with statdiff, run
-# the RAS fault-preset, tiering, and pooling smokes (deterministic ras/*,
-# tier/*, and pool/* stats across two runs), gate host wall-clock against
-# the committed BENCH_5.json baseline, and smoke the sanitizer build
-# (-DCOAXIAL_SANITIZE=ON) on the invariant + golden + fabric + ras + perf +
-# svc + tier + pool ctest labels.
+# the RAS fault-preset, tiering, pooling, and availability smokes
+# (deterministic ras/*, tier/*, pool/*, and ras/avail/* stats across two
+# runs), gate host wall-clock against the committed BENCH_5.json baseline,
+# and smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
+# golden + fabric + ras + perf + svc + tier + pool + avail ctest labels.
 #
 # Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
 set -euo pipefail
@@ -108,6 +108,26 @@ grep -q '"pool"' "${POOL_SMOKE}/a/out/pooling_sweep.stats.json"
   "${POOL_SMOKE}/a/out/pooling_sweep.stats.json" \
   "${POOL_SMOKE}/b/out/pooling_sweep.stats.json"
 
+echo "=== availability smoke ==="
+# Run the device-failure availability bench twice at a small budget and
+# require the stats documents to be byte-equivalent: ras/avail/* leaves
+# (monitor trips, evacuation traffic, retirement counts) are pinned exact
+# by a glob rule — the failure episode and error draws are counter-based,
+# so two runs must agree bit-for-bit — and everything else gets the golden
+# tolerance. Also assert the ras/avail/* subtree actually appeared.
+AVAIL_SMOKE="${BUILD_DIR}/avail_smoke"
+BENCH_AVAIL="$(cd "${BUILD_DIR}" && pwd)/bench/bench_availability"
+mkdir -p "${AVAIL_SMOKE}/a" "${AVAIL_SMOKE}/b"
+for side in a b; do
+  (cd "${AVAIL_SMOKE}/${side}" &&
+   COAXIAL_STATS_JSON=1 COAXIAL_INSTR=10000 COAXIAL_WARMUP=2000 \
+     "${BENCH_AVAIL}" > bench_availability.log)
+done
+grep -q '"avail"' "${AVAIL_SMOKE}/a/out/availability.stats.json"
+"${BUILD_DIR}/tools/statdiff" --rtol 1e-9 --rtol 'ras/avail/*=0' \
+  "${AVAIL_SMOKE}/a/out/availability.stats.json" \
+  "${AVAIL_SMOKE}/b/out/availability.stats.json"
+
 echo "=== perf layer tests ==="
 # Explicit pass over the host-performance label (profiler inertness,
 # ready-cache vs brute-force equivalence, thread-pool exception safety).
@@ -127,11 +147,11 @@ echo "=== sanitizer build (ASan+UBSan) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${SAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j "${JOBS}"
-# Invariant + golden + fabric + ras + svc + tier + pool labels drive every
-# layer (cores, caches, DRAM, CXL, switched fabric, scheduler, fault
-# injection, open-loop service traffic, tiered placement/migration,
-# multi-host pooling/coherence) end to end under the sanitizers without
-# rerunning all 600+ tests.
-ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc|tier|pool"
+# Invariant + golden + fabric + ras + svc + tier + pool + avail labels
+# drive every layer (cores, caches, DRAM, CXL, switched fabric, scheduler,
+# fault injection, open-loop service traffic, tiered placement/migration,
+# multi-host pooling/coherence, device-failure lifecycle) end to end under
+# the sanitizers without rerunning all 600+ tests.
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc|tier|pool|avail"
 
 echo "=== CI OK ==="

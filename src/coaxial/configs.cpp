@@ -34,7 +34,8 @@ std::unique_ptr<mem::MemorySystem> SystemConfig::make_memory(obs::Scope scope) c
   auto fast = std::make_unique<mem::DirectDdrMemory>(
       tiering.fast_ddr_channels, dram_timing, dram_geometry, scope.sub("tier0"));
   return std::make_unique<placement::TieredMemory>(
-      tiering, std::move(fast), make_flat_memory(*this, scope.sub("tier1")), scope);
+      tiering, std::move(fast), make_flat_memory(*this, scope.sub("tier1")), scope,
+      fault_plan);
 }
 
 double SystemConfig::peak_memory_gbps() const {
@@ -177,6 +178,54 @@ ras::FaultPlan ras_stress() {
   p.burst_len_cycles = 5'000;
   p.downtrain_at_cycle = 100'000;
   return p;
+}
+
+ras::FaultPlan ras_device_loss(std::uint32_t device, Cycle at_cycle) {
+  ras::FaultPlan p;
+  p.fail_mode = ras::FailureMode::kSurpriseRemoval;
+  p.fail_device = device;
+  p.fail_at_cycle = at_cycle;
+  return p;
+}
+
+ras::FaultPlan ras_failing_evac(std::uint32_t device, Cycle at_cycle) {
+  ras::FaultPlan p;
+  p.fail_mode = ras::FailureMode::kFailing;
+  p.fail_device = device;
+  p.fail_at_cycle = at_cycle;
+  // Ramp to a 2% read-error rate over 10k cycles; the EWMA (half-weight on
+  // the newest 2k-cycle window) crosses the 0.2% threshold a window or two
+  // into the ramp. 2% keeps evacuation feasible: a 64-line page copy is
+  // clean with probability 0.98^64 ~ 0.27, so aborted jobs converge over
+  // retries instead of livelocking the offline handshake.
+  p.fail_error_rate = 0.02;
+  p.fail_ramp_cycles = 10'000;
+  p.health_period_cycles = 2'000;
+  p.health_ewma_alpha = 0.5;
+  p.health_threshold = 0.002;
+  p.evac_pages_per_epoch = 8;
+  return p;
+}
+
+SystemConfig coaxial_tiered_failover(ras::FailureMode mode, Cycle at_cycle) {
+  SystemConfig c = coaxial_tiered();
+  c.name = "COAXIAL-tiered-failover";
+  // Page-granular capacity interleave: a tier page homes on exactly one
+  // device — the precondition for per-device evacuation and retirement.
+  c.fabric.interleave = fabric::Interleave::kPage;
+  c.fabric.page_lines = c.tiering.page_lines;
+  c.fault_plan = mode == ras::FailureMode::kSurpriseRemoval
+                     ? ras_device_loss(1, at_cycle)
+                     : ras_failing_evac(1, at_cycle);
+  return c;
+}
+
+pool::PoolConfig coaxial_pooled_faulty(std::uint32_t n_hosts, Cycle at_cycle) {
+  pool::PoolConfig c = coaxial_pooled(n_hosts);
+  c.name = "COAXIAL-pooled" + std::to_string(n_hosts) + "h-faulty";
+  c.fault_plan = ras_device_loss(1, at_cycle);
+  c.fault_plan.bit_error_rate = 1e-5;  // CRC noise on every host head too.
+  return c;
 }
 
 }  // namespace coaxial::sys

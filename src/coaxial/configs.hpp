@@ -174,4 +174,26 @@ ras::FaultPlan ras_downtrain(Cycle at_cycle = 100'000);
 /// down-train, and the watchdog — the bench/CI stress scenario.
 ras::FaultPlan ras_stress();
 
+/// Planned surprise removal (DESIGN.md §13): `device` vanishes at
+/// `at_cycle`; in-flight and future accesses complete poisoned.
+ras::FaultPlan ras_device_loss(std::uint32_t device = 1, Cycle at_cycle = 60'000);
+
+/// Planned failing device: an escalating read-error rate trips the health
+/// monitor, which evacuates the device's pages and then retires it.
+/// Meaningful with the tiered topology (the placement layer owns
+/// evacuation).
+ras::FaultPlan ras_failing_evac(std::uint32_t device = 1, Cycle at_cycle = 30'000);
+
+/// Tiered COAXIAL with a planned capacity-device failure: page-granular
+/// capacity interleave (each page homes on one device) plus the failure
+/// preset for `mode` — the bench_availability scenario.
+SystemConfig coaxial_tiered_failover(
+    ras::FailureMode mode = ras::FailureMode::kFailing, Cycle at_cycle = 30'000);
+
+/// Pooled COAXIAL under fire: CRC noise on every host head plus a planned
+/// surprise removal of shared device 1 (directory recovery, lost-dirty
+/// accounting, refused transactions — DESIGN.md §13).
+pool::PoolConfig coaxial_pooled_faulty(std::uint32_t n_hosts = 2,
+                                       Cycle at_cycle = 40'000);
+
 }  // namespace coaxial::sys

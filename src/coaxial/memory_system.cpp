@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "ras/fault_injector.hpp"
+
 namespace coaxial::mem {
 
 namespace {
@@ -165,6 +167,9 @@ CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels
   plan_.validate();
   fabric_->arm_faults(plan_);
   n_devices_ = fabric_->devices();
+  plan_.validate_devices(n_devices_);
+  avail_on_ = plan_.device_failure();
+  fail_stream_ = ras::mix_u64(plan_.seed ^ ras::fnv1a("device/fail"));
   fixed_read_overhead_ = fabric_->unloaded_tx_cycles(link::kReadRequestBytes) +
                          fabric_->unloaded_rx_cycles(link::kReadResponseBytes);
   pending_responses_.resize(n_devices_);
@@ -177,6 +182,7 @@ CxlMemory::CxlMemory(const fabric::FabricConfig& fab, std::uint32_t cxl_channels
   }
   sub_wake_.assign(n_sub, 0);
   fabric_tx_inflight_.assign(n_sub, 0);
+  sub_reads_outstanding_.assign(n_sub, 0);
   out_.reserve(64);
   inflight_.reserve(256);
   free_slots_.reserve(256);
@@ -212,6 +218,10 @@ std::uint32_t CxlMemory::alloc_fmsg(const FabricTxMsg& msg) {
 
 bool CxlMemory::can_accept(Addr line, bool is_write, Cycle now) const {
   const fabric::Router::Route r = amap_.route(line);
+  // A refused device is a sink, never backpressure: access() completes the
+  // read poisoned (or loses the write) immediately, so callers that park on
+  // can_accept() can never wedge behind a dead device.
+  if (dev_refuses(r.device)) return true;
   if (!fabric_->can_send_tx(r.device, now)) return false;
   (void)is_write;
   // In-fabric messages already own an ingress slot so switched deliveries
@@ -221,6 +231,23 @@ bool CxlMemory::can_accept(Addr line, bool is_write, Cycle now) const {
 
 void CxlMemory::access(Addr line, bool is_write, Cycle now, std::uint64_t token) {
   const fabric::Router::Route r = amap_.route(line);
+  if (dev_refuses(r.device)) {
+    if (is_write) {
+      ++avail_.lost_writes;
+      return;
+    }
+    // Host-side error response: the root port synthesizes a poisoned
+    // completion after the unloaded round-trip — no slot, no fabric
+    // traffic, no hang (DESIGN.md §13).
+    MemCompletion mc;
+    mc.token = token;
+    mc.done = now + fixed_read_overhead_;
+    mc.cxl_interface = fixed_read_overhead_;
+    mc.poisoned = true;
+    out_.push_back(mc);
+    ++avail_.bounced_reads;
+    return;
+  }
 
   DeviceMsg msg;
   msg.local_line = r.local;
@@ -284,14 +311,139 @@ void CxlMemory::finish_read(std::uint32_t slot, Cycle arrival, bool wire_poisone
   free_slots_.push_back(slot);
 }
 
+void CxlMemory::bounce_read(std::uint32_t slot, Cycle done) {
+  ++avail_.bounced_reads;
+  finish_read(slot, done, /*wire_poisoned=*/true);
+}
+
+void CxlMemory::offline_device(std::uint32_t device) {
+  if (!avail_on_ || device != plan_.fail_device) return;
+  // The evacuation owner is done moving pages; stop parking and drain out.
+  if (fail_phase_ == ras::FailureStatus::Phase::kEvacuating) {
+    fail_phase_ = ras::FailureStatus::Phase::kDraining;
+  }
+}
+
+void CxlMemory::fail_onset(Cycle now) {
+  using Phase = ras::FailureStatus::Phase;
+  const std::uint32_t dev = plan_.fail_device;
+  if (plan_.fail_mode == ras::FailureMode::kFailing) {
+    fail_phase_ = Phase::kFailing;
+    next_health_sample_ = plan_.fail_at_cycle + plan_.health_period_cycles;
+    return;
+  }
+  // Surprise removal: the device vanishes this cycle. Everything queued at
+  // its ingress bounces; DRAM work already inside it keeps "draining" but
+  // its data can never cross the dead link, so those responses complete
+  // poisoned too (the host watchdog path synthesizes the error response).
+  fail_phase_ = Phase::kDead;
+  hard_dead_ = true;
+  for (std::uint32_t sub = dev * subchannels_per_device_;
+       sub < (dev + 1) * subchannels_per_device_; ++sub) {
+    auto& ingress = device_ingress_[sub];
+    while (!ingress.empty()) {
+      const DeviceMsg& msg = ingress.front();
+      if (msg.is_write) {
+        ++avail_.lost_writes;
+      } else if (msg.dup) {
+        ++ras_dev_.dup_drops;  // The original slot bounces elsewhere.
+      } else {
+        bounce_read(static_cast<std::uint32_t>(msg.token),
+                    std::max(msg.arrival, now));
+      }
+      ingress.pop_front();
+    }
+  }
+  auto& pending = pending_responses_[dev];
+  for (const PendingResponse& p : pending) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(p.token);
+    InflightRead& info = inflight_[slot];
+    info.dram_ready = p.ready;
+    info.dram_service = p.dram_service;
+    info.dram_queue = p.dram_queue;
+    bounce_read(slot, std::max(p.ready, now));
+  }
+  pending.clear();
+  fabric_->set_link_down(dev);
+  ++avail_.devices_offlined;
+}
+
+Cycle CxlMemory::pump_failure(Cycle now) {
+  using Phase = ras::FailureStatus::Phase;
+  if (fail_phase_ == Phase::kNone) {
+    if (now < plan_.fail_at_cycle) return plan_.fail_at_cycle;
+    fail_onset(now);
+  }
+  Cycle wake = kNoCycle;
+  if (fail_phase_ == Phase::kFailing || fail_phase_ == Phase::kEvacuating) {
+    // Health monitor: EWMA of the per-window read-error fraction, sampled
+    // on a fixed grid so both scheduler modes observe identical windows.
+    while (next_health_sample_ <= now) {
+      const double frac = win_reads_ == 0 ? 0.0
+                                          : static_cast<double>(win_errors_) /
+                                                static_cast<double>(win_reads_);
+      health_ewma_ = plan_.health_ewma_alpha * frac +
+                     (1.0 - plan_.health_ewma_alpha) * health_ewma_;
+      win_errors_ = 0;
+      win_reads_ = 0;
+      ++avail_.health_samples;
+      next_health_sample_ += plan_.health_period_cycles;
+      if (fail_phase_ == Phase::kFailing &&
+          health_ewma_ >= plan_.health_threshold) {
+        ++avail_.monitor_trips;
+        // With an offline hold the placement layer evacuates first and
+        // calls offline_device(); otherwise drain immediately.
+        fail_phase_ = offline_hold_ ? Phase::kEvacuating : Phase::kDraining;
+      }
+    }
+    if (fail_phase_ == Phase::kFailing || fail_phase_ == Phase::kEvacuating) {
+      wake = std::min(wake, next_health_sample_);
+    }
+  }
+  if (fail_phase_ == Phase::kDraining) {
+    // Graceful offline: new work already bounces at access(); once nothing
+    // of the device's remains in flight anywhere it goes dead for good.
+    const std::uint32_t dev = plan_.fail_device;
+    bool idle = pending_responses_[dev].empty();
+    for (std::uint32_t sub = dev * subchannels_per_device_;
+         idle && sub < (dev + 1) * subchannels_per_device_; ++sub) {
+      idle = device_ingress_[sub].empty() && fabric_tx_inflight_[sub] == 0 &&
+             sub_reads_outstanding_[sub] == 0;
+    }
+    if (idle) {
+      fail_phase_ = Phase::kDead;
+      fabric_->set_link_down(dev);
+      ++avail_.devices_offlined;
+    } else {
+      wake = std::min(wake, now + 1);  // Poll the drain until it empties.
+    }
+  }
+  return wake;
+}
+
 Cycle CxlMemory::tick(Cycle now) {
   Cycle wake = kNoCycle;
+  if (avail_on_) wake = std::min(wake, pump_failure(now));
   if (!fabric_->direct()) {
-    wake = fabric_->tick(now);
+    wake = std::min(wake, fabric_->tick(now));
     // Requests that finished crossing the fabric land in the device
     // ingress; responses that reached the host complete their read.
     for (const fabric::Delivery& d : fabric_->tx_deliveries()) {
       const FabricTxMsg& fm = fmsg_pool_[static_cast<std::uint32_t>(d.payload)];
+      if (dev_dead(d.device)) {
+        // The device died while this request was crossing the fabric:
+        // bounce it at the dead link instead of admitting it.
+        if (fm.is_write) {
+          ++avail_.lost_writes;
+        } else if (fm.dup) {
+          ++ras_dev_.dup_drops;  // The original slot bounces on its own.
+        } else {
+          bounce_read(static_cast<std::uint32_t>(fm.token), std::max(d.arrival, now));
+        }
+        --fabric_tx_inflight_[fm.sub];
+        free_fmsgs_.push_back(static_cast<std::uint32_t>(d.payload));
+        continue;
+      }
       device_ingress_[fm.sub].push_back(
           {d.arrival, fm.local_line, fm.token, fm.is_write, d.poisoned, fm.dup});
       sub_wake_[fm.sub] = std::min(sub_wake_[fm.sub], d.arrival);
@@ -314,10 +466,28 @@ Cycle CxlMemory::tick(Cycle now) {
     dram::Controller& ctrl = *ctrls_[sub];
     auto& ingress = device_ingress_[sub];
     const std::uint32_t dev = sub / subchannels_per_device_;
+    const bool dead = dev_dead(dev);
+    if (dead) {
+      // Defensive drain: the onset sweep and delivery bounce should leave a
+      // dead device's ingress empty, but anything that slips through bounces
+      // here rather than wedging the sub-channel.
+      while (!ingress.empty()) {
+        const DeviceMsg& msg = ingress.front();
+        if (msg.is_write) {
+          ++avail_.lost_writes;
+        } else if (msg.dup) {
+          ++ras_dev_.dup_drops;
+        } else {
+          bounce_read(static_cast<std::uint32_t>(msg.token),
+                      std::max(msg.arrival, now));
+        }
+        ingress.pop_front();
+      }
+    }
     // A stalled device freezes its ingress entirely (no admissions, no
     // duplicate drops) — a pure function of `now`, so both scheduler modes
     // agree; in-flight DRAM work keeps progressing.
-    const bool stalled = plan_.in_stall(now, dev);
+    const bool stalled = !dead && plan_.in_stall(now, dev);
     // Admit delivered messages into the DRAM controller in FIFO order.
     while (!stalled && !ingress.empty() && ingress.front().arrival <= now) {
       const DeviceMsg& msg = ingress.front();
@@ -335,6 +505,18 @@ Cycle CxlMemory::tick(Cycle now) {
         inflight_[msg.token].dram_enqueue = now;
         // A poisoned request still reads DRAM; the response carries poison.
         if (msg.poisoned) inflight_[msg.token].req_poisoned = true;
+        if (dev_failing(dev)) {
+          // A failing device corrupts reads at an escalating rate; errors
+          // surface as poisoned responses and feed the health monitor.
+          ++win_reads_;
+          if (ras::draw_unit(fail_stream_, fail_draws_++) <
+              plan_.fail_error_rate_at(now)) {
+            inflight_[msg.token].req_poisoned = true;
+            ++win_errors_;
+            ++avail_.fail_errors;
+          }
+        }
+        ++sub_reads_outstanding_[sub];
       } else if (msg.poisoned) {
         ++ras_dev_.poisoned_writes;
       }
@@ -361,6 +543,7 @@ Cycle CxlMemory::tick(Cycle now) {
     for (const auto& comp : done) {
       pending_responses_[dev].push_back(
           {comp.done, comp.token, comp.service, comp.queue_delay});
+      --sub_reads_outstanding_[sub];  // Controllers only complete reads.
     }
     done.clear();
   }
@@ -368,6 +551,20 @@ Cycle CxlMemory::tick(Cycle now) {
   // Ship ready responses back into each device's return path.
   for (std::uint32_t dev = 0; dev < n_devices_; ++dev) {
     auto& pending = pending_responses_[dev];
+    if (dev_dead(dev)) {
+      // Data that finished inside a dead device can never cross the downed
+      // link: complete the reads poisoned instead (exactly-once, host-side).
+      for (const PendingResponse& p : pending) {
+        const std::uint32_t slot = static_cast<std::uint32_t>(p.token);
+        InflightRead& info = inflight_[slot];
+        info.dram_ready = p.ready;
+        info.dram_service = p.dram_service;
+        info.dram_queue = p.dram_queue;
+        bounce_read(slot, std::max(p.ready, now));
+      }
+      pending.clear();
+      continue;
+    }
     for (std::size_t i = 0; i < pending.size();) {
       if (pending[i].ready > now || !fabric_->can_send_rx(dev, now)) {
         ++i;
@@ -473,6 +670,9 @@ MemorySnapshot CxlMemory::snapshot() const {
 void CxlMemory::reset_stats() {
   for (auto& c : ctrls_) c->reset_stats();
   fabric_->reset_stats();
+  // avail_ is intentionally NOT reset: the failure-lifecycle counters are
+  // lifetime quantities whose conservation invariants (e.g. evac_pages_out
+  // == evac_pages_in + pages_retired) must hold across warmup resets.
   ras_dev_ = {};
   cxl_interface_sum_ = 0;
   cxl_queue_sum_ = 0;

@@ -108,6 +108,31 @@ class MemorySystem {
   /// Aggregated placement/migration events (all-zero unless the system is
   /// a placement::TieredMemory with tiering enabled).
   virtual placement::TierCounters tier_counters() const { return {}; }
+
+  // ---- Device-failure lifecycle (DESIGN.md §13; inert defaults) ----------
+
+  /// Availability events (all-zero without a device-failure episode).
+  virtual ras::AvailCounters avail_counters() const { return {}; }
+
+  /// Current health/offlining state of the planned failure episode.
+  virtual ras::FailureStatus failure_status() const { return {}; }
+
+  /// Evacuation handshake: the placement layer finished moving pages off
+  /// `device`; the device may stop accepting work and drain to kDead.
+  virtual void offline_device(std::uint32_t device) { (void)device; }
+
+  /// When set (before the episode onset), a monitor trip parks the device
+  /// in kEvacuating — still serving, waiting for offline_device() — instead
+  /// of draining immediately. The placement layer sets this when it owns
+  /// the evacuation.
+  virtual void set_offline_hold(bool hold) { (void)hold; }
+
+  /// Device index a line routes to (0 for single-device topologies). Used
+  /// by the evacuation policy to find pages homed on the failing device.
+  virtual std::uint32_t device_of_line(Addr line) const {
+    (void)line;
+    return 0;
+  }
 };
 
 /// Fold one controller-stats sample into an aggregate.
@@ -219,6 +244,17 @@ class CxlMemory final : public MemorySystem {
   const ras::FaultPlan& fault_plan() const { return plan_; }
   ras::RasCounters ras_counters() const override;
 
+  // ---- Device-failure lifecycle (DESIGN.md §13) --------------------------
+  ras::AvailCounters avail_counters() const override { return avail_; }
+  ras::FailureStatus failure_status() const override {
+    return {fail_phase_, plan_.fail_device};
+  }
+  void offline_device(std::uint32_t device) override;
+  void set_offline_hold(bool hold) override { offline_hold_ = hold; }
+  std::uint32_t device_of_line(Addr line) const override {
+    return amap_.device_of(line);
+  }
+
  private:
   struct DeviceMsg {
     Cycle arrival = 0;
@@ -290,6 +326,45 @@ class CxlMemory final : public MemorySystem {
   double cxl_queue_sum_ = 0;
   double dram_internal_sum_ = 0;  // redundant check vs controller sums
   std::uint64_t reads_done_ = 0;
+
+  // Device-failure lifecycle state (DESIGN.md §13). All mutations happen in
+  // tick()/access() at deterministic cycles; can_accept stays pure.
+  bool avail_on_ = false;  ///< plan_.device_failure(), cached.
+  ras::FailureStatus::Phase fail_phase_ = ras::FailureStatus::Phase::kNone;
+  bool offline_hold_ = false;   ///< Placement layer owns the evacuation.
+  bool hard_dead_ = false;      ///< Surprise removal (vs drained offline).
+  std::uint64_t fail_stream_ = 0;  ///< Counter-based read-error draw stream.
+  std::uint64_t fail_draws_ = 0;
+  Cycle next_health_sample_ = kNoCycle;
+  double health_ewma_ = 0.0;
+  std::uint64_t win_errors_ = 0, win_reads_ = 0;  ///< Current monitor window.
+  std::vector<std::uint32_t> sub_reads_outstanding_;  ///< Reads inside DRAM.
+  ras::AvailCounters avail_;
+
+  /// New demand work to `dev` is refused: reads poison-complete at the host
+  /// root port, writes are lost (kDraining and kDead).
+  bool dev_refuses(std::uint32_t dev) const {
+    return avail_on_ && dev == plan_.fail_device &&
+           fail_phase_ >= ras::FailureStatus::Phase::kDraining;
+  }
+  /// The device is gone: everything still queued or arriving bounces.
+  bool dev_dead(std::uint32_t dev) const {
+    return avail_on_ && dev == plan_.fail_device &&
+           fail_phase_ == ras::FailureStatus::Phase::kDead;
+  }
+  /// Reads on `dev` draw against the escalating failing-device error rate.
+  bool dev_failing(std::uint32_t dev) const {
+    return avail_on_ && dev == plan_.fail_device &&
+           (fail_phase_ == ras::FailureStatus::Phase::kFailing ||
+            fail_phase_ == ras::FailureStatus::Phase::kEvacuating);
+  }
+  /// Episode onset + monitor sampling + drain-to-dead transitions; returns
+  /// a conservative wake bound for the episode machinery.
+  Cycle pump_failure(Cycle now);
+  void fail_onset(Cycle now);
+  /// Poison-complete a read at `done` without touching the fabric, counting
+  /// it as bounced; writes are counted lost by the callers directly.
+  void bounce_read(std::uint32_t slot, Cycle done);
 
   std::uint32_t alloc_slot(std::uint64_t token);
   std::uint32_t alloc_fmsg(const FabricTxMsg& msg);

@@ -11,6 +11,7 @@ Fabric::Fabric(const FabricConfig& cfg, std::uint32_t default_channels,
                const link::LaneConfig& lanes, obs::Scope scope)
     : cfg_(resolve(cfg, default_channels)), topo_(Topology::build(cfg_)), lanes_(lanes) {
   lanes_.validate();
+  link_down_.assign(topo_.n_devices, false);
   if (direct()) {
     direct_links_.reserve(topo_.n_devices);
     for (std::uint32_t i = 0; i < topo_.n_devices; ++i) {
@@ -104,6 +105,7 @@ ras::RasCounters Fabric::ras_counters() const {
 }
 
 bool Fabric::can_send_tx(std::uint32_t dev, Cycle now) const {
+  if (link_down_[dev]) return false;
   if (direct()) return direct_links_[dev]->can_send_tx(now);
   const std::uint32_t port = topo_.root_port_of(dev);
   return host_tx_[port]->can_send(now) && root_down_->can_enqueue(port);
@@ -119,6 +121,7 @@ link::SendResult Fabric::send_tx(std::uint32_t dev, std::uint32_t bytes, Cycle n
 }
 
 bool Fabric::can_send_rx(std::uint32_t dev, Cycle now) const {
+  if (link_down_[dev]) return false;
   if (direct()) return direct_links_[dev]->can_send_rx(now);
   if (!dev_up_[dev]->can_send(now)) return false;
   return cfg_.kind == TopologyKind::kTree

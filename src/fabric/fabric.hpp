@@ -57,6 +57,13 @@ class Fabric {
   /// RAS events summed over every segment (all-zero when unarmed).
   ras::RasCounters ras_counters() const;
 
+  /// Surprise-removal admission control (DESIGN.md §13): a downed link
+  /// accepts no new messages in either direction. Messages already buffered
+  /// in switch planes keep draining — their Deliveries still surface — so
+  /// the owner must bounce them at drain time. Idempotent.
+  void set_link_down(std::uint32_t dev) { link_down_[dev] = true; }
+  bool link_down(std::uint32_t dev) const { return link_down_[dev]; }
+
   bool direct() const { return topo_.n_switches == 0; }
   std::uint32_t devices() const { return topo_.n_devices; }
   std::uint32_t host_links() const { return topo_.host_links; }
@@ -107,6 +114,7 @@ class Fabric {
   FabricConfig cfg_;
   Topology topo_;
   link::LaneConfig lanes_;
+  std::vector<bool> link_down_;  ///< Per-device surprise-removal latch.
   std::uint32_t hops_ = 0;           ///< Switches on every host<->device path.
   std::uint32_t devs_per_leaf_ = 1;  ///< Devices per last-level switch.
 

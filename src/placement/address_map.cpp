@@ -198,6 +198,12 @@ void AddressMap::install_demotion(Addr page) {
   push_free(frame);
 }
 
+void AddressMap::release_frame(std::uint32_t frame) {
+  assert(frame >= native_frames_ && frames_[frame].in_use);
+  frames_[frame] = FrameMeta{};
+  push_free(frame);
+}
+
 void AddressMap::touch_resident(Addr page, std::uint64_t epoch, std::uint64_t count) {
   const auto it = remap_.find(page);
   if (it == remap_.end()) return;

@@ -147,6 +147,11 @@ class AddressMap {
   /// and its frame goes back to the free pool.
   void install_demotion(Addr page);
 
+  /// Return a reserved-but-unmapped dynamic frame (from alloc_frame()) to
+  /// the free pool without installing anything — an aborted promotion whose
+  /// source device died mid-copy (DESIGN.md §13).
+  void release_frame(std::uint32_t frame);
+
   /// Barrier bookkeeping: record that a resident page was hot this epoch.
   void touch_resident(Addr page, std::uint64_t epoch, std::uint64_t count);
 

@@ -19,6 +19,21 @@ std::vector<FrameInfo> idle_victims(const PolicyInput& in) {
   return idle;
 }
 
+/// Every resident, coldest first (epoch touches, then least-recently-hot,
+/// then page ascending). The evacuation emergency path uses this instead of
+/// idle_victims: under a saturating workload every fast frame can be warm,
+/// and restricting victims to idle residents would starve the evacuation
+/// forever — a doomed page beats any merely-warm one.
+std::vector<FrameInfo> coldest_victims(const PolicyInput& in) {
+  std::vector<FrameInfo> order(in.residents);
+  std::sort(order.begin(), order.end(), [](const FrameInfo& a, const FrameInfo& b) {
+    if (a.epoch_count != b.epoch_count) return a.epoch_count < b.epoch_count;
+    if (a.last_hot_epoch != b.last_hot_epoch) return a.last_hot_epoch < b.last_hot_epoch;
+    return a.page < b.page;
+  });
+  return order;
+}
+
 /// Shared promote/demote planner: promote the hottest candidates at or
 /// above the threshold into currently-free frames, then spend the rest of
 /// the per-epoch budget demoting idle residents so the frames they free
@@ -87,6 +102,35 @@ class BandwidthSpillPolicy final : public MigrationPolicy {
 };
 
 }  // namespace
+
+PolicyActions EvacuationPolicy::plan(const PolicyInput& in, const TierConfig& cfg) {
+  if (in.evacuate.empty()) return base_->plan(in, cfg);
+  // Emergency mode: every migration slot serves the evacuation. Promote as
+  // many doomed pages as the evacuation bandwidth, the per-epoch migration
+  // budget and the frame pool allow; when frames run short, demote the
+  // coldest residents with the remaining budget so the next barrier has room.
+  PolicyActions out;
+  std::uint32_t budget = cfg.max_migrations_per_epoch;
+  std::uint32_t free_left = in.free_frames;
+  std::uint32_t evac_left = in.evac_budget;
+  for (const PageCount& p : in.evacuate) {
+    if (budget == 0 || free_left == 0 || evac_left == 0) break;
+    out.promote.push_back(p.page);
+    --budget;
+    --free_left;
+    --evac_left;
+  }
+  const bool short_on_frames =
+      out.promote.size() < in.evacuate.size() && evac_left > 0 && free_left == 0;
+  if (short_on_frames && budget > 0) {
+    for (const FrameInfo& victim : coldest_victims(in)) {
+      if (budget == 0) break;
+      out.demote.push_back(victim.page);
+      --budget;
+    }
+  }
+  return out;
+}
 
 std::unique_ptr<MigrationPolicy> make_policy(PolicyKind kind) {
   switch (kind) {

@@ -43,6 +43,12 @@ struct PolicyInput {
   std::uint32_t free_frames = 0;
   std::uint64_t fast_accesses = 0;   ///< This epoch, tier 0.
   std::uint64_t total_accesses = 0;  ///< This epoch, both tiers.
+  /// Emergency evacuation (DESIGN.md §13): capacity pages that must leave a
+  /// failing device, sorted by page asc. Empty outside an active episode.
+  std::vector<PageCount> evacuate;
+  /// Evacuation bandwidth bound: at most this many evacuate pages may be
+  /// promoted per epoch (0 = no evacuation this epoch).
+  std::uint32_t evac_budget = 0;
 };
 
 struct PolicyActions {
@@ -57,5 +63,21 @@ class MigrationPolicy {
 };
 
 std::unique_ptr<MigrationPolicy> make_policy(PolicyKind kind);
+
+/// Decorator that prioritises draining a failing device (DESIGN.md §13).
+/// While `in.evacuate` is non-empty it plans *only* evacuation work: promote
+/// up to min(evac_budget, migration budget, frames obtainable) evacuate
+/// pages, demoting idle residents to free frames when the pool runs short.
+/// Outside an episode (evacuate empty) it is a transparent pass-through to
+/// the wrapped policy, so steady-state behaviour is byte-identical.
+class EvacuationPolicy final : public MigrationPolicy {
+ public:
+  explicit EvacuationPolicy(std::unique_ptr<MigrationPolicy> base)
+      : base_(std::move(base)) {}
+  PolicyActions plan(const PolicyInput& in, const TierConfig& cfg) override;
+
+ private:
+  std::unique_ptr<MigrationPolicy> base_;
+};
 
 }  // namespace coaxial::placement

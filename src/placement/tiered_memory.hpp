@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "coaxial/memory_system.hpp"
@@ -41,8 +42,16 @@ class TieredMemory final : public mem::MemorySystem {
   /// space, identity-mapped). `scope`, when valid, registers the aggregate
   /// read/write/bandwidth probes; the inner systems register their own
   /// subtrees (tier0/..., tier1/...) via the scopes they were built with.
+  /// A `plan` with a device-failure episode (DESIGN.md §13) makes this
+  /// layer the evacuation owner: the migration policy is wrapped in an
+  /// EvacuationPolicy, the capacity tier is parked in kEvacuating on a
+  /// monitor trip until evacuation completes, and pages stranded on a dead
+  /// device enter the page-retirement table (touches become exactly-once
+  /// poison completions). Requires page-granular capacity interleave so a
+  /// tier page homes on exactly one device.
   TieredMemory(const TierConfig& cfg, std::unique_ptr<mem::MemorySystem> fast,
-               std::unique_ptr<mem::MemorySystem> capacity, obs::Scope scope = {});
+               std::unique_ptr<mem::MemorySystem> capacity, obs::Scope scope = {},
+               const ras::FaultPlan& plan = {});
 
   bool can_accept(Addr line, bool is_write, Cycle now) const override;
   void access(Addr line, bool is_write, Cycle now, std::uint64_t token) override;
@@ -64,10 +73,15 @@ class TieredMemory final : public mem::MemorySystem {
   dram::ControllerStats aggregate_dram_stats() const override;
   ras::RasCounters ras_counters() const override;
   TierCounters tier_counters() const override;
+  ras::AvailCounters avail_counters() const override;
+  ras::FailureStatus failure_status() const override {
+    return cap_->failure_status();
+  }
 
   const AddressMap& address_map() const { return amap_; }
   const mem::MemorySystem& fast_tier() const { return *fast_; }
   const mem::MemorySystem& capacity_tier() const { return *cap_; }
+  bool page_retired(Addr page) const { return retired_.count(page) != 0; }
 
  private:
   /// One page copy: reads stream from the source tier (tokens carry the
@@ -78,6 +92,8 @@ class TieredMemory final : public mem::MemorySystem {
     Addr page = 0;
     std::uint32_t frame = 0;
     bool promote = true;
+    bool evac = false;     ///< Started by the evacuation (DESIGN.md §13).
+    bool aborted = false;  ///< A copy read came back poisoned; cancel.
     std::uint32_t reads_issued = 0;
     std::uint32_t reads_done = 0;
     std::uint32_t write_cursor = 0;          ///< Writes accepted so far.
@@ -87,7 +103,17 @@ class TieredMemory final : public mem::MemorySystem {
   void process_barrier();
   void pump_migrations(Cycle now);
   void drain_inner(std::vector<mem::MemCompletion>& in);
-  void start_job(Addr page, std::uint32_t frame, bool promote);
+  void start_job(Addr page, std::uint32_t frame, bool promote, bool evac = false);
+
+  // ---- device-failure evacuation (DESIGN.md §13) ----
+  std::uint32_t page_device(Addr page) const {
+    return cap_->device_of_line(page * cfg_.page_lines);
+  }
+  /// Any promote job still draining the failing device's pages?
+  bool evac_jobs_live() const;
+  /// Enter `page` into the retirement table (idempotent): later touches
+  /// become exactly-once poison completions instead of device traffic.
+  void retire_page(Addr page);
   Addr src_line_of(const MigrationJob& job, std::uint32_t idx) const {
     return (job.promote ? job.page : Addr{job.frame}) * cfg_.page_lines + idx;
   }
@@ -115,6 +141,17 @@ class TieredMemory final : public mem::MemorySystem {
 
   TierCounters ctr_;  ///< Lifetime totals (see reset_stats()).
   std::vector<mem::MemCompletion> out_;
+
+  // Device-failure evacuation state. Mutations happen in access() (whose
+  // call sequence is identical across scheduler modes, like heat_) and at
+  // barriers; the capacity tier's failure phase only changes inside its own
+  // tick() at deterministic cycles, so live queries stay mode-agnostic.
+  bool evac_on_ = false;           ///< plan.device_failure(), cached.
+  std::uint32_t fail_dev_ = 0;     ///< Capacity device planned to fail.
+  std::uint32_t evac_budget_ = 0;  ///< Evacuate pages per epoch bound.
+  std::unordered_set<Addr> evac_pending_;  ///< Touched fail-device pages.
+  std::unordered_set<Addr> retired_;       ///< Page-retirement table.
+  ras::AvailCounters avail_;  ///< Evacuation/retirement events (lifetime).
 };
 
 }  // namespace coaxial::placement

@@ -131,6 +131,20 @@ Directory::Decision Directory::access(Addr page, std::uint32_t host, bool is_wri
   return d;
 }
 
+std::vector<Directory::Entry> Directory::fail_reset() {
+  std::vector<Entry> snap;
+  snap.reserve(occupancy_);
+  for (const Entry& e : entries_) {
+    if (e.valid) snap.push_back(e);
+  }
+  for (Entry& e : entries_) e = Entry{};
+  index_.clear();
+  free_.clear();
+  for (std::uint32_t i = capacity_; i > 0; --i) free_.push_back(i - 1);
+  occupancy_ = 0;
+  return snap;
+}
+
 void Directory::unlock(Addr page) {
   const auto it = index_.find(page);
   assert(it != index_.end() && entries_[it->second].locked);

@@ -61,6 +61,14 @@ class Directory {
 
   void unlock(Addr page);
 
+  /// Surprise-removal teardown (DESIGN.md §13): returns every valid entry
+  /// in slot order (deterministic), then resets the directory to empty —
+  /// absence still means "cached nowhere", which becomes true again once
+  /// the recovery invalidations built from the snapshot have landed.
+  /// Locked entries are included; their in-flight transactions are the
+  /// caller's to retire (it must not unlock() them here afterwards).
+  std::vector<Entry> fail_reset();
+
   const Entry* find(Addr page) const;
   std::uint32_t occupancy() const { return occupancy_; }
   std::uint32_t capacity() const { return capacity_; }

@@ -24,6 +24,7 @@
 #include "dram/timing.hpp"
 #include "fabric/topology.hpp"
 #include "link/lane_config.hpp"
+#include "ras/fault_plan.hpp"
 
 namespace coaxial::pool {
 
@@ -92,6 +93,13 @@ struct PoolConfig {
   std::uint64_t shared_hot_pages = 8;  ///< Contended subset of the window.
   double shared_hot_prob = 0.8;        ///< P(pool access hits the hot subset).
 
+  /// Fault injection (DESIGN.md §§11, 13). CRC noise arms every host head's
+  /// fabric; a device-failure episode targets a *shared* device by index.
+  /// Pooled deployments model surprise removal only — the fabric manager
+  /// tears the device down and recovers the directory; graceful
+  /// monitor-driven evacuation is a single-host TieredMemory feature.
+  ras::FaultPlan fault_plan;
+
   bool enabled() const { return n_hosts > 0; }
 
   double host_share_fraction(std::uint32_t host) const {
@@ -131,6 +139,16 @@ struct PoolConfig {
     }
     if (workload.empty()) {
       validate::fail(owner, "workload", "must name a catalog workload", "\"\"");
+    }
+    fault_plan.validate();
+    if (fault_plan.device_failure()) {
+      fault_plan.validate_devices(shared_devices);
+      if (fault_plan.fail_mode == ras::FailureMode::kFailing) {
+        validate::fail(owner, "fault_plan.fail_mode",
+                       "pooled deployments support surprise removal only "
+                       "(graceful evacuation is a single-host tiering feature)",
+                       "kFailing");
+      }
     }
   }
 };

@@ -110,6 +110,21 @@ PooledMemory::PooledMemory(const PoolConfig& cfg, obs::Scope scope)
     dirs_.push_back(std::make_unique<Directory>(cfg_.directory_entries, n_hosts_));
   }
 
+  // Fault injection (DESIGN.md §§11, 13): CRC noise arms every host head's
+  // fabric; a planned surprise removal targets one shared device. The
+  // refused-read bounce costs one unloaded round trip — the host port
+  // discovers the dead link and synthesises the error response.
+  if (cfg_.fault_plan.enabled()) {
+    for (auto& f : fab_) f->arm_faults(cfg_.fault_plan);
+  }
+  avail_on_ = cfg_.fault_plan.device_failure();
+  if (avail_on_) {
+    fail_dev_ = cfg_.fault_plan.fail_device;
+    fail_at_ = cfg_.fault_plan.fail_at_cycle;
+    bounce_cycles_ = fab_[0]->unloaded_tx_cycles(link::kReadRequestBytes) +
+                     fab_[0]->unloaded_rx_cycles(link::kReadResponseBytes);
+  }
+
   shared_ingress_.assign(s_subs_, std::vector<std::deque<DeviceMsg>>(n_hosts_));
   priv_ingress_.assign(n_hosts_, std::vector<std::deque<DeviceMsg>>(p_subs_));
   shared_wake_.assign(s_subs_, 0);
@@ -140,16 +155,16 @@ std::uint32_t PooledMemory::alloc_slot(std::uint32_t host, std::uint64_t token,
     slot = static_cast<std::uint32_t>(fl.size());
     fl.emplace_back();
   }
-  fl[slot] = {token, now, true};
+  fl[slot] = {token, now, true, false};
   ++inflight_reads_;
   return slot;
 }
 
 void PooledMemory::finish_read(std::uint32_t host, std::uint32_t slot,
-                               Cycle arrival) {
+                               Cycle arrival, bool wire_poisoned) {
   InflightRead& fl = inflight_[host][slot];
   assert(fl.busy);
-  out_[host].push_back({fl.token, arrival});
+  out_[host].push_back({fl.token, arrival, fl.poisoned || wire_poisoned});
   fl.busy = false;
   free_slots_[host].push_back(slot);
   --inflight_reads_;
@@ -186,6 +201,10 @@ bool PooledMemory::can_accept(std::uint32_t host, Addr line, bool is_write,
   const placement::Translation t = stage1_[host].translate(line);
   if (t.tier == 0) {
     const fabric::Router::Route r = shared_map_.route(t.local_line);
+    // A dead device is a sink: accept so access() can refuse the
+    // transaction with an immediate poison bounce instead of wedging the
+    // issuing host behind a credit that will never return.
+    if (dead_ && r.device == fail_dev_) return true;
     if (!fab_[host]->can_send_tx(r.device, now)) return false;
     return shared_ingress_[r.sub][host].size() +
                tx_inflight_shared_[r.sub][host] <
@@ -205,6 +224,19 @@ void PooledMemory::access(std::uint32_t host, Addr line, bool is_write, Cycle no
       shared ? shared_map_.route(t.local_line) : private_map_.route(t.local_line);
   const std::uint32_t fab_dev = shared ? r.device : s_devs_ + r.device;
 
+  if (shared && dead_ && r.device == fail_dev_) {
+    // Refused transaction to a retired range: reads synthesise a poison
+    // response after an unloaded round trip, writes are lost.
+    ++avail_.refused_txns;
+    if (is_write) {
+      ++avail_.lost_writes;
+    } else {
+      ++avail_.bounced_reads;
+      out_[host].push_back({token, now + bounce_cycles_, true});
+    }
+    return;
+  }
+
   DeviceMsg msg;
   msg.local_line = r.local;
   msg.is_write = is_write;
@@ -219,6 +251,7 @@ void PooledMemory::access(std::uint32_t host, Addr line, bool is_write, Cycle no
   if (fab.direct()) {
     const link::SendResult sr = fab.send_tx(fab_dev, bytes, now, 0);
     msg.arrival = sr.at;
+    msg.poisoned = sr.poisoned;
     if (shared) {
       shared_ingress_[r.sub][host].push_back(msg);
       shared_wake_[r.sub] = std::min(shared_wake_[r.sub], msg.arrival);
@@ -322,6 +355,7 @@ void PooledMemory::pump_txn_sends(std::uint32_t t, Cycle now) {
 
 Cycle PooledMemory::tick(Cycle now) {
   Cycle wake = kNoCycle;
+  if (avail_on_) wake = std::min(wake, pump_pool_failure(now));
 
   // -- Phase A: switched fabrics deliver; direct fabrics are analytic. ----
   for (std::uint32_t h = 0; h < n_hosts_; ++h) {
@@ -340,7 +374,12 @@ Cycle PooledMemory::tick(Cycle now) {
         msg.page = wm.page;
         msg.token = wm.slot;
         msg.is_write = wm.is_write;
-        if (wm.shared) {
+        msg.poisoned = d.poisoned;
+        if (wm.shared && dead_ && wm.sub / spd_ == fail_dev_) {
+          // In flight when the device died: bounce at delivery.
+          --tx_inflight_shared_[wm.sub][h];
+          bounce_msg(h, msg, std::max(d.arrival, now));
+        } else if (wm.shared) {
           shared_ingress_[wm.sub][h].push_back(msg);
           shared_wake_[wm.sub] = std::min(shared_wake_[wm.sub], d.arrival);
           --tx_inflight_shared_[wm.sub][h];
@@ -361,7 +400,7 @@ Cycle PooledMemory::tick(Cycle now) {
       free_wire_[h].push_back(m);
       --fabric_msgs_inflight_;
       if (wm.kind == WireMsg::kResp) {
-        finish_read(h, wm.slot, d.arrival);
+        finish_read(h, wm.slot, d.arrival, d.poisoned);
       } else {
         assert(wm.kind == WireMsg::kInval);
         deliver_inval(h, wm.txn, wm.dirty, d.arrival);
@@ -384,10 +423,17 @@ Cycle PooledMemory::tick(Cycle now) {
       --x.acks_pending;
       ++ctr_.invals_acked;
       if (a.dirty) {
-        // The recalled line's data came back with the ack; it still has to
-        // be written into device DRAM (drained in the sub-channel pass).
-        pending_wbs_.push_back({x.wb_sub, x.wb_line});
-        shared_wake_[x.wb_sub] = std::min(shared_wake_[x.wb_sub], now);
+        if (dead_ && x.sdev == fail_dev_) {
+          // The recalled data's backing store died while the recall was in
+          // flight: the dirty page is lost, not written back.
+          ++avail_.lost_dirty_pages;
+        } else {
+          // The recalled line's data came back with the ack; it still has
+          // to be written into device DRAM (drained in the sub-channel
+          // pass).
+          pending_wbs_.push_back({x.wb_sub, x.wb_line});
+          shared_wake_[x.wb_sub] = std::min(shared_wake_[x.wb_sub], now);
+        }
       }
     }
     dev_acks_.resize(kept);
@@ -400,6 +446,17 @@ Cycle PooledMemory::tick(Cycle now) {
     if (!x.live) continue;
     pump_txn_sends(t, now);
     if ((x.send_clean | x.send_dirty) != 0 || x.acks_pending != 0) continue;
+    if (dead_ && x.sdev == fail_dev_) {
+      // The device died under this transaction: its directory entry is
+      // gone (fail_reset — no unlock) and the parked access has nowhere
+      // to go. Recovery rounds park nothing.
+      if (!x.recovery) bounce_msg(x.park_host, x.parked, now);
+      x.live = false;
+      --txns_per_dev_[x.sdev];
+      --live_txns_;
+      free_txns_.push_back(t);
+      continue;
+    }
     dram::Controller& ctrl = *shared_ctrls_[x.park_sub];
     if (!ctrl.can_accept(x.parked.is_write)) continue;
     const DeviceMsg& msg = x.parked;
@@ -408,6 +465,10 @@ Cycle PooledMemory::tick(Cycle now) {
       ++ctr_.shared_writes;
       ++host_ctr_[x.park_host].writes;
     } else {
+      if (msg.poisoned) {
+        inflight_[x.park_host][static_cast<std::uint32_t>(msg.token)].poisoned =
+            true;
+      }
       ctrl.enqueue(msg.local_line, false, now,
                    (std::uint64_t{x.park_host} << 32) | msg.token);
       ++ctr_.shared_reads;
@@ -491,6 +552,9 @@ Cycle PooledMemory::tick(Cycle now) {
         ++ctr_.shared_writes;
         ++host_ctr_[best].writes;
       } else {
+        if (msg.poisoned) {
+          inflight_[best][static_cast<std::uint32_t>(msg.token)].poisoned = true;
+        }
         ctrl.enqueue(msg.local_line, false, now,
                      (std::uint64_t{best} << 32) | msg.token);
         ++ctr_.shared_reads;
@@ -538,6 +602,9 @@ Cycle PooledMemory::tick(Cycle now) {
           ++ctr_.private_writes;
           ++host_ctr_[h].writes;
         } else {
+          if (msg.poisoned) {
+            inflight_[h][static_cast<std::uint32_t>(msg.token)].poisoned = true;
+          }
           ctrl.enqueue(msg.local_line, false, now,
                        (std::uint64_t{h} << 32) | msg.token);
           ++ctr_.private_reads;
@@ -570,6 +637,13 @@ Cycle PooledMemory::tick(Cycle now) {
     std::size_t kept = 0;
     for (std::size_t i = 0; i < pending.size(); ++i) {
       const PendingResponse p = pending[i];
+      if (dead_ && p.device == fail_dev_) {
+        // The data was read before the device died, but its return link is
+        // gone: the host port times out and synthesises a poison response.
+        ++avail_.bounced_reads;
+        finish_read(h, p.slot, std::max(p.ready, now), true);
+        continue;
+      }
       if (p.ready > now || !fab.can_send_rx(p.device, now)) {
         pending[kept++] = p;
         continue;
@@ -577,7 +651,7 @@ Cycle PooledMemory::tick(Cycle now) {
       if (fab.direct()) {
         const link::SendResult sr =
             fab.send_rx(p.device, link::kReadResponseBytes, now, 0);
-        finish_read(h, p.slot, sr.at);
+        finish_read(h, p.slot, sr.at, sr.poisoned);
       } else {
         WireMsg wm;
         wm.kind = WireMsg::kResp;
@@ -635,6 +709,90 @@ Cycle PooledMemory::tick(Cycle now) {
   return wake;
 }
 
+void PooledMemory::bounce_msg(std::uint32_t host, const DeviceMsg& msg,
+                              Cycle at) {
+  if (msg.is_write) {
+    ++avail_.lost_writes;
+  } else {
+    ++avail_.bounced_reads;
+    finish_read(host, static_cast<std::uint32_t>(msg.token), at, true);
+  }
+}
+
+void PooledMemory::pool_fail_onset(Cycle now) {
+  dead_ = true;
+  ++avail_.devices_offlined;
+  // Everything queued at the dead device's sub-channels bounces: reads
+  // poison-complete exactly once, writes are lost. Reads already inside
+  // its DRAM complete poisoned when their data would have returned (the
+  // dead-device branch in the response phase routes around the fabric).
+  for (std::uint32_t sub = fail_dev_ * spd_; sub < (fail_dev_ + 1) * spd_;
+       ++sub) {
+    for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+      for (const DeviceMsg& m : shared_ingress_[sub][h]) {
+        bounce_msg(h, m, std::max(m.arrival, now));
+      }
+      shared_ingress_[sub][h].clear();
+    }
+  }
+  // Recall data waiting for a write slot on the dead device is lost.
+  {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_wbs_.size(); ++i) {
+      const PendingWb w = pending_wbs_[i];
+      if (w.sub / spd_ == fail_dev_) {
+        ++avail_.lost_dirty_pages;
+        continue;
+      }
+      pending_wbs_[kept++] = w;
+    }
+    pending_wbs_.resize(kept);
+  }
+  // Directory teardown: every cached copy of a page the device backed must
+  // be invalidated — the backing store is gone — and modified pages lose
+  // their only durable home, so they count as lost dirty data. The
+  // invalidations go out as recovery transactions in waves bounded by the
+  // transaction table, through the ordinary send/ack machinery, so
+  // invals_sent == invals_acked holds across the teardown.
+  for (const Directory::Entry& e : dirs_[fail_dev_]->fail_reset()) {
+    if (e.state == PageState::kModified) ++avail_.lost_dirty_pages;
+    if (e.sharers != 0) recovery_q_.push_back({e.page, e.sharers});
+  }
+}
+
+Cycle PooledMemory::pump_pool_failure(Cycle now) {
+  if (!dead_) {
+    if (now < fail_at_) return fail_at_;
+    pool_fail_onset(now);
+  }
+  while (!recovery_q_.empty() &&
+         txns_per_dev_[fail_dev_] < cfg_.directory_max_txns) {
+    const auto [page, mask] = recovery_q_.front();
+    recovery_q_.pop_front();
+    const std::uint32_t t = alloc_txn();
+    CohTxn& x = txns_[t];
+    x = CohTxn{};
+    x.live = true;
+    x.recovery = true;
+    x.sdev = fail_dev_;
+    x.page = page;
+    x.send_clean = mask;  // Always clean: the dirty data is already lost.
+    x.acks_pending = popcount64(mask);
+    avail_.recovery_invals += x.acks_pending;
+    ++ctr_.txns;
+    ++txns_per_dev_[fail_dev_];
+    ++live_txns_;
+    pump_txn_sends(t, now);
+  }
+  return recovery_q_.empty() ? kNoCycle : now + 1;
+}
+
+ras::RasCounters PooledMemory::ras_counters() const {
+  ras::RasCounters sum;
+  for (const auto& f : fab_) sum += f->ras_counters();
+  return sum;
+}
+
 bool PooledMemory::coherence_idle() const {
   if (live_txns_ != 0 || !dev_acks_.empty() || !pending_wbs_.empty()) return false;
   for (const auto& iv : host_invals_) {
@@ -647,6 +805,7 @@ bool PooledMemory::quiescent() const {
   if (inflight_reads_ != 0 || fabric_msgs_inflight_ != 0 || !coherence_idle()) {
     return false;
   }
+  if (!recovery_q_.empty()) return false;
   for (const auto& per_host : shared_ingress_) {
     for (const auto& q : per_host) {
       if (!q.empty()) return false;

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -45,6 +46,7 @@ namespace coaxial::pool {
 struct HostCompletion {
   std::uint64_t token = 0;
   Cycle done = 0;
+  bool poisoned = false;  ///< CRC budget exhausted, or the device died.
 };
 
 /// Per-host admission/protocol counters (pool/host/NN/*).
@@ -83,6 +85,13 @@ class PooledMemory {
   /// anywhere (the drain condition; implies invals_sent == invals_acked).
   bool quiescent() const;
 
+  /// RAS events summed over every host head's fabric (all-zero unarmed).
+  ras::RasCounters ras_counters() const;
+  /// Device-failure lifecycle counters (DESIGN.md §13).
+  const ras::AvailCounters& avail_counters() const { return avail_; }
+  /// True once the planned surprise removal has happened.
+  bool device_dead() const { return dead_; }
+
   const PoolConfig& config() const { return cfg_; }
   const Directory& directory(std::uint32_t shared_dev) const {
     return *dirs_[shared_dev];
@@ -100,6 +109,7 @@ class PooledMemory {
     Addr page = 0;            ///< Pool-global shared page id (shared only).
     std::uint64_t token = 0;  ///< Read slot; unused for writes.
     bool is_write = false;
+    bool poisoned = false;    ///< Request poisoned crossing the fabric.
   };
 
   // A read in flight for one host.
@@ -107,6 +117,7 @@ class PooledMemory {
     std::uint64_t token = 0;
     Cycle start = 0;
     bool busy = false;
+    bool poisoned = false;  ///< Request-side poison; completion inherits it.
   };
 
   // A DRAM read completion waiting for return-path credit.
@@ -119,6 +130,8 @@ class PooledMemory {
   // A coherence transaction parked at a pooled device.
   struct CohTxn {
     bool live = false;
+    bool recovery = false;   ///< Directory-recovery inval round: no parked
+                             ///< access, no unlock (directory was reset).
     std::uint32_t sdev = 0;  ///< Pooled device (== fabric index on every host).
     Addr page = 0;           ///< Locked directory page (the requester's).
     std::uint64_t send_clean = 0;  ///< Target hosts not yet sent (clean inval).
@@ -169,7 +182,8 @@ class PooledMemory {
   }
 
   std::uint32_t alloc_slot(std::uint32_t host, std::uint64_t token, Cycle now);
-  void finish_read(std::uint32_t host, std::uint32_t slot, Cycle arrival);
+  void finish_read(std::uint32_t host, std::uint32_t slot, Cycle arrival,
+                   bool wire_poisoned = false);
   std::uint32_t alloc_txn();
   std::uint32_t alloc_wire(std::uint32_t host, const WireMsg& msg);
   void deliver_inval(std::uint32_t target, std::uint32_t txn, bool dirty,
@@ -179,6 +193,15 @@ class PooledMemory {
                  std::uint32_t host, std::uint32_t shared_sub, Cycle now);
   void pump_txn_sends(std::uint32_t t, Cycle now);
   bool coherence_idle() const;
+
+  // ---- device failure: surprise removal of a shared device (§13) ----
+  /// Onset sweep + recovery-wave pump; returns a wake bound (fail_at
+  /// pre-death, now + 1 while recovery transactions remain queued).
+  Cycle pump_pool_failure(Cycle now);
+  void pool_fail_onset(Cycle now);
+  /// Poison-complete a read headed for (or stranded at) the dead device;
+  /// absorb a write. `host` owns the message's read slot.
+  void bounce_msg(std::uint32_t host, const DeviceMsg& msg, Cycle at);
 
   PoolConfig cfg_;
   std::uint32_t n_hosts_ = 0;
@@ -231,6 +254,20 @@ class PooledMemory {
   std::vector<std::vector<WireMsg>> wire_pool_;
   std::vector<std::vector<std::uint32_t>> free_wire_;
   std::uint64_t fabric_msgs_inflight_ = 0;
+
+  // Device-failure state (DESIGN.md §13). `dead_` flips only inside tick()
+  // at the planned cycle — pump_pool_failure() returns fail_at_ as a wake
+  // bound until then — so both scheduler modes observe the flip at the
+  // same cycle and every live query of it stays mode-invariant.
+  bool avail_on_ = false;       ///< fault_plan.device_failure(), cached.
+  bool dead_ = false;           ///< The shared device is gone.
+  std::uint32_t fail_dev_ = 0;  ///< Shared-device (== fabric) index.
+  Cycle fail_at_ = kNoCycle;
+  Cycle bounce_cycles_ = 1;  ///< Unloaded round trip: refused-read latency.
+  /// Directory-recovery backlog: (page, sharer mask) waves bounded by the
+  /// per-device transaction table.
+  std::deque<std::pair<Addr, std::uint64_t>> recovery_q_;
+  ras::AvailCounters avail_;
 
   PoolCounters ctr_;
   std::vector<HostCounters> host_ctr_;

@@ -17,6 +17,11 @@
 //   * Request timeouts — a per-read watchdog in CxlMemory reissues the
 //     request with capped exponential backoff; duplicates are dropped at the
 //     device so a request is never serviced twice (see DESIGN.md §7).
+//   * Device-failure episodes — at a planned cycle one device either dies
+//     permanently (surprise removal: in-flight and future accesses complete
+//     poisoned) or starts failing (escalating read-error rate that trips the
+//     host-side health monitor, which drains/evacuates/retires the device).
+//     See DESIGN.md §13.
 //
 // Determinism contract: all randomness is drawn from counter-based streams
 // keyed by (plan seed, segment name) — see fault_injector.hpp — so results
@@ -34,6 +39,29 @@ namespace coaxial::ras {
 
 /// Sentinel for stall_device: stall windows apply to every device.
 inline constexpr std::uint32_t kAllDevices = std::numeric_limits<std::uint32_t>::max();
+
+/// How a planned device-failure episode unfolds (DESIGN.md §13).
+enum class FailureMode : std::uint8_t {
+  kNone = 0,         ///< No episode planned.
+  kSurpriseRemoval,  ///< Device vanishes at fail_at_cycle; everything poisons.
+  kFailing,          ///< Escalating error rate; the health monitor offlines it.
+};
+
+/// Health/offlining state a device-owning memory system publishes so the
+/// placement layer can drive evacuation (DESIGN.md §13):
+///
+///   kNone --(surprise at fail_at)--------------------------------> kDead
+///   kNone --(failing at fail_at)--> kFailing --(EWMA >= threshold)
+///       --> kEvacuating (offline hold set: placement drains the pages)
+///       --> kDraining (offline_device(): no new work, queued work finishes)
+///       --> kDead (idle: link down, later touches poison-bounce)
+///
+/// Without an offline hold the monitor trip goes straight to kDraining.
+struct FailureStatus {
+  enum class Phase : std::uint8_t { kNone = 0, kFailing, kEvacuating, kDraining, kDead };
+  Phase phase = Phase::kNone;
+  std::uint32_t device = 0;  ///< Meaningful when phase != kNone.
+};
 
 struct FaultPlan {
   /// Seed for the fault-draw streams; independent of the workload RNG seed.
@@ -60,15 +88,32 @@ struct FaultPlan {
   std::uint32_t max_reissues = 4;  ///< Reissues before the watchdog gives up.
   Cycle backoff_cap_cycles = 65536; ///< Cap on the doubled timeout.
 
+  // --- Device-failure episode (DESIGN.md §13) ----------------------------
+  FailureMode fail_mode = FailureMode::kNone;
+  Cycle fail_at_cycle = kNoCycle;   ///< Episode onset (kNoCycle = never).
+  std::uint32_t fail_device = 0;    ///< Device index (bounds-checked by owner).
+  double fail_error_rate = 0.02;    ///< kFailing: read-poison prob at full ramp.
+  Cycle fail_ramp_cycles = 20'000;  ///< kFailing: error rate ramps 0 -> rate.
+  Cycle health_period_cycles = 2'000; ///< Monitor sampling cadence.
+  double health_ewma_alpha = 0.3;     ///< EWMA weight of the newest window.
+  double health_threshold = 0.005;    ///< Offline when EWMA error frac >= this.
+  std::uint32_t evac_pages_per_epoch = 8; ///< Evacuation bandwidth bound.
+
   // --- Feature predicates ------------------------------------------------
   bool link_faults() const {
     return bit_error_rate > 0.0 || downtrain_at_cycle != kNoCycle;
   }
   bool stalls() const { return stall_period_cycles != 0; }
   bool watchdog() const { return timeout_cycles != 0; }
+  /// A device-failure episode is planned.
+  bool device_failure() const {
+    return fail_mode != FailureMode::kNone && fail_at_cycle != kNoCycle;
+  }
   /// Any fault class active. When false the plan is inert: no ras/* metrics
   /// are registered and no timing or behaviour changes anywhere.
-  bool enabled() const { return link_faults() || stalls() || watchdog(); }
+  bool enabled() const {
+    return link_faults() || stalls() || watchdog() || device_failure();
+  }
 
   Cycle retry_premium_cycles() const { return ns_to_cycles(retry_latency_ns); }
 
@@ -85,17 +130,47 @@ struct FaultPlan {
     return ber > 1.0 ? 1.0 : ber;
   }
 
+  /// A surprise-removed device is gone for good from its onset cycle on.
+  bool surprise_dead(Cycle now, std::uint32_t device) const {
+    return fail_mode == FailureMode::kSurpriseRemoval && device_failure() &&
+           device == fail_device && now >= fail_at_cycle;
+  }
+
   bool in_stall(Cycle now, std::uint32_t device) const {
+    if (surprise_dead(now, device)) return true;  // Stalled forever.
     if (stall_period_cycles == 0) return false;
     if (stall_device != kAllDevices && stall_device != device) return false;
     return now % stall_period_cycles < stall_len_cycles;
   }
 
   /// First cycle >= now at which `device` is not stalled. Identity when the
-  /// device is not currently stalled.
+  /// device is not currently stalled; kNoCycle when it never recovers (a
+  /// surprise-removed device must not produce periodic wake cycles, and no
+  /// wake this function returns may lie in the past).
   Cycle stall_end(Cycle now, std::uint32_t device) const {
+    if (surprise_dead(now, device)) return kNoCycle;
     if (!in_stall(now, device)) return now;
-    return now - now % stall_period_cycles + stall_len_cycles;
+    const Cycle end = now - now % stall_period_cycles + stall_len_cycles;
+    // The device dies before the periodic window would close: this stall
+    // never ends, so don't hand the scheduler a wake inside the dead zone.
+    if (surprise_dead(end, device)) return kNoCycle;
+    return end < now ? now : end;
+  }
+
+  /// kFailing: probability that a read admitted to the failing device's DRAM
+  /// at `now` returns poisoned. Ramps linearly from 0 at onset to
+  /// fail_error_rate after fail_ramp_cycles (a pure function of now, so both
+  /// scheduler modes draw identically).
+  double fail_error_rate_at(Cycle now) const {
+    if (fail_mode != FailureMode::kFailing || !device_failure() ||
+        now < fail_at_cycle) {
+      return 0.0;
+    }
+    if (fail_ramp_cycles == 0) return fail_error_rate;
+    const Cycle into = now - fail_at_cycle;
+    if (into >= fail_ramp_cycles) return fail_error_rate;
+    return fail_error_rate * static_cast<double>(into) /
+           static_cast<double>(fail_ramp_cycles);
   }
 
   /// Throws std::invalid_argument on degenerate values. Called by every
@@ -126,6 +201,33 @@ struct FaultPlan {
                                 "must be >= timeout_cycles",
                                 std::to_string(backoff_cap_cycles));
     }
+    if (fail_mode != FailureMode::kNone) {
+      // An episode at cycle 0 would fail the device before construction
+      // completes (and before any wake bound can be armed for it).
+      if (fail_at_cycle == 0) {
+        v::fail(o, "fail_at_cycle", "must be a planned cycle >= 1", "0");
+      }
+      v::require_nonzero(o, "evac_pages_per_epoch", evac_pages_per_epoch);
+      if (fail_mode == FailureMode::kFailing) {
+        v::require_in_range(o, "fail_error_rate", fail_error_rate, 0.0, 1.0);
+        v::require_positive(o, "fail_error_rate", fail_error_rate);
+        v::require_nonzero(o, "health_period_cycles", health_period_cycles);
+        v::require_in_range(o, "health_ewma_alpha", health_ewma_alpha, 0.0, 1.0);
+        v::require_positive(o, "health_ewma_alpha", health_ewma_alpha);
+        v::require_in_range(o, "health_threshold", health_threshold, 0.0, 1.0);
+        v::require_positive(o, "health_threshold", health_threshold);
+      }
+    }
+  }
+
+  /// Bounds check done by the component that knows its device count (the
+  /// plan itself cannot): fail_device must index a real device.
+  void validate_devices(std::uint32_t n_devices) const {
+    if (device_failure() && fail_device >= n_devices) {
+      coaxial::validate::fail("ras::FaultPlan", "fail_device",
+                              "must be < device count " + std::to_string(n_devices),
+                              std::to_string(fail_device));
+    }
   }
 };
 
@@ -151,6 +253,49 @@ struct RasCounters {
     backoff_retries += o.backoff_retries;
     dup_drops += o.dup_drops;
     poisoned_writes += o.poisoned_writes;
+    return *this;
+  }
+};
+
+/// Device-failure lifecycle counters for the `ras/avail/*` subtree
+/// (DESIGN.md §13). Every field is an event count. Conservation invariant,
+/// held exactly at quiescence:
+///   evac_pages_out == evac_pages_in + pages_retired
+/// (every page that left the failed device either landed on a survivor or
+/// was retired — no page is both, none is neither).
+struct AvailCounters {
+  std::uint64_t fail_errors = 0;      ///< Reads poisoned by the failing device.
+  std::uint64_t health_samples = 0;   ///< Monitor EWMA windows sampled.
+  std::uint64_t monitor_trips = 0;    ///< Threshold crossings (offlining starts).
+  std::uint64_t devices_offlined = 0; ///< Devices that reached kDead.
+  std::uint64_t bounced_reads = 0;    ///< Reads poison-completed by a dead device.
+  std::uint64_t lost_writes = 0;      ///< Writes absorbed by a dead device.
+  std::uint64_t evac_jobs = 0;        ///< Evacuation migrations started.
+  std::uint64_t evac_aborts = 0;      ///< Evacuation copies that read poison.
+  std::uint64_t evac_pages_out = 0;   ///< Pages resolved off the failed device.
+  std::uint64_t evac_pages_in = 0;    ///< Pages landed on survivors.
+  std::uint64_t pages_retired = 0;    ///< Pages whose only copy died.
+  std::uint64_t retired_touches = 0;  ///< Accesses absorbed by the retirement table.
+  std::uint64_t lost_dirty_pages = 0; ///< Pool: dirty pages on a dead device.
+  std::uint64_t recovery_invals = 0;  ///< Pool: directory-recovery invalidations.
+  std::uint64_t refused_txns = 0;     ///< Pool: accesses refused to retired ranges.
+
+  AvailCounters& operator+=(const AvailCounters& o) {
+    fail_errors += o.fail_errors;
+    health_samples += o.health_samples;
+    monitor_trips += o.monitor_trips;
+    devices_offlined += o.devices_offlined;
+    bounced_reads += o.bounced_reads;
+    lost_writes += o.lost_writes;
+    evac_jobs += o.evac_jobs;
+    evac_aborts += o.evac_aborts;
+    evac_pages_out += o.evac_pages_out;
+    evac_pages_in += o.evac_pages_in;
+    pages_retired += o.pages_retired;
+    retired_touches += o.retired_touches;
+    lost_dirty_pages += o.lost_dirty_pages;
+    recovery_invals += o.recovery_invals;
+    refused_txns += o.refused_txns;
     return *this;
   }
 };

@@ -137,6 +137,7 @@ void PooledSystem::step(Cycle now) {
     for (const pool::HostCompletion& c : done) {
       Slot& sl = s.slots[static_cast<std::uint32_t>(c.token)];
       sl.done = c.done;
+      if (c.poisoned) ++s.poisons;
       if (window_open_ && sl.start >= window_start_) {
         s.lat.add(c.done - sl.start);
       }
@@ -281,6 +282,38 @@ void PooledSystem::register_metrics() {
     hs.expose_counter("acks_sent", [hc] { return hc->acks_sent; });
     hs.expose_fixed_histogram("lat", s->lat);
   }
+
+  // RAS observability is opt-in with the fault plan, like sim::System's
+  // ras/* subtree: fault-free pooled runs keep their metric-tree shape.
+  const obs::Scope rs =
+      obs::Scope(&metrics_, "").sub("ras", cfg_.fault_plan.enabled());
+  rs.expose_counter("crc_errors",
+                    [mem] { return mem->ras_counters().crc_errors; });
+  rs.expose_counter("replays", [mem] { return mem->ras_counters().replays; });
+  rs.expose_counter("poisons_injected",
+                    [mem] { return mem->ras_counters().poisons_injected; });
+  rs.expose_counter("degraded_cycles",
+                    [mem] { return mem->ras_counters().degraded_cycles; });
+  const std::vector<Slice>* sl = &slices_;
+  rs.expose_counter("poisons_consumed", [sl] {
+    std::uint64_t total = 0;
+    for (const Slice& s : *sl) total += s.poisons;
+    return total;
+  });
+  // Device-failure lifecycle (DESIGN.md §13), pool-relevant fields only.
+  const obs::Scope av = rs.sub("avail", cfg_.fault_plan.device_failure());
+  av.expose_counter("devices_offlined",
+                    [mem] { return mem->avail_counters().devices_offlined; });
+  av.expose_counter("bounced_reads",
+                    [mem] { return mem->avail_counters().bounced_reads; });
+  av.expose_counter("lost_writes",
+                    [mem] { return mem->avail_counters().lost_writes; });
+  av.expose_counter("lost_dirty_pages",
+                    [mem] { return mem->avail_counters().lost_dirty_pages; });
+  av.expose_counter("recovery_invals",
+                    [mem] { return mem->avail_counters().recovery_invals; });
+  av.expose_counter("refused_txns",
+                    [mem] { return mem->avail_counters().refused_txns; });
 }
 
 }  // namespace coaxial::sim

@@ -86,6 +86,7 @@ class PooledSystem {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     std::uint64_t shared_ops = 0;    ///< Accesses redirected to the pool.
+    std::uint64_t poisons = 0;       ///< Poisoned read completions consumed.
     std::uint64_t bp_stall_cycles = 0;      ///< Memory would not accept.
     std::uint64_t dep_stall_cycles = 0;     ///< Load->load dependency.
     std::uint64_t window_stall_cycles = 0;  ///< All read slots busy.

@@ -105,6 +105,33 @@ void System::build_shared_structures() {
     rs.expose_counter("core/" + obs::idx(c) + "/machine_checks",
                       [this, c] { return cores_[c]->machine_checks(); });
   }
+  // Device-failure lifecycle (DESIGN.md §13): gated one level deeper on a
+  // planned episode, so plain CRC/stall plans keep their metric-tree shape.
+  const obs::Scope av = rs.sub("avail", cfg_.fault_plan.device_failure());
+  av.expose_counter("fail_errors",
+                    [this] { return memory_->avail_counters().fail_errors; });
+  av.expose_counter("health_samples",
+                    [this] { return memory_->avail_counters().health_samples; });
+  av.expose_counter("monitor_trips",
+                    [this] { return memory_->avail_counters().monitor_trips; });
+  av.expose_counter("devices_offlined",
+                    [this] { return memory_->avail_counters().devices_offlined; });
+  av.expose_counter("bounced_reads",
+                    [this] { return memory_->avail_counters().bounced_reads; });
+  av.expose_counter("lost_writes",
+                    [this] { return memory_->avail_counters().lost_writes; });
+  av.expose_counter("evac_jobs",
+                    [this] { return memory_->avail_counters().evac_jobs; });
+  av.expose_counter("evac_aborts",
+                    [this] { return memory_->avail_counters().evac_aborts; });
+  av.expose_counter("evac_pages_out",
+                    [this] { return memory_->avail_counters().evac_pages_out; });
+  av.expose_counter("evac_pages_in",
+                    [this] { return memory_->avail_counters().evac_pages_in; });
+  av.expose_counter("pages_retired",
+                    [this] { return memory_->avail_counters().pages_retired; });
+  av.expose_counter("retired_touches",
+                    [this] { return memory_->avail_counters().retired_touches; });
   // Like ras/*, the tier/* subtree is opt-in with the feature. Counters are
   // lifetime totals sampled at snapshot time.
   const obs::Scope ts = root.sub("tier", cfg_.tiering.enabled);
