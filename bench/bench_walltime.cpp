@@ -1,20 +1,24 @@
 // Host wall-clock benchmark and CI perf-regression gate.
 //
-// Times a pinned run set — the three golden-baseline requests plus one
-// larger 12-core COAXIAL-4x run — with warmup repeats, and reports the
+// Times a pinned run set — the three golden-baseline requests, one larger
+// 12-core COAXIAL-4x run, a tiered run, and the 4-host pooled run at 1/2/4
+// shard workers (DESIGN.md §14) — with warmup repeats, and reports the
 // median wall seconds per run. With COAXIAL_BENCH_BASELINE=<path> it
-// compares against a committed baseline (BENCH_5.json at the repo root) and
-// exits non-zero only on an egregious (>1.5x) regression; smaller drifts
-// warn, since shared CI hosts are noisy.
+// compares against a committed baseline (BENCH_10.json at the repo root)
+// and exits non-zero only on an egregious (>1.5x) regression; smaller
+// drifts warn, since shared CI hosts are noisy.
+//
+// The shard-worker rows also feed a scaling gate: on a host with >= 4
+// hardware threads, the 4-worker pooled run must beat the 1-worker run by
+// COAXIAL_BENCH_SPEEDUP (default 2.0x). On smaller hosts the gate prints a
+// SKIP — a 1-CPU container cannot measure parallel speedup, only the
+// byte-identity the determinism tests pin.
 //
 // The pinned set is part of the contract: changing it invalidates the
-// committed baseline (regenerate with COAXIAL_BENCH_OUT=BENCH_5.json).
+// committed baseline (regenerate with COAXIAL_BENCH_OUT=BENCH_10.json).
 //
-// This file intentionally sticks to long-stable APIs (run_one, golden
-// requests, flat JSON parsing) so the identical source also compiles against
-// older checkouts — that is how before/after numbers for EXPERIMENTS.md are
-// produced without maintaining two harnesses. The profiler breakdown print
-// is gated on the header existing at all.
+// The profiler breakdown print is gated on the header existing at all so
+// the file keeps compiling against checkouts that predate the profiler.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.hpp"
@@ -49,11 +54,30 @@ std::vector<Pinned> pinned_set() {
   }
   // The headline run: 12 cores on COAXIAL-4x at a real (if CI-sized)
   // budget. This is the run the >=1.5x host-speedup target is defined on.
+  const std::uint64_t warmup = coaxial::env_u64("COAXIAL_BENCH_WARMUP", 4000);
+  const std::uint64_t instr = coaxial::env_u64("COAXIAL_BENCH_INSTR", 40000);
   set.push_back({"COAXIAL-4x.lbm.12c",
                  coaxial::sim::homogeneous(coaxial::sys::coaxial_4x(), "lbm",
-                                           coaxial::env_u64("COAXIAL_BENCH_WARMUP", 4000),
-                                           coaxial::env_u64("COAXIAL_BENCH_INSTR", 40000),
-                                           /*seed=*/7)});
+                                           warmup, instr, /*seed=*/7)});
+  // Tiered placement: the migration epochs and two-stage decode dominate a
+  // different part of the hot loop than the plain configs above.
+  set.push_back({"COAXIAL-tiered.canneal",
+                 coaxial::sim::homogeneous(coaxial::sys::coaxial_tiered(),
+                                           "canneal", warmup, instr, /*seed=*/7)});
+  // The sharded quantum engine (DESIGN.md §14): one 4-host pooled run at
+  // 1/2/4 shard workers. Same simulation, byte-identical stats — the only
+  // thing these three rows can differ in is host wall-clock, which is what
+  // the scaling gate below consumes.
+  RunRequest pooled;
+  pooled.pool = coaxial::sys::coaxial_pooled(4);
+  pooled.warmup_instr = warmup;
+  pooled.measure_instr = instr;
+  pooled.seed = 7;
+  for (const std::uint32_t s : {1u, 2u, 4u}) {
+    RunRequest r = pooled;
+    r.shards = s;
+    set.push_back({"COAXIAL-pooled4h.pool-pingpong.s" + std::to_string(s), r});
+  }
   return set;
 }
 
@@ -122,7 +146,38 @@ int main() {
 #endif
   }
 
-  // Optional JSON emission (committed as BENCH_5.json at the repo root).
+  // Shard-worker scaling gate (DESIGN.md §14). Only meaningful when the
+  // host can actually run 4 workers in parallel; on smaller hosts the gate
+  // SKIPs rather than reporting a meaningless 1-CPU "slowdown". Failure is
+  // deferred so a regenerating run still writes COAXIAL_BENCH_OUT.
+  bool scaling_failed = false;
+  {
+    const auto find_med = [&](const std::string& key) {
+      for (const auto& [k, m] : medians)
+        if (k == key) return m;
+      return -1.0;
+    };
+    const double s1 = find_med("COAXIAL-pooled4h.pool-pingpong.s1");
+    const double s4 = find_med("COAXIAL-pooled4h.pool-pingpong.s4");
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (s1 > 0 && s4 > 0) {
+      const double target = coaxial::env_double("COAXIAL_BENCH_SPEEDUP", 2.0);
+      const double speedup = s4 > 0 ? s1 / s4 : 0.0;
+      if (hw < 4) {
+        std::printf("\n[scaling] SKIP: %u hardware thread(s) < 4 workers "
+                    "(s1=%.3fs s4=%.3fs, %.2fx)\n", hw, s1, s4, speedup);
+      } else if (speedup < target) {
+        std::printf("\n[scaling] FAIL: 4-worker speedup %.2fx < %.2fx target "
+                    "(s1=%.3fs s4=%.3fs)\n", speedup, target, s1, s4);
+        scaling_failed = true;
+      } else {
+        std::printf("\n[scaling] ok: 4-worker speedup %.2fx >= %.2fx target\n",
+                    speedup, target);
+      }
+    }
+  }
+
+  // Optional JSON emission (committed as BENCH_10.json at the repo root).
   if (const char* out = std::getenv("COAXIAL_BENCH_OUT"); out != nullptr && *out) {
     std::ofstream f(out);
     f << "{\n  \"schema\": \"coaxial-bench-walltime-v1\",\n";
@@ -136,11 +191,12 @@ int main() {
 
   // Optional regression gate against a committed baseline.
   const char* baseline_path = std::getenv("COAXIAL_BENCH_BASELINE");
-  if (baseline_path == nullptr || *baseline_path == '\0') return 0;
+  if (baseline_path == nullptr || *baseline_path == '\0')
+    return scaling_failed ? 1 : 0;
   std::ifstream in(baseline_path);
   if (!in) {
     std::printf("\n[gate] baseline %s unreadable; skipping comparison\n", baseline_path);
-    return 0;
+    return scaling_failed ? 1 : 0;
   }
   std::stringstream ss;
   ss << in.rdbuf();
@@ -170,5 +226,5 @@ int main() {
     std::printf("[gate] egregious wall-clock regression detected\n");
     return 1;
   }
-  return 0;
+  return scaling_failed ? 1 : 0;
 }

@@ -3,9 +3,12 @@
 # golden stats document against the checked-in baseline with statdiff, run
 # the RAS fault-preset, tiering, pooling, and availability smokes
 # (deterministic ras/*, tier/*, pool/*, and ras/avail/* stats across two
-# runs), gate host wall-clock against the committed BENCH_5.json baseline,
-# and smoke the sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant +
-# golden + fabric + ras + perf + svc + tier + pool + avail ctest labels.
+# runs), gate host wall-clock against the committed BENCH_10.json baseline
+# (including the shard-worker scaling gate on multi-core hosts), smoke the
+# sanitizer build (-DCOAXIAL_SANITIZE=ON) on the invariant + golden +
+# fabric + ras + perf + svc + tier + pool + avail ctest labels, and run the
+# sched label (sharded quantum engine, DESIGN.md §14) under TSan
+# (-DCOAXIAL_SANITIZE=thread) to prove the quantum barriers race-free.
 #
 # Usage: scripts/ci.sh [BUILD_DIR]     (default: build-ci)
 set -euo pipefail
@@ -138,8 +141,11 @@ echo "=== host wall-clock gate (bench_walltime) ==="
 # Time the pinned run set at a reduced budget and compare against the
 # committed baseline. Shared CI hosts are noisy, so only an egregious
 # (>1.5x by default) median regression fails; smaller drifts print WARN.
-# Regenerate the baseline with: COAXIAL_BENCH_OUT=BENCH_5.json bench_walltime
-COAXIAL_BENCH_BASELINE=BENCH_5.json \
+# The pinned set also carries the 4-host pooled run at 1/2/4 shard workers;
+# on hosts with >= 4 hardware threads bench_walltime additionally gates the
+# 4-worker speedup (>= 2x by default; SKIP on smaller hosts).
+# Regenerate the baseline with: COAXIAL_BENCH_OUT=BENCH_10.json bench_walltime
+COAXIAL_BENCH_BASELINE=BENCH_10.json \
 COAXIAL_BENCH_REPEATS="${COAXIAL_BENCH_REPEATS:-3}" \
   "${BUILD_DIR}/bench/bench_walltime"
 
@@ -153,5 +159,15 @@ cmake --build "${SAN_DIR}" -j "${JOBS}"
 # multi-host pooling/coherence, device-failure lifecycle) end to end under
 # the sanitizers without rerunning all 600+ tests.
 ctest --test-dir "${SAN_DIR}" --output-on-failure -j "${JOBS}" -L "invariant|golden|fabric|ras|perf|svc|tier|pool|avail"
+
+echo "=== thread-sanitizer build (TSan, sched label) ==="
+# The sharded quantum engine (DESIGN.md §14) is the only multi-threaded
+# code inside a single run; the sched-labeled tests drive it at 2/4/8
+# workers (barrier handoffs, mailbox drains, profiler folding) under TSan.
+# TSan cannot be combined with ASan, hence the third build tree.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOAXIAL_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "${JOBS}"
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L sched
 
 echo "=== CI OK ==="

@@ -16,6 +16,7 @@ constexpr const char* kPhaseNames[kPhaseCount] = {
     "core_tick",      "workload_gen", "cache_access", "mshr",
     "dram_tick",      "dram_try_issue", "link_serialize", "fabric_arb",
     "mem_pump",       "event_drain",  "sched_dispatch",
+    "shard/pump",     "shard/barrier_wait", "shard/mailbox_drain",
 };
 
 }  // namespace

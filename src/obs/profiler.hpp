@@ -50,6 +50,9 @@ enum class Phase : std::uint8_t {
   kMemPump,         ///< System::pump_memory (memory tick + retry queues).
   kEventDrain,      ///< Payload-event drain (fills, arrivals, finishes).
   kSchedDispatch,   ///< Event-driven scheduler pump (System::run step).
+  kShardPump,       ///< Sharded pump: one shard's in-quantum work.
+  kShardBarrier,    ///< Sharded pump: waiting at the quantum barrier.
+  kShardDrain,      ///< Sharded pump: cross-shard mailbox exchange.
   kCount
 };
 
@@ -76,6 +79,15 @@ struct Totals {
       d.calls[i] = calls[i] - base.calls[i];
     }
     return d;
+  }
+
+  /// Fold another thread's totals in (worker threads of a sharded run hand
+  /// their deltas to the coordinator, which publishes one merged subtree).
+  void add(const Totals& other) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      ns[i] += other.ns[i];
+      calls[i] += other.calls[i];
+    }
   }
 };
 

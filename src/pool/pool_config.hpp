@@ -93,6 +93,15 @@ struct PoolConfig {
   std::uint64_t shared_hot_pages = 8;  ///< Contended subset of the window.
   double shared_hot_prob = 0.8;        ///< P(pool access hits the hot subset).
 
+  /// Sharded-pump lookahead declaration (DESIGN.md §14). The quantum of the
+  /// parallel engine is *derived* from the fabric's true minimum cross-shard
+  /// message latency; this knob lets a config declare what it believes that
+  /// minimum is, and construction rejects the config when the declaration
+  /// disagrees with the fabric — a declaration below the true latency would
+  /// silently waste lookahead, one above it would break the delivery
+  /// guarantee the byte-identical contract rests on. 0 = derive silently.
+  Cycle shard_min_latency_cycles = 0;
+
   /// Fault injection (DESIGN.md §§11, 13). CRC noise arms every host head's
   /// fabric; a device-failure episode targets a *shared* device by index.
   /// Pooled deployments model surprise removal only — the fabric manager

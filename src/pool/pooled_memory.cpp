@@ -11,7 +11,7 @@ namespace coaxial::pool {
 namespace {
 
 /// Per (sub-channel, host) ingress bound, mirroring CxlMemory's device
-/// ingress depth.
+/// ingress depth. In engine mode the same bound is enforced with credits.
 constexpr std::uint32_t kIngressDepth = 64;
 
 std::uint32_t popcount64(std::uint64_t v) {
@@ -124,6 +124,9 @@ PooledMemory::PooledMemory(const PoolConfig& cfg, obs::Scope scope)
     bounce_cycles_ = fab_[0]->unloaded_tx_cycles(link::kReadRequestBytes) +
                      fab_[0]->unloaded_rx_cycles(link::kReadResponseBytes);
   }
+  // Engine timing constants (cheap; computed even when the engine is off).
+  credit_lat_ = fab_[0]->unloaded_rx_cycles(link::kReadRequestBytes);
+  bounce_rx_lat_ = fab_[0]->unloaded_rx_cycles(link::kReadResponseBytes);
 
   shared_ingress_.assign(s_subs_, std::vector<std::deque<DeviceMsg>>(n_hosts_));
   priv_ingress_.assign(n_hosts_, std::vector<std::deque<DeviceMsg>>(p_subs_));
@@ -135,12 +138,46 @@ PooledMemory::PooledMemory(const PoolConfig& cfg, obs::Scope scope)
   inflight_.resize(n_hosts_);
   free_slots_.resize(n_hosts_);
   pending_rx_.resize(n_hosts_);
+  pending_rx_priv_.resize(n_hosts_);
   out_.resize(n_hosts_);
+  inflight_reads_.assign(n_hosts_, 0);
   host_invals_.resize(n_hosts_);
   wire_pool_.resize(n_hosts_);
   free_wire_.resize(n_hosts_);
   txns_per_dev_.assign(s_devs_, 0);
-  host_ctr_.resize(n_hosts_);
+
+  mail_demand_.resize(n_hosts_);
+  mail_ack_.resize(n_hosts_);
+  mail_comp_.resize(n_hosts_);
+  mail_credit_.resize(n_hosts_);
+  mail_inval_.resize(n_hosts_);
+  pending_credits_.resize(n_hosts_);
+  credits_.assign(n_hosts_, std::vector<std::uint32_t>(s_subs_, kIngressDepth));
+
+  avail_host_.resize(n_hosts_);
+  host_shared_ctr_.resize(n_hosts_);
+  host_priv_ctr_.resize(n_hosts_);
+  host_ack_ctr_.resize(n_hosts_);
+}
+
+Cycle PooledMemory::min_cross_shard_latency() const {
+  Cycle q = kNoCycle;
+  for (const auto& f : fab_) {
+    q = std::min(q, f->unloaded_tx_cycles(link::kReadRequestBytes));
+    // The response path's floor is also the control-message (inval/credit)
+    // floor: rx latency is monotone in bytes, so the smallest rx message
+    // bounds every rx message from below.
+    q = std::min(q, f->unloaded_rx_cycles(link::kReadRequestBytes));
+  }
+  return std::max<Cycle>(q, 1);
+}
+
+void PooledMemory::set_engine(bool on) {
+  if (on && !engine_capable()) {
+    throw std::logic_error(
+        "pool::PooledMemory: sharded engine requires a direct fabric");
+  }
+  engine_ = on;
 }
 
 std::uint32_t PooledMemory::alloc_slot(std::uint32_t host, std::uint64_t token,
@@ -155,19 +192,19 @@ std::uint32_t PooledMemory::alloc_slot(std::uint32_t host, std::uint64_t token,
     slot = static_cast<std::uint32_t>(fl.size());
     fl.emplace_back();
   }
-  fl[slot] = {token, now, true, false};
-  ++inflight_reads_;
+  fl[slot] = {token, now, true};
+  ++inflight_reads_[host];
   return slot;
 }
 
 void PooledMemory::finish_read(std::uint32_t host, std::uint32_t slot,
-                               Cycle arrival, bool wire_poisoned) {
+                               Cycle arrival, bool poisoned) {
   InflightRead& fl = inflight_[host][slot];
   assert(fl.busy);
-  out_[host].push_back({fl.token, arrival, fl.poisoned || wire_poisoned});
+  out_[host].push_back({fl.token, arrival, poisoned});
   fl.busy = false;
   free_slots_[host].push_back(slot);
-  --inflight_reads_;
+  --inflight_reads_[host];
 }
 
 std::uint32_t PooledMemory::alloc_txn() {
@@ -203,9 +240,13 @@ bool PooledMemory::can_accept(std::uint32_t host, Addr line, bool is_write,
     const fabric::Router::Route r = shared_map_.route(t.local_line);
     // A dead device is a sink: accept so access() can refuse the
     // transaction with an immediate poison bounce instead of wedging the
-    // issuing host behind a credit that will never return.
-    if (dead_ && r.device == fail_dev_) return true;
+    // issuing host behind a credit that will never return. Hosts test
+    // death with host_sees_dead() — identical to reading dead_ here (the
+    // flip happens inside the pool pump after the hosts stepped fail_at_),
+    // but free of any cross-shard read.
+    if (host_sees_dead(now) && r.device == fail_dev_) return true;
     if (!fab_[host]->can_send_tx(r.device, now)) return false;
+    if (engine_) return credits_[host][r.sub] > 0;
     return shared_ingress_[r.sub][host].size() +
                tx_inflight_shared_[r.sub][host] <
            kIngressDepth;
@@ -224,14 +265,15 @@ void PooledMemory::access(std::uint32_t host, Addr line, bool is_write, Cycle no
       shared ? shared_map_.route(t.local_line) : private_map_.route(t.local_line);
   const std::uint32_t fab_dev = shared ? r.device : s_devs_ + r.device;
 
-  if (shared && dead_ && r.device == fail_dev_) {
+  if (shared && host_sees_dead(now) && r.device == fail_dev_) {
     // Refused transaction to a retired range: reads synthesise a poison
-    // response after an unloaded round trip, writes are lost.
-    ++avail_.refused_txns;
+    // response after an unloaded round trip, writes are lost. Host-local
+    // (no pool state touched), so the counters live in the host's half.
+    ++avail_host_[host].refused_txns;
     if (is_write) {
-      ++avail_.lost_writes;
+      ++avail_host_[host].lost_writes;
     } else {
-      ++avail_.bounced_reads;
+      ++avail_host_[host].bounced_reads;
       out_[host].push_back({token, now + bounce_cycles_, true});
     }
     return;
@@ -253,8 +295,18 @@ void PooledMemory::access(std::uint32_t host, Addr line, bool is_write, Cycle no
     msg.arrival = sr.at;
     msg.poisoned = sr.poisoned;
     if (shared) {
-      shared_ingress_[r.sub][host].push_back(msg);
-      shared_wake_[r.sub] = std::min(shared_wake_[r.sub], msg.arrival);
+      if (engine_) {
+        // Cross-shard: the pooled ingress belongs to the pool shard. The
+        // send consumed a flow-control credit; the pool returns it when it
+        // pops the message. sr.at >= now + quantum by the SerialPipe
+        // latency floor, so barrier delivery never arrives late.
+        assert(credits_[host][r.sub] > 0);
+        --credits_[host][r.sub];
+        mail_demand_[host].push_back({msg, r.sub});
+      } else {
+        shared_ingress_[r.sub][host].push_back(msg);
+        shared_wake_[r.sub] = std::min(shared_wake_[r.sub], msg.arrival);
+      }
     } else {
       priv_ingress_[host][r.sub].push_back(msg);
       priv_wake_[host][r.sub] = std::min(priv_wake_[host][r.sub], msg.arrival);
@@ -279,8 +331,8 @@ void PooledMemory::access(std::uint32_t host, Addr line, bool is_write, Cycle no
 }
 
 void PooledMemory::deliver_inval(std::uint32_t target, std::uint32_t txn,
-                                 bool dirty, Cycle arrival) {
-  host_invals_[target].push_back({arrival, txn, dirty});
+                                 std::uint32_t sdev, bool dirty, Cycle arrival) {
+  host_invals_[target].push_back({arrival, txn, sdev, dirty});
 }
 
 void PooledMemory::deliver_ack(std::uint32_t txn, bool dirty, Cycle arrival) {
@@ -335,7 +387,11 @@ void PooledMemory::pump_txn_sends(std::uint32_t t, Cycle now) {
     if (fab.direct()) {
       const link::SendResult sr =
           fab.send_rx(x.sdev, link::kReadRequestBytes, now, 0);
-      deliver_inval(h, t, dirty, sr.at);
+      if (engine_) {
+        mail_inval_[h].push_back({sr.at, t, x.sdev, dirty});
+      } else {
+        deliver_inval(h, t, x.sdev, dirty, sr.at);
+      }
     } else {
       WireMsg wm;
       wm.kind = WireMsg::kInval;
@@ -353,11 +409,25 @@ void PooledMemory::pump_txn_sends(std::uint32_t t, Cycle now) {
   }
 }
 
-Cycle PooledMemory::tick(Cycle now) {
-  Cycle wake = kNoCycle;
-  if (avail_on_) wake = std::min(wake, pump_pool_failure(now));
+void PooledMemory::admit_shared(dram::Controller& ctrl, const DeviceMsg& msg,
+                                std::uint32_t host, Cycle now) {
+  if (msg.is_write) {
+    ctrl.enqueue(msg.local_line, true, now, 0);
+    ++ctr_.shared_writes;
+    ++host_shared_ctr_[host].writes;
+  } else {
+    // Request-side poison rides the DRAM token (bit 63) so the pool shard
+    // never writes into the host-owned read-slot table.
+    ctrl.enqueue(msg.local_line, false, now,
+                 pack_token(msg.poisoned, host, msg.token));
+    ++ctr_.shared_reads;
+    ++host_shared_ctr_[host].reads;
+  }
+  ++host_shared_ctr_[host].shared;
+}
 
-  // -- Phase A: switched fabrics deliver; direct fabrics are analytic. ----
+Cycle PooledMemory::pump_wire_deliveries(Cycle now) {
+  Cycle wake = kNoCycle;
   for (std::uint32_t h = 0; h < n_hosts_; ++h) {
     fabric::Fabric& fab = *fab_[h];
     if (fab.direct()) continue;
@@ -400,14 +470,29 @@ Cycle PooledMemory::tick(Cycle now) {
       free_wire_[h].push_back(m);
       --fabric_msgs_inflight_;
       if (wm.kind == WireMsg::kResp) {
-        finish_read(h, wm.slot, d.arrival, d.poisoned);
+        finish_read(h, wm.slot, d.arrival, wm.poisoned || d.poisoned);
       } else {
         assert(wm.kind == WireMsg::kInval);
-        deliver_inval(h, wm.txn, wm.dirty, d.arrival);
+        deliver_inval(h, wm.txn, txns_[wm.txn].sdev, wm.dirty, d.arrival);
       }
     }
     fab.rx_deliveries().clear();
   }
+  return wake;
+}
+
+Cycle PooledMemory::tick(Cycle now) {
+  Cycle wake = pump_wire_deliveries(now);
+  wake = std::min(wake, pool_tick(now));
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    wake = std::min(wake, host_tick(h, now));
+  }
+  return wake;
+}
+
+Cycle PooledMemory::pool_tick(Cycle now) {
+  Cycle wake = kNoCycle;
+  if (avail_on_) wake = std::min(wake, pump_pool_failure(now));
 
   // -- Phase B: acks arriving at pooled devices retire invalidations. -----
   {
@@ -459,22 +544,7 @@ Cycle PooledMemory::tick(Cycle now) {
     }
     dram::Controller& ctrl = *shared_ctrls_[x.park_sub];
     if (!ctrl.can_accept(x.parked.is_write)) continue;
-    const DeviceMsg& msg = x.parked;
-    if (msg.is_write) {
-      ctrl.enqueue(msg.local_line, true, now, 0);
-      ++ctr_.shared_writes;
-      ++host_ctr_[x.park_host].writes;
-    } else {
-      if (msg.poisoned) {
-        inflight_[x.park_host][static_cast<std::uint32_t>(msg.token)].poisoned =
-            true;
-      }
-      ctrl.enqueue(msg.local_line, false, now,
-                   (std::uint64_t{x.park_host} << 32) | msg.token);
-      ++ctr_.shared_reads;
-      ++host_ctr_[x.park_host].reads;
-    }
-    ++host_ctr_[x.park_host].shared;
+    admit_shared(ctrl, x.parked, x.park_host, now);
     shared_wake_[x.park_sub] = std::min(shared_wake_[x.park_sub], now);
     dirs_[x.sdev]->unlock(x.page);
     x.live = false;
@@ -543,24 +613,16 @@ Cycle PooledMemory::tick(Cycle now) {
       if (dd.pingpong) ++ctr_.pingpong_transitions;
       ctr_.recalls_dirty += popcount64(dd.dirty_mask);
       q.pop_front();
+      if (engine_) {
+        // The pop frees the host's flow-control credit; the return rides
+        // the unloaded control latency of the response path.
+        mail_credit_[best].push_back({now + credit_lat_, sub});
+      }
       if (dd.needs_txn) {
         start_txn(dd, msg, best, sub, now);
         continue;
       }
-      if (msg.is_write) {
-        ctrl.enqueue(msg.local_line, true, now, 0);
-        ++ctr_.shared_writes;
-        ++host_ctr_[best].writes;
-      } else {
-        if (msg.poisoned) {
-          inflight_[best][static_cast<std::uint32_t>(msg.token)].poisoned = true;
-        }
-        ctrl.enqueue(msg.local_line, false, now,
-                     (std::uint64_t{best} << 32) | msg.token);
-        ++ctr_.shared_reads;
-        ++host_ctr_[best].reads;
-      }
-      ++host_ctr_[best].shared;
+      admit_shared(ctrl, msg, best, now);
     }
 
     Cycle sw = ctrl.tick(now);
@@ -578,127 +640,18 @@ Cycle PooledMemory::tick(Cycle now) {
 
     auto& done = ctrl.completions();
     for (const auto& comp : done) {
-      const std::uint32_t h = static_cast<std::uint32_t>(comp.token >> 32);
+      const std::uint32_t h =
+          static_cast<std::uint32_t>(comp.token >> 32) & 0x7fffffffu;
       pending_rx_[h].push_back(
-          {comp.done, dev, static_cast<std::uint32_t>(comp.token & 0xffffffffu)});
+          {comp.done, dev, static_cast<std::uint32_t>(comp.token & 0xffffffffu),
+           (comp.token >> 63) != 0});
     }
     done.clear();
   }
 
-  // -- Phase E: private sub-channels (plain CxlMemory-style FIFO). --------
+  // -- Phase F (shared half): ship pooled responses up every return path. -
   for (std::uint32_t h = 0; h < n_hosts_; ++h) {
-    for (std::uint32_t sub = 0; sub < p_subs_; ++sub) {
-      if (!force_tick_ && priv_wake_[h][sub] > now) {
-        wake = std::min(wake, priv_wake_[h][sub]);
-        continue;
-      }
-      dram::Controller& ctrl = *priv_ctrls_[h][sub];
-      auto& q = priv_ingress_[h][sub];
-      while (!q.empty() && q.front().arrival <= now &&
-             ctrl.can_accept(q.front().is_write)) {
-        const DeviceMsg& msg = q.front();
-        if (msg.is_write) {
-          ctrl.enqueue(msg.local_line, true, now, 0);
-          ++ctr_.private_writes;
-          ++host_ctr_[h].writes;
-        } else {
-          if (msg.poisoned) {
-            inflight_[h][static_cast<std::uint32_t>(msg.token)].poisoned = true;
-          }
-          ctrl.enqueue(msg.local_line, false, now,
-                       (std::uint64_t{h} << 32) | msg.token);
-          ++ctr_.private_reads;
-          ++host_ctr_[h].reads;
-        }
-        q.pop_front();
-      }
-      Cycle sw = ctrl.tick(now);
-      if (!q.empty()) {
-        sw = std::min(sw, q.front().arrival > now ? q.front().arrival : now + 1);
-      }
-      priv_wake_[h][sub] = sw;
-      wake = std::min(wake, sw);
-
-      auto& done = ctrl.completions();
-      const std::uint32_t fab_dev = s_devs_ + sub / spd_;
-      for (const auto& comp : done) {
-        pending_rx_[h].push_back(
-            {comp.done, fab_dev,
-             static_cast<std::uint32_t>(comp.token & 0xffffffffu)});
-      }
-      done.clear();
-    }
-  }
-
-  // -- Phase F: ship ready responses up each host's return path. ----------
-  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
-    fabric::Fabric& fab = *fab_[h];
-    auto& pending = pending_rx_[h];
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      const PendingResponse p = pending[i];
-      if (dead_ && p.device == fail_dev_) {
-        // The data was read before the device died, but its return link is
-        // gone: the host port times out and synthesises a poison response.
-        ++avail_.bounced_reads;
-        finish_read(h, p.slot, std::max(p.ready, now), true);
-        continue;
-      }
-      if (p.ready > now || !fab.can_send_rx(p.device, now)) {
-        pending[kept++] = p;
-        continue;
-      }
-      if (fab.direct()) {
-        const link::SendResult sr =
-            fab.send_rx(p.device, link::kReadResponseBytes, now, 0);
-        finish_read(h, p.slot, sr.at, sr.poisoned);
-      } else {
-        WireMsg wm;
-        wm.kind = WireMsg::kResp;
-        wm.slot = p.slot;
-        fab.send_rx(p.device, link::kReadResponseBytes, now, alloc_wire(h, wm));
-        ++fabric_msgs_inflight_;
-      }
-    }
-    pending.resize(kept);
-    for (const PendingResponse& p : pending) {
-      const Cycle at = p.ready > now ? p.ready : fab.rx_credit_cycle(p.device, now);
-      wake = std::min(wake, std::max(at, now + 1));
-    }
-  }
-
-  // -- Phase G: hosts ack delivered invalidations on their request path. --
-  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
-    fabric::Fabric& fab = *fab_[h];
-    auto& invals = host_invals_[h];
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < invals.size(); ++i) {
-      const HostInval iv = invals[i];
-      const std::uint32_t sdev = txns_[iv.txn].sdev;
-      if (iv.arrival > now || !fab.can_send_tx(sdev, now)) {
-        invals[kept++] = iv;
-        wake = std::min(wake,
-                        std::max(iv.arrival > now ? iv.arrival : now + 1, now + 1));
-        continue;
-      }
-      // A dirty recall ack carries the line back; a clean ack is control.
-      const std::uint32_t bytes =
-          iv.dirty ? link::kWriteMessageBytes : link::kReadRequestBytes;
-      if (fab.direct()) {
-        const link::SendResult sr = fab.send_tx(sdev, bytes, now, 0);
-        deliver_ack(iv.txn, iv.dirty, sr.at);
-      } else {
-        WireMsg wm;
-        wm.kind = WireMsg::kAck;
-        wm.dirty = iv.dirty;
-        wm.txn = iv.txn;
-        fab.send_tx(sdev, bytes, now, alloc_wire(h, wm));
-        ++fabric_msgs_inflight_;
-      }
-      ++host_ctr_[h].acks_sent;
-      ++host_ctr_[h].invals_received;
-    }
-    invals.resize(kept);
+    wake = std::min(wake, ship_shared_responses(h, now));
   }
 
   // -- Wake assembly for the remaining coherence state. -------------------
@@ -709,13 +662,244 @@ Cycle PooledMemory::tick(Cycle now) {
   return wake;
 }
 
+Cycle PooledMemory::ship_shared_responses(std::uint32_t host, Cycle now) {
+  Cycle wake = kNoCycle;
+  fabric::Fabric& fab = *fab_[host];
+  auto& pending = pending_rx_[host];
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PendingResponse p = pending[i];
+    if (dead_ && p.device == fail_dev_) {
+      // The data was read before the device died, but its return link is
+      // gone: the host port times out and synthesises a poison response.
+      // The engine pays the synthesised response's unloaded latency, which
+      // also keeps the bounce outside the quantum that produced it.
+      ++avail_.bounced_reads;
+      const Cycle at = std::max(p.ready, now);
+      if (engine_) {
+        mail_comp_[host].push_back({at + bounce_rx_lat_, p.slot, true});
+      } else {
+        finish_read(host, p.slot, at, true);
+      }
+      continue;
+    }
+    if (p.ready > now || !fab.can_send_rx(p.device, now)) {
+      pending[kept++] = p;
+      continue;
+    }
+    if (fab.direct()) {
+      const link::SendResult sr =
+          fab.send_rx(p.device, link::kReadResponseBytes, now, 0);
+      if (engine_) {
+        mail_comp_[host].push_back({sr.at, p.slot, p.poisoned || sr.poisoned});
+      } else {
+        finish_read(host, p.slot, sr.at, p.poisoned || sr.poisoned);
+      }
+    } else {
+      WireMsg wm;
+      wm.kind = WireMsg::kResp;
+      wm.slot = p.slot;
+      wm.poisoned = p.poisoned;
+      fab.send_rx(p.device, link::kReadResponseBytes, now, alloc_wire(host, wm));
+      ++fabric_msgs_inflight_;
+    }
+  }
+  pending.resize(kept);
+  for (const PendingResponse& p : pending) {
+    const Cycle at = p.ready > now ? p.ready : fab.rx_credit_cycle(p.device, now);
+    wake = std::min(wake, std::max(at, now + 1));
+  }
+  return wake;
+}
+
+Cycle PooledMemory::host_tick(std::uint32_t host, Cycle now) {
+  Cycle wake = kNoCycle;
+  fabric::Fabric& fab = *fab_[host];
+
+  // Matured flow-control credits become usable (engine mode only).
+  if (engine_ && !pending_credits_[host].empty()) {
+    auto& pc = pending_credits_[host];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pc.size(); ++i) {
+      const CreditMail c = pc[i];
+      if (c.at > now) {
+        pc[kept++] = c;
+        wake = std::min(wake, c.at);
+        continue;
+      }
+      ++credits_[host][c.sub];
+    }
+    pc.resize(kept);
+  }
+
+  // -- Phase E: private sub-channels (plain CxlMemory-style FIFO). --------
+  for (std::uint32_t sub = 0; sub < p_subs_; ++sub) {
+    if (!force_tick_ && priv_wake_[host][sub] > now) {
+      wake = std::min(wake, priv_wake_[host][sub]);
+      continue;
+    }
+    dram::Controller& ctrl = *priv_ctrls_[host][sub];
+    auto& q = priv_ingress_[host][sub];
+    while (!q.empty() && q.front().arrival <= now &&
+           ctrl.can_accept(q.front().is_write)) {
+      const DeviceMsg& msg = q.front();
+      if (msg.is_write) {
+        ctrl.enqueue(msg.local_line, true, now, 0);
+        ++host_priv_ctr_[host].writes;
+      } else {
+        ctrl.enqueue(msg.local_line, false, now,
+                     pack_token(msg.poisoned, host, msg.token));
+        ++host_priv_ctr_[host].reads;
+      }
+      q.pop_front();
+    }
+    Cycle sw = ctrl.tick(now);
+    if (!q.empty()) {
+      sw = std::min(sw, q.front().arrival > now ? q.front().arrival : now + 1);
+    }
+    priv_wake_[host][sub] = sw;
+    wake = std::min(wake, sw);
+
+    auto& done = ctrl.completions();
+    const std::uint32_t fab_dev = s_devs_ + sub / spd_;
+    for (const auto& comp : done) {
+      pending_rx_priv_[host].push_back(
+          {comp.done, fab_dev,
+           static_cast<std::uint32_t>(comp.token & 0xffffffffu),
+           (comp.token >> 63) != 0});
+    }
+    done.clear();
+  }
+
+  // -- Phase F (private half): ship responses; private devices never die. -
+  {
+    auto& pending = pending_rx_priv_[host];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const PendingResponse p = pending[i];
+      if (p.ready > now || !fab.can_send_rx(p.device, now)) {
+        pending[kept++] = p;
+        continue;
+      }
+      if (fab.direct()) {
+        const link::SendResult sr =
+            fab.send_rx(p.device, link::kReadResponseBytes, now, 0);
+        finish_read(host, p.slot, sr.at, p.poisoned || sr.poisoned);
+      } else {
+        WireMsg wm;
+        wm.kind = WireMsg::kResp;
+        wm.slot = p.slot;
+        wm.poisoned = p.poisoned;
+        fab.send_rx(p.device, link::kReadResponseBytes, now,
+                    alloc_wire(host, wm));
+        ++fabric_msgs_inflight_;
+      }
+    }
+    pending.resize(kept);
+    for (const PendingResponse& p : pending) {
+      const Cycle at = p.ready > now ? p.ready : fab.rx_credit_cycle(p.device, now);
+      wake = std::min(wake, std::max(at, now + 1));
+    }
+  }
+
+  // -- Phase G: ack delivered invalidations on the request path. ----------
+  {
+    auto& invals = host_invals_[host];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < invals.size(); ++i) {
+      const HostInval iv = invals[i];
+      if (iv.arrival > now || !fab.can_send_tx(iv.sdev, now)) {
+        invals[kept++] = iv;
+        wake = std::min(
+            wake, std::max(iv.arrival > now ? iv.arrival : now + 1, now + 1));
+        continue;
+      }
+      // A dirty recall ack carries the line back; a clean ack is control.
+      const std::uint32_t bytes =
+          iv.dirty ? link::kWriteMessageBytes : link::kReadRequestBytes;
+      if (fab.direct()) {
+        const link::SendResult sr = fab.send_tx(iv.sdev, bytes, now, 0);
+        if (engine_) {
+          mail_ack_[host].push_back({sr.at, iv.txn, iv.dirty});
+        } else {
+          deliver_ack(iv.txn, iv.dirty, sr.at);
+        }
+      } else {
+        WireMsg wm;
+        wm.kind = WireMsg::kAck;
+        wm.dirty = iv.dirty;
+        wm.txn = iv.txn;
+        fab.send_tx(iv.sdev, bytes, now, alloc_wire(host, wm));
+        ++fabric_msgs_inflight_;
+      }
+      ++host_ack_ctr_[host].acks_sent;
+      ++host_ack_ctr_[host].invals_received;
+    }
+    invals.resize(kept);
+  }
+  return wake;
+}
+
+Cycle PooledMemory::exchange_shard_mail(Cycle now) {
+  Cycle effect = kNoCycle;
+  // Demands and acks first (into the pool shard): an onset-straggler
+  // demand bounced here appends its completion to mail_comp_, which the
+  // second loop then delivers in the same exchange.
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    for (const DemandMail& dm : mail_demand_[h]) {
+      if (dead_ && dm.sub / spd_ == fail_dev_) {
+        // Sent before the host shard observed the death: bounce at the
+        // barrier and return the credit (the queue it aimed for is gone).
+        bounce_msg(h, dm.msg, std::max(dm.msg.arrival, now));
+        mail_credit_[h].push_back({now + credit_lat_, dm.sub});
+        continue;
+      }
+      shared_ingress_[dm.sub][h].push_back(dm.msg);
+      shared_wake_[dm.sub] = std::min(shared_wake_[dm.sub], dm.msg.arrival);
+      effect = std::min(effect, dm.msg.arrival);
+    }
+    mail_demand_[h].clear();
+    for (const AckMail& am : mail_ack_[h]) {
+      dev_acks_.push_back({am.arrival, am.txn, am.dirty});
+      effect = std::min(effect, am.arrival);
+    }
+    mail_ack_[h].clear();
+  }
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    for (const CompMail& cm : mail_comp_[h]) {
+      finish_read(h, cm.slot, cm.done, cm.poisoned);
+      effect = std::min(effect, cm.done);
+    }
+    mail_comp_[h].clear();
+    for (const CreditMail& cr : mail_credit_[h]) {
+      pending_credits_[h].push_back(cr);
+      effect = std::min(effect, cr.at);
+    }
+    mail_credit_[h].clear();
+    for (const InvalMail& im : mail_inval_[h]) {
+      host_invals_[h].push_back({im.arrival, im.txn, im.sdev, im.dirty});
+      effect = std::min(effect, im.arrival);
+    }
+    mail_inval_[h].clear();
+  }
+  return effect;
+}
+
 void PooledMemory::bounce_msg(std::uint32_t host, const DeviceMsg& msg,
                               Cycle at) {
   if (msg.is_write) {
     ++avail_.lost_writes;
   } else {
     ++avail_.bounced_reads;
-    finish_read(host, static_cast<std::uint32_t>(msg.token), at, true);
+    if (engine_) {
+      // The pool shard may not complete a host-owned read slot directly;
+      // the poison response crosses back as completion mail, paying the
+      // synthesised response's unloaded latency.
+      mail_comp_[host].push_back(
+          {at + bounce_rx_lat_, static_cast<std::uint32_t>(msg.token), true});
+    } else {
+      finish_read(host, static_cast<std::uint32_t>(msg.token), at, true);
+    }
   }
 }
 
@@ -731,6 +915,7 @@ void PooledMemory::pool_fail_onset(Cycle now) {
     for (std::uint32_t h = 0; h < n_hosts_; ++h) {
       for (const DeviceMsg& m : shared_ingress_[sub][h]) {
         bounce_msg(h, m, std::max(m.arrival, now));
+        if (engine_) mail_credit_[h].push_back({now + credit_lat_, sub});
       }
       shared_ingress_[sub][h].clear();
     }
@@ -793,6 +978,31 @@ ras::RasCounters PooledMemory::ras_counters() const {
   return sum;
 }
 
+ras::AvailCounters PooledMemory::avail_counters() const {
+  ras::AvailCounters sum = avail_;
+  for (const auto& a : avail_host_) sum += a;
+  return sum;
+}
+
+PoolCounters PooledMemory::counters() const {
+  PoolCounters c = ctr_;
+  for (const HostPrivCtr& p : host_priv_ctr_) {
+    c.private_reads += p.reads;
+    c.private_writes += p.writes;
+  }
+  return c;
+}
+
+HostCounters PooledMemory::host_counters(std::uint32_t host) const {
+  HostCounters c;
+  c.reads = host_shared_ctr_[host].reads + host_priv_ctr_[host].reads;
+  c.writes = host_shared_ctr_[host].writes + host_priv_ctr_[host].writes;
+  c.shared = host_shared_ctr_[host].shared;
+  c.invals_received = host_ack_ctr_[host].invals_received;
+  c.acks_sent = host_ack_ctr_[host].acks_sent;
+  return c;
+}
+
 bool PooledMemory::coherence_idle() const {
   if (live_txns_ != 0 || !dev_acks_.empty() || !pending_wbs_.empty()) return false;
   for (const auto& iv : host_invals_) {
@@ -802,9 +1012,10 @@ bool PooledMemory::coherence_idle() const {
 }
 
 bool PooledMemory::quiescent() const {
-  if (inflight_reads_ != 0 || fabric_msgs_inflight_ != 0 || !coherence_idle()) {
-    return false;
+  for (std::uint64_t n : inflight_reads_) {
+    if (n != 0) return false;
   }
+  if (fabric_msgs_inflight_ != 0 || !coherence_idle()) return false;
   if (!recovery_q_.empty()) return false;
   for (const auto& per_host : shared_ingress_) {
     for (const auto& q : per_host) {
@@ -818,6 +1029,20 @@ bool PooledMemory::quiescent() const {
   }
   for (const auto& p : pending_rx_) {
     if (!p.empty()) return false;
+  }
+  for (const auto& p : pending_rx_priv_) {
+    if (!p.empty()) return false;
+  }
+  // Mailbox contents and undrained completions: only meaningful right
+  // after a barrier exchange, which is the only place the engine asks.
+  // Maturing flow-control credits are deliberately excluded — they are
+  // budget, not work, and their maturation is deterministic regardless.
+  for (std::uint32_t h = 0; h < n_hosts_; ++h) {
+    if (!mail_demand_[h].empty() || !mail_ack_[h].empty() ||
+        !mail_comp_[h].empty() || !mail_credit_[h].empty() ||
+        !mail_inval_[h].empty() || !out_[h].empty()) {
+      return false;
+    }
   }
   return true;
 }

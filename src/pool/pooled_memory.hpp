@@ -24,6 +24,26 @@
 // host index), never on how often tick() was polled; tick() returns a
 // conservative wake bound (any live coherence state wakes at now + 1), so
 // the event-driven and tick-every-cycle schedulers agree bit-for-bit.
+//
+// Sharded engine (DESIGN.md §14). Direct-fabric pools additionally expose
+// the pump split into shard-owned halves so sim::PooledSystem can run them
+// under the conservative-lookahead quantum engine (sim/shard.hpp):
+//
+//   * host shard h owns: its slice's admission (can_accept/access), the
+//     private-device path end to end (ingress, DRAM, response shipping),
+//     its read-slot table and completion queue, invalidation acking, and a
+//     per-sub credit count standing in for the pooled ingress occupancy it
+//     can no longer read directly;
+//   * the pool shard owns: pooled ingress/DRAM/directories, coherence
+//     transactions, recall writebacks, shared response shipping, and the
+//     device-failure lifecycle.
+//
+// Cross-shard traffic (demands, acks, completions, invalidations, credit
+// returns) travels through per-host mailboxes flushed by the coordinator
+// at quantum barriers via exchange_shard_mail(). Every such message is
+// stamped at least min_cross_shard_latency() cycles in the future by
+// construction (it rides a SerialPipe whose delivery is >= now + unloaded
+// latency), which is exactly the engine's quantum.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +69,9 @@ struct HostCompletion {
   bool poisoned = false;  ///< CRC budget exhausted, or the device died.
 };
 
-/// Per-host admission/protocol counters (pool/host/NN/*).
+/// Per-host admission/protocol counters (pool/host/NN/*). Assembled on
+/// demand by host_counters(): the underlying fields are split by owning
+/// shard so the sharded pump never writes one counter from two threads.
 struct HostCounters {
   std::uint64_t reads = 0;   ///< Demand reads admitted to DRAM.
   std::uint64_t writes = 0;  ///< Demand writes admitted to DRAM.
@@ -72,7 +94,8 @@ class PooledMemory {
               std::uint64_t token);
 
   /// Advance everything (fabrics, directories, coherence transactions,
-  /// DRAM); returns a conservative wake bound.
+  /// DRAM); returns a conservative wake bound. Sequential (non-engine)
+  /// pump entry — the engine calls the shard halves below instead.
   Cycle tick(Cycle now);
 
   void set_force_tick(bool force) { force_tick_ = force; }
@@ -81,14 +104,45 @@ class PooledMemory {
     return out_[host];
   }
 
+  // ---- sharded engine (DESIGN.md §14) ----------------------------------
+  /// Whether this pool can run under the quantum engine (direct fabrics
+  /// only: a switch's arbitration state spans both directions of every
+  /// host, so it cannot be split into independently-pumped shards).
+  bool engine_capable() const { return fab_[0]->direct(); }
+  /// Smallest latency any cross-shard message can experience — the
+  /// engine's quantum. Minimum over hosts of the unloaded one-way cost of
+  /// the smallest message in each direction; SerialPipe delivery is always
+  /// >= now + unloaded latency (backlog, faults and down-training only add
+  /// to it), so this is a sound lookahead.
+  Cycle min_cross_shard_latency() const;
+  /// Switch admission control to mailbox credits and route cross-shard
+  /// messages through the mailboxes. Requires engine_capable().
+  void set_engine(bool on);
+  bool engine() const { return engine_; }
+  /// Pool-shard pump: device failure lifecycle, ack retirement, coherence
+  /// transactions, pooled sub-channels, shared response shipping.
+  Cycle pool_tick(Cycle now);
+  /// Host-shard pump for `host`: credit maturation, the private-device
+  /// path, invalidation acking.
+  Cycle host_tick(std::uint32_t host, Cycle now);
+  /// Coordinator-only, at a quantum barrier (no shard running): flush
+  /// every mailbox into its destination shard's structures in fixed
+  /// (host-index, FIFO) order. Returns the earliest cycle at which any
+  /// delivered message takes effect (kNoCycle if all mailboxes were
+  /// empty), so the engine can skip whole idle quanta.
+  Cycle exchange_shard_mail(Cycle now);
+
   /// True once no read, coherence message or writeback is in flight
   /// anywhere (the drain condition; implies invals_sent == invals_acked).
+  /// Covers undrained completions and mailbox contents, so it is only
+  /// meaningful between ticks (sequential) or at barriers (engine).
   bool quiescent() const;
 
   /// RAS events summed over every host head's fabric (all-zero unarmed).
   ras::RasCounters ras_counters() const;
-  /// Device-failure lifecycle counters (DESIGN.md §13).
-  const ras::AvailCounters& avail_counters() const { return avail_; }
+  /// Device-failure lifecycle counters (DESIGN.md §13), merged over the
+  /// pool-shard and host-shard halves.
+  ras::AvailCounters avail_counters() const;
   /// True once the planned surprise removal has happened.
   bool device_dead() const { return dead_; }
 
@@ -96,10 +150,9 @@ class PooledMemory {
   const Directory& directory(std::uint32_t shared_dev) const {
     return *dirs_[shared_dev];
   }
-  const PoolCounters& counters() const { return ctr_; }
-  const HostCounters& host_counters(std::uint32_t host) const {
-    return host_ctr_[host];
-  }
+  /// Lifetime protocol totals, merged over the owning shards.
+  PoolCounters counters() const;
+  HostCounters host_counters(std::uint32_t host) const;
 
  private:
   // One queued device-side message (host identified by the queue index).
@@ -117,7 +170,6 @@ class PooledMemory {
     std::uint64_t token = 0;
     Cycle start = 0;
     bool busy = false;
-    bool poisoned = false;  ///< Request-side poison; completion inherits it.
   };
 
   // A DRAM read completion waiting for return-path credit.
@@ -125,6 +177,7 @@ class PooledMemory {
     Cycle ready = 0;
     std::uint32_t device = 0;  ///< Host-fabric device index.
     std::uint32_t slot = 0;
+    bool poisoned = false;     ///< Request-side poison (token bit 63).
   };
 
   // A coherence transaction parked at a pooled device.
@@ -144,10 +197,13 @@ class PooledMemory {
     std::uint32_t park_sub = 0;  ///< Shared sub-channel of the parked access.
   };
 
-  // An invalidation delivered to a host, waiting to be acked.
+  // An invalidation delivered to a host, waiting to be acked. Carries the
+  // source device so the acking host shard never reads the pool-owned
+  // transaction table.
   struct HostInval {
     Cycle arrival = 0;
     std::uint32_t txn = 0;
+    std::uint32_t sdev = 0;
     bool dirty = false;
   };
 
@@ -170,6 +226,7 @@ class PooledMemory {
     bool is_write = false;  ///< kDemand.
     bool shared = false;    ///< kDemand: pooled vs private class.
     bool dirty = false;     ///< kAck / kInval.
+    bool poisoned = false;  ///< kResp: request-side poison (token bit 63).
     std::uint32_t sub = 0;  ///< kDemand: class-local sub-channel.
     std::uint32_t txn = 0;  ///< kAck / kInval.
     std::uint32_t slot = 0; ///< kResp / kDemand(read).
@@ -177,22 +234,74 @@ class PooledMemory {
     Addr page = 0;          ///< kDemand: shared page id.
   };
 
+  // ---- cross-shard mailbox messages (engine mode only) -----------------
+  struct DemandMail {
+    DeviceMsg msg;
+    std::uint32_t sub = 0;  ///< Shared sub-channel.
+  };
+  struct AckMail {
+    Cycle arrival = 0;
+    std::uint32_t txn = 0;
+    bool dirty = false;
+  };
+  struct CompMail {
+    Cycle done = 0;
+    std::uint32_t slot = 0;
+    bool poisoned = false;
+  };
+  struct CreditMail {
+    Cycle at = 0;
+    std::uint32_t sub = 0;
+  };
+  struct InvalMail {
+    Cycle arrival = 0;
+    std::uint32_t txn = 0;
+    std::uint32_t sdev = 0;
+    bool dirty = false;
+  };
+
   std::uint32_t shared_sub_of(std::uint32_t device, std::uint32_t sub_in_dev) const {
     return device * spd_ + sub_in_dev;
   }
 
+  /// DRAM read tokens pack (request-poison, host, slot) so the pool shard
+  /// never writes into a host-owned read-slot table at admission time.
+  static std::uint64_t pack_token(bool poisoned, std::uint32_t host,
+                                  std::uint64_t slot) {
+    return (std::uint64_t{poisoned} << 63) | (std::uint64_t{host} << 32) | slot;
+  }
+
+  /// Whether `host`'s shard sees the planned surprise removal at `now`.
+  /// Matches the sequential pump's visibility exactly: dead_ flips inside
+  /// the pool pump at fail_at_, after the hosts stepped that cycle — so a
+  /// host first observes the death at fail_at_ + 1. A pure function of
+  /// config so host shards never read the pool-owned dead_ flag.
+  bool host_sees_dead(Cycle now) const {
+    return avail_on_ && fail_at_ != kNoCycle && now > fail_at_;
+  }
+
   std::uint32_t alloc_slot(std::uint32_t host, std::uint64_t token, Cycle now);
   void finish_read(std::uint32_t host, std::uint32_t slot, Cycle arrival,
-                   bool wire_poisoned = false);
+                   bool poisoned);
   std::uint32_t alloc_txn();
   std::uint32_t alloc_wire(std::uint32_t host, const WireMsg& msg);
-  void deliver_inval(std::uint32_t target, std::uint32_t txn, bool dirty,
-                     Cycle arrival);
+  void deliver_inval(std::uint32_t target, std::uint32_t txn, std::uint32_t sdev,
+                     bool dirty, Cycle arrival);
   void deliver_ack(std::uint32_t txn, bool dirty, Cycle arrival);
   void start_txn(const Directory::Decision& d, const DeviceMsg& msg,
                  std::uint32_t host, std::uint32_t shared_sub, Cycle now);
   void pump_txn_sends(std::uint32_t t, Cycle now);
   bool coherence_idle() const;
+
+  /// Phase A: switched-fabric wire deliveries (no-op for direct heads).
+  Cycle pump_wire_deliveries(Cycle now);
+  /// Admit a shared demand into its sub-channel's DRAM (directly or as the
+  /// completion of a parked transaction).
+  void admit_shared(dram::Controller& ctrl, const DeviceMsg& msg,
+                    std::uint32_t host, Cycle now);
+  /// Phase F, shared half: ship pooled-device responses up `host`'s return
+  /// path (engine: into the completion mailbox).
+  Cycle ship_shared_responses(std::uint32_t host, Cycle now);
 
   // ---- device failure: surprise removal of a shared device (§13) ----
   /// Onset sweep + recovery-wave pump; returns a wake bound (fail_at
@@ -200,7 +309,10 @@ class PooledMemory {
   Cycle pump_pool_failure(Cycle now);
   void pool_fail_onset(Cycle now);
   /// Poison-complete a read headed for (or stranded at) the dead device;
-  /// absorb a write. `host` owns the message's read slot.
+  /// absorb a write. `host` owns the message's read slot. The engine pays
+  /// an extra unloaded response latency on the bounce (the host port's
+  /// timeout synthesises the error response), which also keeps the bounce
+  /// completion outside the quantum it was created in.
   void bounce_msg(std::uint32_t host, const DeviceMsg& msg, Cycle at);
 
   PoolConfig cfg_;
@@ -211,16 +323,22 @@ class PooledMemory {
   std::uint32_t s_subs_ = 0;    ///< s_devs_ * spd_.
   std::uint32_t p_subs_ = 0;    ///< p_devs_ * spd_.
   bool force_tick_ = false;
+  bool engine_ = false;
 
   // Address decode: stage 1 per host (shared-window range decode), stage 2
-  // per device class.
+  // per device class. Lookups are pure (no mutable state), so host shards
+  // may translate concurrently.
   std::vector<placement::AddressMap> stage1_;
   placement::AddressMap shared_map_;   ///< kPage over pooled devices.
   placement::AddressMap private_map_;  ///< kLine over private devices.
 
-  std::vector<std::unique_ptr<fabric::Fabric>> fab_;  ///< Per host.
+  // Per host. A head's tx pipe belongs to the host shard, its rx pipes to
+  // whichever side ships on them (pool for shared devices, host for
+  // private) — CxlLink keeps fully independent tx/rx state.
+  std::vector<std::unique_ptr<fabric::Fabric>> fab_;
 
-  // DRAM: pooled controllers are global, private ones per host.
+  // DRAM: pooled controllers are global (pool shard), private ones per
+  // host (host shard).
   std::vector<std::unique_ptr<dram::Controller>> shared_ctrls_;  ///< [s_subs_].
   std::vector<std::vector<std::unique_ptr<dram::Controller>>> priv_ctrls_;
 
@@ -233,14 +351,15 @@ class PooledMemory {
   std::vector<std::vector<std::uint32_t>> tx_inflight_shared_;  ///< [sub][host].
   std::vector<std::vector<std::uint32_t>> tx_inflight_priv_;    ///< [host][sub].
 
-  // Per-host read slots and return-path queues.
+  // Per-host read slots and return-path queues (host shard).
   std::vector<std::vector<InflightRead>> inflight_;     ///< [host][slot].
   std::vector<std::vector<std::uint32_t>> free_slots_;  ///< [host].
-  std::vector<std::vector<PendingResponse>> pending_rx_;
+  std::vector<std::vector<PendingResponse>> pending_rx_;      ///< Shared class.
+  std::vector<std::vector<PendingResponse>> pending_rx_priv_; ///< Private class.
   std::vector<std::vector<HostCompletion>> out_;
-  std::uint64_t inflight_reads_ = 0;
+  std::vector<std::uint64_t> inflight_reads_;  ///< Per host (owner-written).
 
-  // Coherence machinery.
+  // Coherence machinery (pool shard; host_invals_ belongs to the hosts).
   std::vector<std::unique_ptr<Directory>> dirs_;  ///< Per pooled device.
   std::vector<CohTxn> txns_;
   std::vector<std::uint32_t> free_txns_;
@@ -255,10 +374,28 @@ class PooledMemory {
   std::vector<std::vector<std::uint32_t>> free_wire_;
   std::uint64_t fabric_msgs_inflight_ = 0;
 
-  // Device-failure state (DESIGN.md §13). `dead_` flips only inside tick()
-  // at the planned cycle — pump_pool_failure() returns fail_at_ as a wake
-  // bound until then — so both scheduler modes observe the flip at the
-  // same cycle and every live query of it stays mode-invariant.
+  // ---- engine mailboxes + flow-control credits -------------------------
+  // Outboxes are appended by their owning shard during a quantum and
+  // drained only at barriers, so they need no locking. Credits replace the
+  // host's direct read of pooled ingress occupancy: each (host, sub) pair
+  // starts with the ingress depth, a send consumes one, and the pool
+  // returns it with a credit message stamped one unloaded response-path
+  // control latency after the pop.
+  std::vector<std::vector<DemandMail>> mail_demand_;   ///< [host] -> pool.
+  std::vector<std::vector<AckMail>> mail_ack_;         ///< [host] -> pool.
+  std::vector<std::vector<CompMail>> mail_comp_;       ///< pool -> [host].
+  std::vector<std::vector<CreditMail>> mail_credit_;   ///< pool -> [host].
+  std::vector<std::vector<InvalMail>> mail_inval_;     ///< pool -> [host].
+  std::vector<std::vector<CreditMail>> pending_credits_;  ///< Delivered, maturing.
+  std::vector<std::vector<std::uint32_t>> credits_;    ///< [host][shared sub].
+  Cycle credit_lat_ = 1;     ///< Pop -> credit visible at the host.
+  Cycle bounce_rx_lat_ = 1;  ///< Extra response latency on engine bounces.
+
+  // Device-failure state (DESIGN.md §13). `dead_` flips only inside the
+  // pool pump at the planned cycle — pump_pool_failure() returns fail_at_
+  // as a wake bound until then — so both scheduler modes observe the flip
+  // at the same cycle and every live query of it stays mode-invariant.
+  // Host shards use host_sees_dead() instead of reading dead_.
   bool avail_on_ = false;       ///< fault_plan.device_failure(), cached.
   bool dead_ = false;           ///< The shared device is gone.
   std::uint32_t fail_dev_ = 0;  ///< Shared-device (== fabric) index.
@@ -267,10 +404,25 @@ class PooledMemory {
   /// Directory-recovery backlog: (page, sharer mask) waves bounded by the
   /// per-device transaction table.
   std::deque<std::pair<Addr, std::uint64_t>> recovery_q_;
-  ras::AvailCounters avail_;
 
-  PoolCounters ctr_;
-  std::vector<HostCounters> host_ctr_;
+  // Counters, split by owning shard and merged at exposure. avail_ and
+  // ctr_ belong to the pool shard; the *_host_ / host-indexed pieces to
+  // their host shard.
+  ras::AvailCounters avail_;                      ///< Pool-shard half.
+  std::vector<ras::AvailCounters> avail_host_;    ///< Host-local refusals.
+  PoolCounters ctr_;  ///< Pool shard (private_* fields unused — see below).
+  struct HostSharedCtr {  ///< Pool-shard writes, per requesting host.
+    std::uint64_t reads = 0, writes = 0, shared = 0;
+  };
+  struct HostPrivCtr {  ///< Host-shard writes.
+    std::uint64_t reads = 0, writes = 0;
+  };
+  struct HostAckCtr {  ///< Host-shard writes.
+    std::uint64_t invals_received = 0, acks_sent = 0;
+  };
+  std::vector<HostSharedCtr> host_shared_ctr_;
+  std::vector<HostPrivCtr> host_priv_ctr_;
+  std::vector<HostAckCtr> host_ack_ctr_;
 };
 
 }  // namespace coaxial::pool

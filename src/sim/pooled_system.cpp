@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "common/env.hpp"
+#include "common/validate.hpp"
+#include "sim/shard.hpp"
 #include "workload/catalog.hpp"
 
 namespace coaxial::sim {
@@ -18,6 +21,30 @@ PooledSystem::PooledSystem(const pool::PoolConfig& cfg, std::uint64_t seed)
 
   const obs::Scope pool = obs::Scope(&metrics_, "").sub("pool", cfg_.enabled());
   memory_ = std::make_unique<pool::PooledMemory>(cfg_, pool.sub("mem"));
+
+  // Cross-check the declared engine lookahead against the fabric-derived
+  // one (DESIGN.md §14): a declaration below the true minimum would
+  // silently waste lookahead, one above it would let a message arrive
+  // inside the quantum that sent it and break the byte-identical contract.
+  // Switched fabrics never run the engine, so their declaration is inert.
+  if (memory_->engine_capable() && cfg_.shard_min_latency_cycles != 0) {
+    const Cycle derived = memory_->min_cross_shard_latency();
+    const Cycle declared = cfg_.shard_min_latency_cycles;
+    if (declared < derived) {
+      validate::fail("sim::PooledSystem", "shard_min_latency_cycles",
+                     "is below the fabric's minimum cross-shard latency — the "
+                     "declaration would silently waste lookahead; declare the "
+                     "derived value or 0",
+                     std::to_string(declared) + " < " + std::to_string(derived));
+    }
+    if (declared > derived) {
+      validate::fail("sim::PooledSystem", "shard_min_latency_cycles",
+                     "exceeds the fabric's minimum cross-shard latency — a "
+                     "quantum that long would deliver messages late and break "
+                     "the deterministic-parallel contract",
+                     std::to_string(declared) + " > " + std::to_string(derived));
+    }
+  }
 
   const workload::WorkloadParams& wp = workload::find_workload(cfg_.workload);
   slices_.reserve(cfg_.n_hosts);
@@ -36,6 +63,10 @@ PooledSystem::PooledSystem(const pool::PoolConfig& cfg, std::uint64_t seed)
     slices_.push_back(std::move(s));
   }
   register_metrics();
+}
+
+Cycle PooledSystem::lookahead() const {
+  return memory_->engine_capable() ? memory_->min_cross_shard_latency() : 0;
 }
 
 void PooledSystem::fetch(Slice& s, std::uint32_t h) {
@@ -123,27 +154,30 @@ void PooledSystem::step_slice(std::uint32_t h, Cycle now) {
     ++s.retired;
     if (s.retired >= budget_) {
       s.halted = true;
+      s.halt_at = now;
       return;
     }
   }
 }
 
+void PooledSystem::drain_completions(std::uint32_t h) {
+  Slice& s = slices_[h];
+  auto& done = memory_->completions(h);
+  for (const pool::HostCompletion& c : done) {
+    Slot& sl = s.slots[static_cast<std::uint32_t>(c.token)];
+    sl.done = c.done;
+    if (c.poisoned) ++s.poisons;
+    if (window_open_ && sl.start >= window_start_) {
+      s.lat.add(c.done - sl.start);
+    }
+  }
+  done.clear();
+}
+
 void PooledSystem::step(Cycle now) {
   for (std::uint32_t h = 0; h < cfg_.n_hosts; ++h) step_slice(h, now);
   mem_wake_ = memory_->tick(now);
-  for (std::uint32_t h = 0; h < cfg_.n_hosts; ++h) {
-    Slice& s = slices_[h];
-    auto& done = memory_->completions(h);
-    for (const pool::HostCompletion& c : done) {
-      Slot& sl = s.slots[static_cast<std::uint32_t>(c.token)];
-      sl.done = c.done;
-      if (c.poisoned) ++s.poisons;
-      if (window_open_ && sl.start >= window_start_) {
-        s.lat.add(c.done - sl.start);
-      }
-    }
-    done.clear();
-  }
+  for (std::uint32_t h = 0; h < cfg_.n_hosts; ++h) drain_completions(h);
 }
 
 Cycle PooledSystem::next_event_after(Cycle now) const {
@@ -159,7 +193,18 @@ PooledStats PooledSystem::run(std::uint64_t warmup_instr,
   budget_ = warmup_instr + measure_instr;
   const bool force = tick_every_cycle_ || env_flag("COAXIAL_TICK_EVERY_CYCLE");
   memory_->set_force_tick(force);
+  if (memory_->engine_capable()) return run_quantum(warmup_instr, force);
+  if (workers_ > 1) {
+    throw std::invalid_argument(
+        "sim::PooledSystem: shard workers require a direct fabric (a switch "
+        "arbitrates all hosts in one shared structure and cannot be sharded)");
+  }
+  effective_workers_ = 1;
+  return run_sequential(warmup_instr, force);
+}
 
+PooledStats PooledSystem::run_sequential(std::uint64_t warmup_instr,
+                                         bool force) {
   Cycle now = 0;
   Cycle window_end = 0;
   Cycle total = 0;
@@ -192,7 +237,131 @@ PooledStats PooledSystem::run(std::uint64_t warmup_instr,
     const Cycle next = next_event_after(now);
     now = (force || next == kNoCycle) ? now + 1 : std::max(next, now + 1);
   }
+  return assemble_stats(window_end, total);
+}
 
+// Sharded quantum engine (DESIGN.md §14). Shard 0 is the pool side —
+// the heaviest partition, owned by the coordinator so its pump overlaps
+// the workers' host pumps; shards 1..N are the host slices. Inside a
+// quantum [t, t+Q) every shard advances its own cycles (hosts step their
+// slice every cycle while it retires; both sides event-skip when idle,
+// clamped to the quantum). All cross-shard effects ride mailboxes drained
+// at the barrier, and every barrier decision — window open/close,
+// termination, the next quantum to simulate — is taken by the coordinator
+// alone from state that is a pure function of the simulation, never of
+// the worker count. Idle gaps are skipped in whole quanta (jumps round
+// down to the barrier grid) so the event-driven and tick-every-cycle
+// schedules visit the same barriers and agree byte-for-byte.
+PooledStats PooledSystem::run_quantum(std::uint64_t warmup_instr, bool force) {
+  memory_->set_engine(true);
+  const Cycle q = memory_->min_cross_shard_latency();
+  const std::size_t n_shards = static_cast<std::size_t>(cfg_.n_hosts) + 1;
+  shard::WorkerTeam team(workers_, n_shards);
+  effective_workers_ = static_cast<std::uint32_t>(team.workers());
+
+  // Next cycle each shard needs to run (kNoCycle = asleep until mail).
+  std::vector<Cycle> shard_next(n_shards, 0);
+  Cycle t = 0;
+  Cycle window_end = 0;
+  Cycle total = 0;
+  bool window_closed = false;
+
+  while (true) {
+    const Cycle t_end = t + q;
+    const auto pump = [&](std::size_t sh) {
+      if (sh == 0) {
+        Cycle c = force ? t : std::max(t, shard_next[0]);
+        while (c < t_end) {
+          const Cycle w = memory_->pool_tick(c);
+          if (force) {
+            ++c;
+            continue;
+          }
+          if (w == kNoCycle) {
+            c = kNoCycle;
+            break;
+          }
+          c = std::max(w, c + 1);
+        }
+        shard_next[0] = c;
+        return;
+      }
+      const std::uint32_t h = static_cast<std::uint32_t>(sh - 1);
+      // Completions delivered at the barrier must reach the slice's slot
+      // table even when this shard is otherwise asleep.
+      drain_completions(h);
+      Cycle c = force ? t : std::max(t, shard_next[sh]);
+      while (c < t_end) {
+        drain_completions(h);
+        step_slice(h, c);
+        const Cycle w = memory_->host_tick(h, c);
+        if (force || !slices_[h].halted) {
+          ++c;  // A retiring slice steps every cycle.
+          continue;
+        }
+        if (w == kNoCycle) {
+          c = kNoCycle;
+          break;
+        }
+        c = std::max(w, c + 1);
+      }
+      shard_next[sh] = c;
+    };
+    team.round(pump);
+
+    // Barrier: every shard is paused. Mail exchange, global predicates and
+    // the jump decision are coordinator-only and see a consistent system.
+    Cycle effect;
+    {
+      COAXIAL_PROF_SCOPE(kShardDrain);
+      effect = memory_->exchange_shard_mail(t_end);
+    }
+    if (!window_open_) {
+      bool all_warm = true;
+      for (const Slice& s : slices_) {
+        all_warm = all_warm && s.retired >= warmup_instr;
+      }
+      if (all_warm) {
+        window_open_ = true;
+        window_start_ = t_end;  // Barrier-rounded (the engine's grid).
+        for (Slice& s : slices_) s.retired_base = s.retired;
+      }
+    }
+    if (window_open_ && !window_closed) {
+      bool all_done = true;
+      for (const Slice& s : slices_) all_done = all_done && s.halted;
+      if (all_done) {
+        window_closed = true;
+        // Exact: the cycle the last slice crossed its budget. A degenerate
+        // warmup==budget run can halt before the window's barrier opens it.
+        for (const Slice& s : slices_) {
+          window_end = std::max(window_end, s.halt_at);
+        }
+        window_end = std::max(window_end, window_start_);
+      }
+    }
+    if (window_closed && memory_->quiescent()) {
+      total = t_end;
+      break;
+    }
+    // Jump: skip whole quanta nobody needs, rounding down to the barrier
+    // grid so both scheduler modes visit identical barrier sequences.
+    Cycle global_next = effect;
+    for (const Cycle c : shard_next) global_next = std::min(global_next, c);
+    if (effect != kNoCycle) {
+      for (Cycle& c : shard_next) c = std::min(c, effect);
+    }
+    if (force || global_next == kNoCycle) {
+      t = t_end;
+    } else {
+      t = std::max(t_end, global_next / q * q);
+    }
+  }
+  worker_prof_totals_ = team.shutdown();
+  return assemble_stats(window_end, total);
+}
+
+PooledStats PooledSystem::assemble_stats(Cycle window_end, Cycle total) const {
   PooledStats st;
   st.window_cycles = window_end - window_start_;
   st.total_cycles = total;
@@ -250,21 +419,31 @@ void PooledSystem::register_metrics() {
                       [mem, d] { return mem->directory(d).evictions(); });
   }
 
-  const pool::PoolCounters* c = &memory_->counters();
+  // Counter structs are assembled by value from their per-shard halves, so
+  // the probes call the accessor per sample instead of caching a pointer.
   const obs::Scope coh = pool.sub("coh");
-  coh.expose_counter("txns", [c] { return c->txns; });
-  coh.expose_counter("invals_sent", [c] { return c->invals_sent; });
-  coh.expose_counter("invals_acked", [c] { return c->invals_acked; });
-  coh.expose_counter("recalls_dirty", [c] { return c->recalls_dirty; });
-  coh.expose_counter("recall_writebacks", [c] { return c->recall_writebacks; });
-  coh.expose_counter("upgrades_silent", [c] { return c->upgrades_silent; });
-  coh.expose_counter("pingpong", [c] { return c->pingpong_transitions; });
+  coh.expose_counter("txns", [mem] { return mem->counters().txns; });
+  coh.expose_counter("invals_sent", [mem] { return mem->counters().invals_sent; });
+  coh.expose_counter("invals_acked",
+                     [mem] { return mem->counters().invals_acked; });
+  coh.expose_counter("recalls_dirty",
+                     [mem] { return mem->counters().recalls_dirty; });
+  coh.expose_counter("recall_writebacks",
+                     [mem] { return mem->counters().recall_writebacks; });
+  coh.expose_counter("upgrades_silent",
+                     [mem] { return mem->counters().upgrades_silent; });
+  coh.expose_counter("pingpong",
+                     [mem] { return mem->counters().pingpong_transitions; });
 
   const obs::Scope adm = pool.sub("admitted");
-  adm.expose_counter("shared_reads", [c] { return c->shared_reads; });
-  adm.expose_counter("shared_writes", [c] { return c->shared_writes; });
-  adm.expose_counter("private_reads", [c] { return c->private_reads; });
-  adm.expose_counter("private_writes", [c] { return c->private_writes; });
+  adm.expose_counter("shared_reads",
+                     [mem] { return mem->counters().shared_reads; });
+  adm.expose_counter("shared_writes",
+                     [mem] { return mem->counters().shared_writes; });
+  adm.expose_counter("private_reads",
+                     [mem] { return mem->counters().private_reads; });
+  adm.expose_counter("private_writes",
+                     [mem] { return mem->counters().private_writes; });
 
   for (std::uint32_t h = 0; h < n_hosts; ++h) {
     const obs::Scope hs = pool.sub("host/" + obs::idx(h));
@@ -277,9 +456,10 @@ void PooledSystem::register_metrics() {
     hs.expose_counter("dep_stall_cycles", [s] { return s->dep_stall_cycles; });
     hs.expose_counter("window_stall_cycles",
                       [s] { return s->window_stall_cycles; });
-    const pool::HostCounters* hc = &memory_->host_counters(h);
-    hs.expose_counter("invals_received", [hc] { return hc->invals_received; });
-    hs.expose_counter("acks_sent", [hc] { return hc->acks_sent; });
+    hs.expose_counter("invals_received",
+                      [mem, h] { return mem->host_counters(h).invals_received; });
+    hs.expose_counter("acks_sent",
+                      [mem, h] { return mem->host_counters(h).acks_sent; });
     hs.expose_fixed_histogram("lat", s->lat);
   }
 

@@ -1,19 +1,35 @@
-// Multi-host pooled-memory driver (DESIGN.md §12).
+// Multi-host pooled-memory driver (DESIGN.md §12, §14).
 //
-// Ticks N host slices against one pool::PooledMemory under the unified
-// scheduler. Each slice is the closed-loop core model from sim::System
-// reduced to one core: a workload::Generator stream, an IPC credit bucket,
-// a bounded window of outstanding reads, and load->load dependency stalls.
-// A per-slice share RNG redirects a configured fraction of memory ops from
-// the slice's private region into the shared pooled window (with a hot
-// contended subset), which is what exercises the coherence directory.
+// Ticks N host slices against one pool::PooledMemory. Each slice is the
+// closed-loop core model from sim::System reduced to one core: a
+// workload::Generator stream, an IPC credit bucket, a bounded window of
+// outstanding reads, and load->load dependency stalls. A per-slice share
+// RNG redirects a configured fraction of memory ops from the slice's
+// private region into the shared pooled window (with a hot contended
+// subset), which is what exercises the coherence directory.
 //
-// Determinism: slices are stepped in host order every cycle while any host
-// is still retiring (each live slice arms a now+1 wake), so the per-step
-// stall counters are identical whether the scheduler runs event-driven or
-// with COAXIAL_TICK_EVERY_CYCLE=1; event skipping only compresses the
-// final drain. Inter-host ordering inside the memory is fixed by
-// PooledMemory's own scan orders.
+// Two pumps:
+//
+//  * Direct fabrics run under the sharded quantum engine (DESIGN.md §14):
+//    the system is partitioned into one pool shard plus one shard per host
+//    slice, each pumped independently inside quanta of Q =
+//    PooledMemory::min_cross_shard_latency() cycles, with mailboxes drained
+//    at the barrier between quanta. One worker (the default) runs every
+//    shard inline on the calling thread; set_workers(N) pumps shards on N
+//    threads. The schedule of (shard, cycle) work and every barrier
+//    decision is a pure function of simulation state — never of the worker
+//    count — so every worker count produces byte-identical stats.
+//  * Switched fabrics keep the sequential per-cycle pump: a switch
+//    arbitrates both directions of every host in one shared structure, so
+//    it cannot be split into independently-pumped shards. Requesting more
+//    than one worker on a switched pool throws.
+//
+// Determinism (both pumps): slices are stepped in host order every cycle
+// while retiring (each live slice arms a now+1 wake), so per-step stall
+// counters are identical whether the scheduler runs event-driven or with
+// COAXIAL_TICK_EVERY_CYCLE=1; event skipping only compresses idle gaps —
+// the engine additionally rounds skips down to quantum boundaries so both
+// modes observe every barrier predicate transition at the same barrier.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +40,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "pool/pooled_memory.hpp"
 #include "workload/generator.hpp"
 
@@ -55,7 +72,23 @@ class PooledSystem {
   /// Force the per-cycle scheduler (also via COAXIAL_TICK_EVERY_CYCLE=1).
   void set_tick_every_cycle(bool on) { tick_every_cycle_ = on; }
 
+  /// Request N shard workers for the quantum engine (clamped to the shard
+  /// count, n_hosts + 1). The default 1 pumps every shard inline. Throws
+  /// from run() when N > 1 on a switched (engine-incapable) pool.
+  void set_workers(std::uint32_t n) { workers_ = n == 0 ? 1 : n; }
+  /// Workers actually used by the last run() (1 for the sequential pump).
+  std::uint32_t effective_workers() const { return effective_workers_; }
+  /// The engine's conservative lookahead in cycles (0 when the fabric is
+  /// switched and the engine cannot run).
+  Cycle lookahead() const;
+  /// Summed profiler totals of the worker threads of the last run (the
+  /// coordinator's phases are in its own thread-local totals).
+  const obs::prof::Totals& worker_prof_totals() const {
+    return worker_prof_totals_;
+  }
+
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
   const pool::PooledMemory& memory() const { return *memory_; }
   const pool::PoolConfig& config() const { return cfg_; }
 
@@ -81,6 +114,7 @@ class PooledSystem {
     std::uint32_t last_load_slot = 0;
     bool last_load_valid = false;
     bool halted = false;
+    Cycle halt_at = kNoCycle;    ///< Cycle the budget was crossed (exact).
     std::uint64_t retired = 0;
     std::uint64_t retired_base = 0;  ///< Snapshot at window open.
     std::uint64_t reads = 0;
@@ -95,14 +129,21 @@ class PooledSystem {
 
   void step(Cycle now);
   void step_slice(std::uint32_t h, Cycle now);
+  void drain_completions(std::uint32_t h);
   void fetch(Slice& s, std::uint32_t h);
   Cycle next_event_after(Cycle now) const;
+  PooledStats run_sequential(std::uint64_t warmup_instr, bool force);
+  PooledStats run_quantum(std::uint64_t warmup_instr, bool force);
+  PooledStats assemble_stats(Cycle window_end, Cycle total) const;
   void register_metrics();
 
   pool::PoolConfig cfg_;
   std::uint64_t seed_ = 0;
   Addr private_lines_ = 0;
   bool tick_every_cycle_ = false;
+  std::uint32_t workers_ = 1;
+  std::uint32_t effective_workers_ = 1;
+  obs::prof::Totals worker_prof_totals_;
 
   // The registry must outlive (so: precede) everything that registers.
   obs::MetricsRegistry metrics_;

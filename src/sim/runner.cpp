@@ -1,10 +1,12 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/env.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/profiler.hpp"
 #include "obs/stats_json.hpp"
@@ -54,11 +56,33 @@ RunResult run_service(const RunRequest& request) {
 /// as any closed-loop run.
 RunResult run_pooled(const RunRequest& request) {
   PooledSystem system(request.pool, request.seed);
+  // Shard-worker resolution (DESIGN.md §14): an explicit request wins over
+  // COAXIAL_SHARDS; the harness cap (run_many) bounds both. An explicit
+  // multi-worker request on a switched pool is an error (run() throws); an
+  // env-derived one is clamped so COAXIAL_SHARDS=N batch runs keep working
+  // across mixed topologies.
+  const bool explicit_shards = request.shards != 0;
+  std::uint32_t want =
+      explicit_shards ? request.shards
+                      : static_cast<std::uint32_t>(env_u64("COAXIAL_SHARDS", 1));
+  if (want == 0) want = 1;
+  if (request.shard_cap != 0) want = std::min(want, request.shard_cap);
+  if (want > 1 && !explicit_shards && system.lookahead() == 0) want = 1;
+  system.set_workers(want);
+
+  const obs::prof::Totals prof_base = obs::prof::thread_totals();
   const auto wall_start = std::chrono::steady_clock::now();
   const PooledStats stats =
       system.run(request.warmup_instr, request.measure_instr);
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - wall_start;
+  if (obs::prof::enabled()) {
+    // Coordinator-thread phases plus the shard workers' folded totals;
+    // opt-in like host_seconds, so default trees keep their shape.
+    obs::prof::Totals delta = obs::prof::thread_totals().delta_since(prof_base);
+    delta.add(system.worker_prof_totals());
+    obs::prof::publish(obs::Scope(&system.metrics(), "host/prof"), delta);
+  }
 
   RunResult result;
   result.config_name = request.pool.name;
@@ -67,6 +91,7 @@ RunResult run_pooled(const RunRequest& request) {
   result.warmup_instr = request.warmup_instr;
   result.measure_instr = request.measure_instr;
   result.host_seconds = wall.count();
+  result.shards = system.effective_workers();
   result.pooled = stats;
   result.metrics = system.metrics().snapshot();
   return result;
@@ -159,8 +184,17 @@ std::vector<RunResult> run_many(const std::vector<RunRequest>& requests,
                                 std::size_t threads) {
   std::vector<RunResult> results(requests.size());
   ThreadPool pool(threads == 0 ? std::thread::hardware_concurrency() : threads);
+  // Outer run-level parallelism composes with intra-run shard workers;
+  // cap the inner count so outer x inner never oversubscribes the machine.
+  // Caps are pure scheduling — they cannot change any run's stats.
+  const std::uint32_t cap = static_cast<std::uint32_t>(
+      inner_shard_cap(pool.size(), std::thread::hardware_concurrency()));
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    pool.submit([&, i] { results[i] = run_one(requests[i]); });
+    pool.submit([&, i, cap] {
+      RunRequest req = requests[i];
+      if (req.shard_cap == 0 || cap < req.shard_cap) req.shard_cap = cap;
+      results[i] = run_one(req);
+    });
   }
   pool.wait_idle();
   return results;
@@ -197,8 +231,13 @@ void write_run(obs::json::Writer& w, const RunResult& r, const StatsJsonOptions&
   if (opts.include_host_seconds) {
     // Host timing is non-deterministic; emitting it by default would break
     // the byte-identical guarantee the determinism/golden tests rely on.
+    // The effective shard-worker count rides the same opt-in: it is
+    // machine-local scheduling, not simulation state (and the determinism
+    // tests prove the rest of the document is identical across counts).
     w.key("host_seconds");
     w.value(r.host_seconds);
+    w.key("shards");
+    w.value(std::uint64_t{r.shards});
   }
   w.key("metrics");
   obs::json::write_snapshot(w, r.metrics);

@@ -43,6 +43,16 @@ struct RunRequest {
   std::string tier_policy;
   std::uint64_t tier_fast_pages = 0;
   Cycle tier_epoch_cycles = 0;
+
+  /// Intra-run shard workers for pooled runs (DESIGN.md §14). 0 reads
+  /// COAXIAL_SHARDS (default 1: the sequential inline pump). Any worker
+  /// count yields byte-identical stats. Explicitly requesting > 1 on a
+  /// switched pool throws; an env-derived value is clamped to 1 there.
+  std::uint32_t shards = 0;
+  /// Harness cap on effective shard workers (0 = uncapped). run_many sets
+  /// it from inner_shard_cap() so outer runs x inner shard workers never
+  /// oversubscribe the machine.
+  std::uint32_t shard_cap = 0;
 };
 
 struct RunResult {
@@ -57,6 +67,7 @@ struct RunResult {
   Cycle warmup_cycles = 0;
   Cycle measure_cycles = 0;
   double host_seconds = 0;  ///< Host wall-clock spent inside run().
+  std::uint32_t shards = 1;   ///< Effective shard workers (pooled runs).
   RunStats stats;             ///< Closed-loop window results (zero when open_loop).
   ServiceStats service;       ///< Open-loop window results (zero otherwise).
   PooledStats pooled;         ///< Multi-host pooled results (zero otherwise).

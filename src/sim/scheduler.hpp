@@ -14,6 +14,11 @@
 // ("run your cycle handler at cycle T"). Payload events (cache fills, NoC
 // arrivals, memory ops) stay on the System's own event queue, whose legacy
 // same-cycle ordering is results-affecting and therefore preserved as-is.
+// That payload queue is also why single-host System runs stay sequential:
+// its same-cycle tie-break (heap insertion order) is global state that a
+// partition would have to reproduce exactly. The sharded parallel pump
+// (DESIGN.md §14, sim/shard.hpp) therefore targets sim::PooledSystem,
+// whose per-host slices own disjoint state by construction.
 #pragma once
 
 #include <cstdint>

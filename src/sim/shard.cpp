@@ -1,0 +1,92 @@
+#include "sim/shard.hpp"
+
+#include <utility>
+
+namespace coaxial::sim::shard {
+
+WorkerTeam::WorkerTeam(std::size_t workers, std::size_t shards)
+    : workers_(workers == 0 ? 1 : workers), shards_(shards) {
+  if (workers_ > shards_ && shards_ != 0) workers_ = shards_;
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  if (!threads_.empty()) shutdown();
+}
+
+void WorkerTeam::worker_loop(std::size_t w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      COAXIAL_PROF_SCOPE(kShardBarrier);
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) {
+        worker_totals_.add(obs::prof::thread_totals());
+        return;
+      }
+      seen = generation_;
+      fn = fn_;
+    }
+    std::exception_ptr error;
+    try {
+      COAXIAL_PROF_SCOPE(kShardPump);
+      for (std::size_t s = w; s < shards_; s += workers_) (*fn)(s);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_exception_) first_exception_ = error;
+      if (++done_ == workers_ - 1) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerTeam::round(const std::function<void(std::size_t)>& fn) {
+  if (threads_.empty()) {
+    COAXIAL_PROF_SCOPE(kShardPump);
+    for (std::size_t s = 0; s < shards_; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    done_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr error;
+  try {
+    COAXIAL_PROF_SCOPE(kShardPump);
+    for (std::size_t s = 0; s < shards_; s += workers_) fn(s);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    COAXIAL_PROF_SCOPE(kShardBarrier);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return done_ == workers_ - 1; });
+    if (!error && first_exception_) {
+      error = std::exchange(first_exception_, nullptr);
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+obs::prof::Totals WorkerTeam::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  return worker_totals_;
+}
+
+}  // namespace coaxial::sim::shard

@@ -1,0 +1,75 @@
+// Conservative-lookahead sharded simulation support (DESIGN.md §14).
+//
+// A sharded run partitions one simulated system into shards that own
+// disjoint component state (for sim::PooledSystem: one shard per host
+// slice, plus one shard for the pooled device side). Each shard pumps its
+// own cycles independently inside a time quantum Q, where Q is the minimum
+// latency any cross-shard message can have (derived from the CXL fabric's
+// unloaded serialization + port latencies). Because every cross-shard
+// message sent at cycle c arrives no earlier than c + Q, a message sent
+// anywhere inside quantum [T, T+Q) arrives at or after T + Q — so shards
+// never need to see each other's state mid-quantum. Cross-shard messages
+// accumulate in per-(src,dst) outboxes and are drained by the coordinator
+// at the barrier between quanta, in a fixed (source-index, FIFO) order.
+//
+// Determinism: shard-local pumping is sequential per shard, mailbox drain
+// order is fixed, and all global predicates (measurement-window open,
+// termination) are evaluated only at barriers while every shard is paused.
+// No decision anywhere depends on the worker count or on thread timing, so
+// any worker count produces byte-identical stats — including one worker,
+// which is the default and spawns no threads at all.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace coaxial::sim::shard {
+
+/// A persistent team of workers executing one "round" (quantum) at a time.
+/// Shard s is owned by worker (s % workers); worker 0 is the calling
+/// (coordinator) thread, so `workers == 1` spawns no threads and runs every
+/// shard inline — the sequential pump is literally the one-worker case.
+class WorkerTeam {
+ public:
+  WorkerTeam(std::size_t workers, std::size_t shards);
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+  ~WorkerTeam();
+
+  /// Run fn(s) for every shard, each worker pumping its owned shards in
+  /// ascending shard order; blocks until the whole round is done. The first
+  /// exception thrown by any shard is rethrown here once the round settles.
+  void round(const std::function<void(std::size_t)>& fn);
+
+  /// Join the workers and return their summed profiler totals (the
+  /// coordinator's own phases live in its thread-local totals already).
+  obs::prof::Totals shutdown();
+
+  std::size_t workers() const { return workers_; }
+
+ private:
+  void worker_loop(std::size_t w);
+
+  std::size_t workers_ = 1;
+  std::size_t shards_ = 0;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t done_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_exception_;
+  obs::prof::Totals worker_totals_;
+};
+
+}  // namespace coaxial::sim::shard

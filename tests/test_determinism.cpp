@@ -19,6 +19,22 @@ namespace {
 constexpr std::uint64_t kWarmup = 500;
 constexpr std::uint64_t kMeasure = 2000;
 
+RunRequest pooled_request(const pool::PoolConfig& cfg, std::uint32_t shards) {
+  RunRequest req;
+  req.pool = cfg;
+  // Shrunk footprints (as in test_pool.cpp) so the short run still collides
+  // on hot shared pages and generates real directory traffic.
+  req.pool.private_pages = 1 << 12;
+  req.pool.shared_pages = 256;
+  req.pool.shared_hot_pages = 4;
+  req.pool.shared_hot_prob = 0.9;
+  req.warmup_instr = 300;
+  req.measure_instr = 1500;
+  req.seed = 7;
+  req.shards = shards;
+  return req;
+}
+
 TEST(Determinism, RunOneIsByteIdenticalAcrossRepeats) {
   const RunRequest req = homogeneous(sys::baseline_ddr(), "canneal", kWarmup,
                                      kMeasure, /*seed=*/7);
@@ -55,6 +71,45 @@ TEST(Determinism, RunManyIsIndependentOfThreadCount) {
   const std::string parallel = stats_json(run_many(reqs, 4));
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(Determinism, ShardWorkerCountNeverChangesThePooledDocument) {
+  // DESIGN.md §14: the sharded quantum engine is a pure scheduling change.
+  // Pooled runs must emit byte-identical documents at every worker count —
+  // including a count above the shard count (clamped) — both in the healthy
+  // ping-pong scenario and under a mid-run device failure.
+  const std::string healthy =
+      stats_json(run_one(pooled_request(sys::coaxial_pooled(4), 1)));
+  const std::string faulty = stats_json(
+      run_one(pooled_request(sys::coaxial_pooled_faulty(2, /*at_cycle=*/4000), 1)));
+  EXPECT_FALSE(healthy.empty());
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    EXPECT_EQ(healthy,
+              stats_json(run_one(pooled_request(sys::coaxial_pooled(4), n))));
+    EXPECT_EQ(faulty,
+              stats_json(run_one(pooled_request(
+                  sys::coaxial_pooled_faulty(2, /*at_cycle=*/4000), n))));
+  }
+}
+
+TEST(Determinism, ShardKnobIsInertForSingleHostRuns) {
+  // Single-host System runs stay sequential (the payload event queue's
+  // same-cycle tie-break is global state; see sim/scheduler.hpp). The shard
+  // knob must therefore not perturb the golden baseline, RAS, or tiered
+  // documents in any way.
+  std::vector<RunRequest> reqs = golden_requests();
+  {
+    RunRequest ras = homogeneous(sys::coaxial_4x(), "lbm", kWarmup, kMeasure, 7);
+    ras.config.fault_plan = sys::ras_stress();
+    reqs.push_back(ras);
+    reqs.push_back(homogeneous(sys::coaxial_tiered(), "canneal", kWarmup,
+                               kMeasure, /*seed=*/7));
+  }
+  for (const RunRequest& req : reqs) {
+    RunRequest sharded = req;
+    sharded.shards = 4;
+    EXPECT_EQ(stats_json(run_one(req)), stats_json(run_one(sharded)));
+  }
 }
 
 TEST(Determinism, DocumentCarriesSchemaAndRunMetadata) {
